@@ -1,0 +1,83 @@
+// Command benchgen materializes the deterministic synthetic benchmark
+// suite as KISS2 files and prints per-machine statistics, so the instances
+// the experiments run on can be inspected, archived or fed to other tools.
+//
+//	benchgen -dir bench/           write every machine to bench/<name>.kiss2
+//	benchgen -list                 print the statistics table only
+//	benchgen -name dk16            print one machine's KISS2 to stdout
+//	benchgen -minimize ...         state-minimize machines before output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fsm"
+	"repro/internal/kiss"
+	"repro/internal/mv"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory to write <name>.kiss2 files into")
+	list := flag.Bool("list", false, "print statistics for every benchmark")
+	name := flag.String("name", "", "print one benchmark's KISS2 to stdout")
+	minimize := flag.Bool("minimize", false, "state-minimize machines first")
+	flag.Parse()
+
+	if *name != "" {
+		m, err := fsm.GenerateByName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		if *minimize {
+			if m, _, err = fsm.MinimizeStates(m); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Print(kiss.Format(m))
+		return
+	}
+
+	if *dir == "" && !*list {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-9s %7s %7s %8s %7s %7s %7s\n",
+		"name", "states", "min-st", "inputs", "outputs", "trans", "faces")
+	for _, spec := range fsm.Suite {
+		m := fsm.Generate(spec)
+		q, _, err := fsm.MinimizeStates(m)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", spec.Name, err))
+		}
+		out := m
+		if *minimize {
+			out = q
+		}
+		cs := mv.InputConstraints(out)
+		fmt.Printf("%-9s %7d %7d %8d %7d %7d %7d\n",
+			spec.Name, m.NumStates(), q.NumStates(), m.NumInputs, m.NumOutputs,
+			len(out.Trans), len(cs.Faces))
+		if *dir != "" {
+			path := filepath.Join(*dir, spec.Name+".kiss2")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := kiss.Write(f, out); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

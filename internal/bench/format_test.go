@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatTable1Rows(t *testing.T) {
+	rows := []Table1Row{
+		{Name: "good", States: 10, Primes: 42, Bits: 4, Time: 1500 * time.Millisecond},
+		{Name: "blown", States: 48, Aborted: true},
+		{Name: "broken", States: 3, Err: "boom"},
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"good", "42", "1.5s", "> limit", "*", "! boom"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatTable2Rows(t *testing.T) {
+	rows := []Table2Row{
+		{Name: "x", States: 8, Constraints: 5, NovaSat: 4, EncSat: 5, NovaCubes: 10, EncCubes: 8},
+		{Name: "bad", States: 2, Err: "nope"},
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "ENC/NOVA = 0.80") {
+		t.Fatalf("ratio missing:\n%s", out)
+	}
+	if !strings.Contains(out, "! nope") {
+		t.Fatalf("error row missing:\n%s", out)
+	}
+}
+
+func TestFormatTable3Rows(t *testing.T) {
+	rows := []Table3Row{
+		{Name: "x", States: 8, SALits: 30, EncLits: 28, SATime: 10 * time.Second, EncTime: time.Second},
+		{Name: "hard", States: 32, Dagger: true, SALits: 100, EncLits: 90,
+			SATime: 2 * time.Second, EncTime: 3 * time.Second},
+		{Name: "bad", States: 2, Err: "nope"},
+	}
+	out := FormatTable3(rows)
+	for _, want := range []string{"10.0", "+hard", "! nope"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable1UnknownName(t *testing.T) {
+	rows := RunTable1(Table1Options{Names: []string{"not-a-benchmark"}})
+	if len(rows) != 0 {
+		t.Fatalf("unknown names select nothing, got %v", rows)
+	}
+}
+
+func TestContainsName(t *testing.T) {
+	if !containsName([]string{"a", "b"}, "b") || containsName([]string{"a"}, "z") {
+		t.Fatal("containsName wrong")
+	}
+}

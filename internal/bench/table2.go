@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fsm"
+	"repro/internal/heuristic"
+	"repro/internal/mv"
+	"repro/internal/nova"
+)
+
+// Table2Names is the paper's Table-2 benchmark list.
+var Table2Names = []string{
+	"bbsse", "cse", "dk16", "dk512", "donfile", "ex1", "kirkman", "master",
+	"planet", "s1", "sand", "styr", "tbk", "viterbi", "vmecont",
+}
+
+// Table2Row compares the heuristic encoder (ENC) against the NOVA baseline
+// at minimum code length: satisfied face constraints and the cube count of
+// a two-level implementation of the encoded constraints.
+type Table2Row struct {
+	Name        string
+	States      int
+	Constraints int
+	NovaSat     int
+	EncSat      int
+	NovaCubes   int
+	EncCubes    int
+	Err         string
+}
+
+// Table2Options tunes the run.
+type Table2Options struct {
+	// Names restricts the run; nil means the full Table-2 list.
+	Names []string
+	// MaxEvaluations bounds the heuristic's selection search per subset.
+	MaxEvaluations int
+}
+
+// RunTable2 generates minimum-length encodings with both programs and
+// evaluates the Section-7 cost functions on each.
+func RunTable2(opts Table2Options) []Table2Row {
+	names := opts.Names
+	if names == nil {
+		names = Table2Names
+	}
+	var rows []Table2Row
+	for _, name := range names {
+		m, err := fsm.GenerateByName(name)
+		if err != nil {
+			rows = append(rows, Table2Row{Name: name, Err: err.Error()})
+			continue
+		}
+		cs := mv.InputConstraints(m)
+		row := Table2Row{Name: name, States: m.NumStates(), Constraints: len(cs.Faces)}
+
+		novaEnc, err := nova.Encode(cs, nova.Options{})
+		if err != nil {
+			row.Err = "nova: " + err.Error()
+			rows = append(rows, row)
+			continue
+		}
+		novaCost := cost.Evaluate(cs, cost.FullAssignment(novaEnc.Bits, novaEnc.Codes))
+		row.NovaSat = len(cs.Faces) - novaCost.Violations
+		row.NovaCubes = novaCost.Cubes
+
+		encRes, err := heuristic.Encode(cs, heuristic.Options{
+			Metric:         cost.Cubes,
+			MaxEvaluations: opts.MaxEvaluations,
+			Restarts:       6,
+			PolishBudget:   20000,
+		})
+		if err != nil {
+			row.Err = "enc: " + err.Error()
+			rows = append(rows, row)
+			continue
+		}
+		row.EncSat = len(cs.Faces) - encRes.Cost.Violations
+		row.EncCubes = encRes.Cost.Cubes
+		if dup := duplicateCodes(encRes.Encoding); dup {
+			row.Err = "enc: duplicate codes"
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func duplicateCodes(e *core.Encoding) bool {
+	seen := map[uint64]bool{}
+	for _, c := range e.Codes {
+		if seen[uint64(c)] {
+			return true
+		}
+		seen[uint64(c)] = true
+	}
+	return false
+}
+
+// FormatTable2 renders the rows in the paper's Table-2 layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %7s %13s %12s %12s\n", "Name", "States", "# Constraints", "Constraints", "Cubes")
+	fmt.Fprintf(&b, "%-9s %7s %13s %6s %5s %6s %5s\n", "", "", "", "NOVA", "ENC", "NOVA", "ENC")
+	totalNova, totalEnc := 0, 0
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-9s %7d %13d  ! %s\n", r.Name, r.States, r.Constraints, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-9s %7d %13d %6d %5d %6d %5d\n",
+			r.Name, r.States, r.Constraints, r.NovaSat, r.EncSat, r.NovaCubes, r.EncCubes)
+		totalNova += r.NovaCubes
+		totalEnc += r.EncCubes
+	}
+	if totalNova > 0 {
+		fmt.Fprintf(&b, "total cubes: NOVA %d, ENC %d (ENC/NOVA = %.2f)\n",
+			totalNova, totalEnc, float64(totalEnc)/float64(totalNova))
+	}
+	return b.String()
+}

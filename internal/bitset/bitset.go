@@ -1,0 +1,379 @@
+// Package bitset provides a dense, fixed-universe bit set used to represent
+// sets of symbols throughout the encoding framework.
+//
+// All sets operated on together are expected to share the same universe size;
+// operations normalize word counts on demand so mixed sizes are tolerated but
+// never required. The zero value is an empty set over an empty universe.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a set of small non-negative integers backed by a []uint64.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set able to hold elements in [0, n) without
+// reallocation.
+func New(n int) Set {
+	if n <= 0 {
+		return Set{}
+	}
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set containing exactly the given elements.
+func FromSlice(elems []int) Set {
+	var s Set
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Of returns a set containing exactly the given elements.
+func Of(elems ...int) Set {
+	return FromSlice(elems)
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts e into the set. e must be non-negative.
+func (s *Set) Add(e int) {
+	if e < 0 {
+		panic("bitset: negative element " + strconv.Itoa(e))
+	}
+	w := e / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(e%wordBits)
+}
+
+// Remove deletes e from the set if present.
+func (s *Set) Remove(e int) {
+	if e < 0 {
+		return
+	}
+	w := e / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(e%wordBits)
+	}
+}
+
+// Has reports whether e is in the set.
+func (s Set) Has(e int) bool {
+	if e < 0 {
+		return false
+	}
+	w := e / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(e%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// UnionWith adds every element of t to s.
+func (s *Set) UnionWith(t Set) {
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Union returns a new set holding s ∪ t.
+func Union(s, t Set) Set {
+	u := s.Clone()
+	u.UnionWith(t)
+	return u
+}
+
+// IntersectWith removes from s every element not in t.
+func (s *Set) IntersectWith(t Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Intersect returns a new set holding s ∩ t.
+func Intersect(s, t Set) Set {
+	u := s.Clone()
+	u.IntersectWith(t)
+	return u
+}
+
+// DifferenceWith removes every element of t from s.
+func (s *Set) DifferenceWith(t Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &^= t.words[i]
+		}
+	}
+}
+
+// Difference returns a new set holding s \ t.
+func Difference(s, t Set) Set {
+	u := s.Clone()
+	u.DifferenceWith(t)
+	return u
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectLen returns |s ∩ t| without allocating.
+func IntersectLen(s, t Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		count += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return count
+}
+
+// IntersectLenUpTo returns min(|s ∩ t|, cap) without allocating, stopping
+// as soon as cap elements are seen. With cap=2 this is the cheap
+// "zero / one / many" classifier the covering solver needs.
+func IntersectLenUpTo(s, t Set, cap int) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		w := s.words[i] & t.words[i]
+		if w != 0 {
+			count += bits.OnesCount64(w)
+			if count >= cap {
+				return cap
+			}
+		}
+	}
+	return count
+}
+
+// FirstOfIntersection returns the smallest element of s ∩ t, or (0, false).
+func FirstOfIntersection(s, t Set) (int, bool) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if w := s.words[i] & t.words[i]; w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// IntersectionIntersects reports whether (a ∩ b) ∩ c is non-empty without
+// allocating.
+func IntersectionIntersects(a, b, c Set) bool {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	if len(c.words) < n {
+		n = len(c.words)
+	}
+	for i := 0; i < n; i++ {
+		if a.words[i]&b.words[i]&c.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionWithIntersection performs s |= a ∩ b without allocating.
+func (s *Set) UnionWithIntersection(a, b Set) {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	s.grow(n - 1)
+	for i := 0; i < n; i++ {
+		s.words[i] |= a.words[i] & b.words[i]
+	}
+}
+
+// IntersectionSubsetOf reports whether (a ∩ m) ⊆ (b ∩ m) without
+// allocating.
+func IntersectionSubsetOf(a, b, m Set) bool {
+	for i, w := range a.words {
+		if i >= len(m.words) {
+			break
+		}
+		w &= m.words[i]
+		var bw uint64
+		if i < len(b.words) {
+			bw = b.words[i]
+		}
+		if w&^bw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		if i < len(t.words) {
+			if w&^t.words[i] != 0 {
+				return false
+			}
+		} else if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s Set) Equal(t Set) bool {
+	return s.SubsetOf(t) && t.SubsetOf(s)
+}
+
+// Elems returns the elements of the set in increasing order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each element in increasing order; it stops early if fn
+// returns false.
+func (s Set) ForEach(fn func(e int) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(i*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Min returns the smallest element and true, or (0, false) for an empty set.
+func (s Set) Min() (int, bool) {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// Hash returns a 64-bit hash of the set contents, suitable for map bucketing
+// of canonical forms. Trailing zero words do not affect the hash.
+func (s Set) Hash() uint64 {
+	var h uint64 = 14695981039346656037 // FNV offset basis
+	for i := len(s.words) - 1; i >= 0; i-- {
+		w := s.words[i]
+		if h == 14695981039346656037 && w == 0 {
+			continue // skip trailing zero words so padded sets hash equal
+		}
+		h ^= w
+		h *= 1099511628211
+		h ^= uint64(i)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Key returns a canonical string key for the set (trailing zero words
+// stripped), usable as a map key.
+func (s Set) Key() string {
+	end := len(s.words)
+	for end > 0 && s.words[end-1] == 0 {
+		end--
+	}
+	var b strings.Builder
+	for i := 0; i < end; i++ {
+		b.WriteByte(byte(s.words[i]))
+		b.WriteByte(byte(s.words[i] >> 8))
+		b.WriteByte(byte(s.words[i] >> 16))
+		b.WriteByte(byte(s.words[i] >> 24))
+		b.WriteByte(byte(s.words[i] >> 32))
+		b.WriteByte(byte(s.words[i] >> 40))
+		b.WriteByte(byte(s.words[i] >> 48))
+		b.WriteByte(byte(s.words[i] >> 56))
+	}
+	return b.String()
+}
+
+// String renders the set as {e1,e2,...}.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(e int) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(e))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

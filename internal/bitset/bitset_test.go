@@ -1,0 +1,229 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("zero set must be empty")
+	}
+	s.Add(3)
+	s.Add(100)
+	s.Add(3)
+	if s.Len() != 2 || !s.Has(3) || !s.Has(100) || s.Has(4) {
+		t.Fatalf("bad contents: %s", s)
+	}
+	s.Remove(3)
+	if s.Has(3) || s.Len() != 1 {
+		t.Fatal("Remove failed")
+	}
+	s.Remove(12345) // out of range: no-op
+	if s.Len() != 1 {
+		t.Fatal("Remove out of range must be a no-op")
+	}
+	if s.Has(-1) {
+		t.Fatal("negative elements are never present")
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) must panic")
+		}
+	}()
+	var s Set
+	s.Add(-1)
+}
+
+func TestElemsSorted(t *testing.T) {
+	s := Of(9, 2, 64, 63, 0)
+	want := []int{0, 2, 9, 63, 64}
+	got := s.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("want %v got %v", want, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("want %v got %v", want, got)
+		}
+	}
+	if m, ok := s.Min(); !ok || m != 0 {
+		t.Fatalf("Min = %d, %v", m, ok)
+	}
+}
+
+func TestSetAlgebraExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		universe := 1 + rng.Intn(130)
+		a, b := New(universe), New(universe)
+		inA := map[int]bool{}
+		inB := map[int]bool{}
+		for e := 0; e < universe; e++ {
+			if rng.Intn(2) == 0 {
+				a.Add(e)
+				inA[e] = true
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(e)
+				inB[e] = true
+			}
+		}
+		u, i, d := Union(a, b), Intersect(a, b), Difference(a, b)
+		for e := 0; e < universe; e++ {
+			if u.Has(e) != (inA[e] || inB[e]) {
+				t.Fatalf("union wrong at %d", e)
+			}
+			if i.Has(e) != (inA[e] && inB[e]) {
+				t.Fatalf("intersect wrong at %d", e)
+			}
+			if d.Has(e) != (inA[e] && !inB[e]) {
+				t.Fatalf("difference wrong at %d", e)
+			}
+		}
+		if a.Intersects(b) != (i.Len() > 0) {
+			t.Fatal("Intersects inconsistent with Intersect")
+		}
+		if IntersectLen(a, b) != i.Len() {
+			t.Fatal("IntersectLen inconsistent")
+		}
+		if got := IntersectLenUpTo(a, b, 2); got != min2(i.Len()) {
+			t.Fatalf("IntersectLenUpTo(2) = %d want %d", got, min2(i.Len()))
+		}
+		if e, ok := FirstOfIntersection(a, b); ok {
+			if m, _ := i.Min(); m != e {
+				t.Fatalf("FirstOfIntersection = %d want %d", e, m)
+			}
+		} else if !i.IsEmpty() {
+			t.Fatal("FirstOfIntersection missed a non-empty intersection")
+		}
+	}
+}
+
+func min2(x int) int {
+	if x > 2 {
+		return 2
+	}
+	return x
+}
+
+func TestSubsetProperties(t *testing.T) {
+	err := quick.Check(func(xs, ys []uint8) bool {
+		a, b := Set{}, Set{}
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u := Union(a, b)
+		// a ⊆ a∪b, a∩b ⊆ a, (a\b) ∩ b = ∅.
+		if !a.SubsetOf(u) || !Intersect(a, b).SubsetOf(a) {
+			return false
+		}
+		if Difference(a, b).Intersects(b) {
+			return false
+		}
+		// SubsetOf consistent with Difference.
+		if a.SubsetOf(b) != Difference(a, b).IsEmpty() {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndKeyPaddingInsensitive(t *testing.T) {
+	a := New(256)
+	a.Add(5)
+	var b Set
+	b.Add(5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("padded and unpadded sets with equal contents must be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("Key must ignore trailing zero words")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("Hash must ignore trailing zero words")
+	}
+	b.Add(200)
+	if a.Equal(b) {
+		t.Fatal("different sets must not be Equal")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := Of(1, 2, 3)
+	b := Of(3, 4)
+	a.UnionWith(b)
+	if !a.Equal(Of(1, 2, 3, 4)) {
+		t.Fatalf("UnionWith wrong: %s", a)
+	}
+	a.IntersectWith(Of(2, 3, 4, 5))
+	if !a.Equal(Of(2, 3, 4)) {
+		t.Fatalf("IntersectWith wrong: %s", a)
+	}
+	a.DifferenceWith(Of(3))
+	if !a.Equal(Of(2, 4)) {
+		t.Fatalf("DifferenceWith wrong: %s", a)
+	}
+	var c Set
+	c.UnionWithIntersection(Of(1, 2, 3), Of(2, 3, 4))
+	if !c.Equal(Of(2, 3)) {
+		t.Fatalf("UnionWithIntersection wrong: %s", c)
+	}
+}
+
+func TestIntersectionHelpers(t *testing.T) {
+	a, b, m := Of(1, 2, 5), Of(1, 2, 3, 5), Of(1, 5, 9)
+	if !IntersectionSubsetOf(a, b, m) {
+		t.Fatal("a∩m ⊆ b∩m should hold")
+	}
+	if IntersectionSubsetOf(b, Of(2), m) {
+		t.Fatal("b∩m ⊄ {2}∩m")
+	}
+	if !IntersectionIntersects(a, b, m) {
+		t.Fatal("a∩b∩m non-empty")
+	}
+	if IntersectionIntersects(a, Of(3), m) {
+		t.Fatal("a∩{3}∩m empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Of(1, 2)
+	b := a.Clone()
+	b.Add(3)
+	if a.Has(3) {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := Of(1, 2, 3, 4)
+	count := 0
+	s.ForEach(func(e int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop failed: %d visits", count)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(0, 2).String(); got != "{0,2}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Set{}).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}

@@ -1,0 +1,105 @@
+// Package blif emits encoded machines as Berkeley Logic Interchange
+// Format netlists — the input format of SIS-era multi-level synthesis,
+// the downstream consumer of the paper's encodings. The encoded machine
+// becomes a .latch per state bit plus one .names table per next-state bit
+// and primary output, carrying the minimized PLA cover.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+)
+
+// WriteEncoded lowers machine m through encoding enc and writes the
+// resulting netlist. The PLA is minimized before emission.
+func WriteEncoded(w io.Writer, m *fsm.FSM, enc *core.Encoding) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	pla := m.Encode(enc)
+	pla.Minimize()
+	bits := enc.Bits
+
+	bw := bufio.NewWriter(w)
+	name := m.Name
+	if name == "" {
+		name = "fsm"
+	}
+	fmt.Fprintf(bw, ".model %s\n", sanitize(name))
+
+	var inputs, outputs []string
+	for i := 0; i < m.NumInputs; i++ {
+		inputs = append(inputs, fmt.Sprintf("in%d", i))
+	}
+	for o := 0; o < m.NumOutputs; o++ {
+		outputs = append(outputs, fmt.Sprintf("out%d", o))
+	}
+	fmt.Fprintf(bw, ".inputs %s\n", strings.Join(inputs, " "))
+	fmt.Fprintf(bw, ".outputs %s\n", strings.Join(outputs, " "))
+
+	// State registers: next-state signal ns<b> feeds latch output st<b>,
+	// initialized to the reset state's code bit.
+	reset := enc.Codes[m.Reset]
+	for b := 0; b < bits; b++ {
+		init := 0
+		if reset&(1<<uint(b)) != 0 {
+			init = 1
+		}
+		fmt.Fprintf(bw, ".latch ns%d st%d %d\n", b, b, init)
+	}
+
+	// Signal order within each .names: primary inputs then state bits,
+	// matching the PLA's input cube layout.
+	var sigIn []string
+	sigIn = append(sigIn, inputs...)
+	for b := 0; b < bits; b++ {
+		sigIn = append(sigIn, fmt.Sprintf("st%d", b))
+	}
+
+	emit := func(signal string, outBit uint64) {
+		var rows []string
+		for _, r := range pla.Rows {
+			if r.Out&outBit != 0 {
+				rows = append(rows, r.In.String(pla.NumInputs)+" 1")
+			}
+		}
+		fmt.Fprintf(bw, ".names %s %s\n", strings.Join(sigIn, " "), signal)
+		for _, row := range rows {
+			fmt.Fprintln(bw, row)
+		}
+		// A .names with no rows is the constant 0 in BLIF.
+	}
+	for b := 0; b < bits; b++ {
+		emit(fmt.Sprintf("ns%d", b), 1<<uint(b))
+	}
+	for o := 0; o < m.NumOutputs; o++ {
+		emit(fmt.Sprintf("out%d", o), 1<<uint(bits+o))
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// Format renders the netlist as a string.
+func Format(m *fsm.FSM, enc *core.Encoding) (string, error) {
+	var b strings.Builder
+	if err := WriteEncoded(&b, m, enc); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,86 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/hypercube"
+	"repro/internal/kiss"
+	"repro/internal/mv"
+)
+
+func TestWriteEncodedStructure(t *testing.T) {
+	m, err := kiss.ParseString(`
+.i 1
+.o 1
+0 off off 0
+1 off on  1
+0 on  on  1
+1 on  off 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = "toggler"
+	enc := core.NewEncoding(m.States, 1, []hypercube.Code{0, 1})
+	out, err := Format(m, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		".model toggler",
+		".inputs in0",
+		".outputs out0",
+		".latch ns0 st0 0",
+		".names in0 st0 ns0",
+		".names in0 st0 out0",
+		".end",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("missing %q in:\n%s", w, out)
+		}
+	}
+	// Every cube row must have input width 2 (1 primary + 1 state bit).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(line, " 1") && !strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 || len(fields[0]) != 2 {
+				t.Fatalf("bad cube row %q", line)
+			}
+		}
+	}
+}
+
+func TestWriteEncodedSuite(t *testing.T) {
+	m, err := fsm.GenerateByName("dk512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := mv.GenerateConstraints(m, mv.OutputOptions{MaxDominance: 8, MaxDisjunctive: 3})
+	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format(m, res.Encoding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One latch per code bit; names for all state bits and outputs.
+	if got := strings.Count(out, ".latch"); got != res.Encoding.Bits {
+		t.Fatalf("%d latches for %d bits", got, res.Encoding.Bits)
+	}
+	if got := strings.Count(out, ".names"); got != res.Encoding.Bits+m.NumOutputs {
+		t.Fatalf("%d .names blocks, want %d", got, res.Encoding.Bits+m.NumOutputs)
+	}
+	if !strings.Contains(out, ".end") {
+		t.Fatal("missing .end")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("a b/c") != "a_b_c" {
+		t.Fatalf("sanitize: %q", sanitize("a b/c"))
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/cover"
+	"repro/internal/dichotomy"
+	"repro/internal/hypercube"
+	"repro/internal/prime"
+)
+
+// ErrInfeasible is returned by the exact encoder when the constraints admit
+// no encoding.
+var ErrInfeasible = errors.New("core: constraints are infeasible")
+
+// ExactOptions tunes the exact encoder.
+type ExactOptions struct {
+	// Prime configures maximal-compatible generation (engine, limit).
+	Prime prime.Options
+	// Cover configures the final unate covering solve.
+	Cover cover.Options
+	// Exhaustive, when true, bypasses prime generation and enumerates
+	// every valid total encoding column (2^n - 2 candidates); only
+	// feasible for small symbol counts but globally optimal by
+	// construction. Used as ground truth in tests.
+	Exhaustive bool
+}
+
+// ExactResult is the output of ExactEncode.
+type ExactResult struct {
+	Encoding *Encoding
+	// Seeds, Raised and Primes expose the pipeline stages (Figure 7).
+	Seeds  []dichotomy.D
+	Raised []dichotomy.D
+	Primes []dichotomy.D
+	// SelectedColumns are the covering columns chosen (already completed
+	// into total columns).
+	SelectedColumns []dichotomy.D
+	// Optimal is true when the covering solver proved minimality over the
+	// candidate column pool.
+	Optimal bool
+}
+
+// ExactEncode solves P-2: it finds codes of minimum length satisfying all
+// input and output constraints (Figure 7), or returns ErrInfeasible.
+//
+// Pipeline: generate initial encoding-dichotomies; delete invalid ones;
+// maximally raise the rest, deleting any that become invalid; check
+// coverage (Theorem 6.1); generate prime encoding-dichotomies from the
+// raised set; re-raise and validity-filter the primes; exactly cover the
+// initial dichotomies with the valid primes; derive the codes from the
+// chosen columns.
+//
+// In addition to the paper's pipeline the candidate pool always includes
+// the raised dichotomies themselves: primes are unions of compatible raised
+// dichotomies and a union can be invalidated by constraint interaction even
+// when each piece is individually realizable, so retaining the pieces
+// guarantees a cover exists whenever CheckFeasible succeeds.
+func ExactEncode(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	if cs.HasExtensionConstraints() {
+		return nil, fmt.Errorf("core: ExactEncode does not handle distance-2/non-face/chain constraints; use ExactEncodeExtended")
+	}
+	n := cs.N()
+	if n == 0 {
+		return &ExactResult{Encoding: NewEncoding(cs.Syms, 0, nil), Optimal: true}, nil
+	}
+
+	seeds := dichotomy.Initial(cs)
+	raised := dichotomy.ValidRaised(seeds, cs)
+	for _, i := range seeds {
+		if !dichotomy.CoveredBySome(i, raised) {
+			return nil, ErrInfeasible
+		}
+	}
+
+	var candidates []dichotomy.D
+	var err error
+	if opts.Exhaustive {
+		candidates = enumerateValidColumns(cs)
+	} else {
+		candidates, err = prime.Generate(raised, opts.Prime)
+		if err != nil {
+			return nil, err
+		}
+		// Re-raise each prime: unions of raised dichotomies may imply new
+		// placements; primes that contradict are discarded. Retain the
+		// raised seeds themselves as fallback columns.
+		candidates = dichotomy.ValidRaised(candidates, cs)
+		candidates = dedupe(append(candidates, raised...))
+	}
+
+	coverOpts := opts.Cover
+	if coverOpts.LowerBound == 0 {
+		// No encoding can use fewer than ceil(log2 n) columns: uniqueness
+		// rows force pairwise-distinct codes. Lets the search stop early.
+		coverOpts.LowerBound = hypercube.MinBits(n)
+	}
+	sol, err := coverSeeds(seeds, candidates, coverOpts)
+	if err != nil {
+		if errors.Is(err, cover.ErrInfeasible) {
+			return nil, ErrInfeasible
+		}
+		return nil, err
+	}
+
+	cols := make([]dichotomy.D, 0, len(sol.Cols))
+	for _, c := range sol.Cols {
+		cols = append(cols, candidates[c])
+	}
+	enc := FromColumns(cs.Syms, cols)
+	res := &ExactResult{
+		Encoding:        enc,
+		Seeds:           seeds,
+		Raised:          raised,
+		Primes:          candidates,
+		SelectedColumns: cols,
+		Optimal:         sol.Optimal,
+	}
+	return res, nil
+}
+
+// coverSeeds builds and solves the unate covering of the canonical seed
+// rows by the candidate columns.
+func coverSeeds(seeds, candidates []dichotomy.D, opts cover.Options) (cover.Solution, error) {
+	rows := dichotomy.Rows(seeds)
+	p := cover.Problem{NumCols: len(candidates), RowCols: make([][]int, len(rows))}
+	for ri, r := range rows {
+		for ci, c := range candidates {
+			if c.Covers(r) {
+				p.RowCols[ri] = append(p.RowCols[ri], ci)
+			}
+		}
+	}
+	return p.SolveExact(opts)
+}
+
+// enumerateValidColumns returns every total encoding column over n symbols
+// that satisfies the output constraints, excluding the all-0 and all-1
+// columns which carry no information (Section 4).
+func enumerateValidColumns(cs *constraint.Set) []dichotomy.D {
+	n := cs.N()
+	if n > 22 {
+		panic("core: exhaustive enumeration limited to 22 symbols")
+	}
+	var out []dichotomy.D
+	for pat := uint64(1); pat < (uint64(1)<<uint(n))-1; pat++ {
+		var d dichotomy.D
+		for s := 0; s < n; s++ {
+			if pat&(1<<uint(s)) != 0 {
+				d.R.Add(s)
+			} else {
+				d.L.Add(s)
+			}
+		}
+		if dichotomy.Valid(d, cs) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// dedupe removes duplicate dichotomies (orientation sensitive), preserving
+// first occurrence order.
+func dedupe(ds []dichotomy.D) []dichotomy.D {
+	seen := make(map[string]bool, len(ds))
+	var out []dichotomy.D
+	for _, d := range ds {
+		k := d.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/cover"
+	"repro/internal/dichotomy"
+	"repro/internal/hypercube"
+	"repro/internal/prime"
+)
+
+// ExactEncodeExtended solves P-2 in the presence of the Section-8 extension
+// constraints. Distance-2 and non-face constraints are lowered to extra
+// binate clauses on the final covering step, as sketched in Sections 8.2
+// and 8.3:
+//
+//   - distance-2 (a,b): at least two selected columns must separate a and
+//     b; encoded as the clause family {∨(S∖{s}) : s ∈ S} over the set S of
+//     separating candidate columns.
+//   - non-face (F): some symbol outside F must intrude into F's face, i.e.
+//     for some non-member t no selected column may separate F from t;
+//     encoded with one zero-cost auxiliary variable u_t per non-member:
+//     (∨_t u_t) ∧ (¬u_t ∨ ¬p) for every candidate column p separating F
+//     from t.
+//
+// Chain constraints are *not* lowered — the paper leaves them open
+// (Section 8.4); SolveWithChains provides a direct small-scale search.
+func ExactEncodeExtended(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cs.Chains) > 0 {
+		return nil, fmt.Errorf("core: chain constraints are not expressible as covering clauses (Section 8.4); use SolveWithChains")
+	}
+	n := cs.N()
+	if n == 0 {
+		return &ExactResult{Encoding: NewEncoding(cs.Syms, 0, nil), Optimal: true}, nil
+	}
+
+	// Base pipeline on the input/output constraints only.
+	base := cs.Clone()
+	base.Distance2s = nil
+	base.NonFaces = nil
+
+	seeds := dichotomy.Initial(base)
+	raised := dichotomy.ValidRaised(seeds, base)
+	for _, i := range seeds {
+		if !dichotomy.CoveredBySome(i, raised) {
+			return nil, ErrInfeasible
+		}
+	}
+	var candidates []dichotomy.D
+	var err error
+	if opts.Exhaustive {
+		candidates = enumerateValidColumns(base)
+	} else {
+		candidates, err = prime.Generate(raised, opts.Prime)
+		if err != nil {
+			return nil, err
+		}
+		candidates = dichotomy.ValidRaised(candidates, base)
+		candidates = dedupe(append(candidates, raised...))
+	}
+
+	// A column only reliably separates a pair or isolates a face when the
+	// placement survives completion: completion sends unassigned symbols
+	// to the right block, so separation of (a,b) needs one of them in L.
+	completed := make([]dichotomy.D, len(candidates))
+	for i, c := range candidates {
+		completed[i] = complete(c, n)
+	}
+
+	rows := dichotomy.Rows(seeds)
+	p := cover.BinateProblem{NumCols: len(candidates) /* aux appended below */}
+	for _, r := range rows {
+		var clause []cover.Lit
+		for ci, c := range candidates {
+			if c.Covers(r) {
+				clause = append(clause, cover.Lit{Col: ci})
+			}
+		}
+		p.Clauses = append(p.Clauses, clause)
+	}
+
+	// Distance-2 clauses.
+	for _, d2 := range cs.Distance2s {
+		var sep []int
+		for ci := range candidates {
+			if completed[ci].Separates(d2.A, d2.B) {
+				sep = append(sep, ci)
+			}
+		}
+		if len(sep) < 2 {
+			return nil, ErrInfeasible
+		}
+		for skip := range sep {
+			var clause []cover.Lit
+			for i, c := range sep {
+				if i != skip {
+					clause = append(clause, cover.Lit{Col: c})
+				}
+			}
+			p.Clauses = append(p.Clauses, clause)
+		}
+	}
+
+	// Non-face clauses with zero-cost auxiliaries.
+	nAux := 0
+	costs := make([]int, len(candidates))
+	for i := range costs {
+		costs[i] = 1
+	}
+	for _, nf := range cs.NonFaces {
+		var auxClause []cover.Lit
+		for t := 0; t < n; t++ {
+			if nf.Members.Has(t) {
+				continue
+			}
+			aux := len(candidates) + nAux
+			nAux++
+			costs = append(costs, 0)
+			auxClause = append(auxClause, cover.Lit{Col: aux})
+			for ci, c := range completed {
+				// Column ci separates F from t when F lies in one block
+				// and t in the other.
+				if (nf.Members.SubsetOf(c.L) && c.R.Has(t)) ||
+					(nf.Members.SubsetOf(c.R) && c.L.Has(t)) {
+					p.Clauses = append(p.Clauses, []cover.Lit{
+						{Col: aux, Neg: true}, {Col: ci, Neg: true},
+					})
+				}
+			}
+		}
+		if len(auxClause) == 0 {
+			return nil, ErrInfeasible
+		}
+		p.Clauses = append(p.Clauses, auxClause)
+	}
+	p.NumCols = len(candidates) + nAux
+	p.Cost = costs
+
+	sol, err := p.Solve(opts.Cover)
+	if err != nil {
+		if errors.Is(err, cover.ErrBinateInfeasible) {
+			return nil, ErrInfeasible
+		}
+		return nil, err
+	}
+	var cols []dichotomy.D
+	for _, c := range sol.Selected {
+		if c < len(candidates) {
+			cols = append(cols, candidates[c])
+		}
+	}
+	enc := FromColumns(cs.Syms, cols)
+	return &ExactResult{
+		Encoding:        enc,
+		Seeds:           seeds,
+		Raised:          raised,
+		Primes:          candidates,
+		SelectedColumns: cols,
+		Optimal:         sol.Optimal,
+	}, nil
+}
+
+// complete returns the total column obtained by sending every unassigned
+// symbol of d to the right block.
+func complete(d dichotomy.D, n int) dichotomy.D {
+	c := d.Clone()
+	for s := 0; s < n; s++ {
+		if !c.L.Has(s) && !c.R.Has(s) {
+			c.R.Add(s)
+		}
+	}
+	return c
+}
+
+// SolveWithChains performs a direct branch-and-bound search for codes
+// satisfying a constraint set that includes chain constraints, for small
+// symbol counts. It searches code lengths from the information-theoretic
+// minimum upward to maxBits and returns the first satisfying assignment
+// found. Exponential — a demonstration of the Section-8.4 open problem, not
+// a scalable algorithm.
+func SolveWithChains(cs *constraint.Set, maxBits int) (*Encoding, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	n := cs.N()
+	if n > 14 {
+		return nil, fmt.Errorf("core: SolveWithChains limited to 14 symbols, got %d", n)
+	}
+	for bits := hypercube.MinBits(n); bits <= maxBits; bits++ {
+		codes := make([]hypercube.Code, n)
+		used := make(map[hypercube.Code]bool, n)
+		if assignChainSearch(cs, bits, 0, codes, used) {
+			return NewEncoding(cs.Syms, bits, codes), nil
+		}
+	}
+	return nil, ErrInfeasible
+}
+
+func assignChainSearch(cs *constraint.Set, bits, next int, codes []hypercube.Code, used map[hypercube.Code]bool) bool {
+	n := cs.N()
+	if next == n {
+		enc := NewEncoding(cs.Syms, bits, codes)
+		return len(Verify(cs, enc)) == 0
+	}
+	limit := hypercube.Code(1) << uint(bits)
+	for c := hypercube.Code(0); c < limit; c++ {
+		if used[c] {
+			continue
+		}
+		codes[next] = c
+		if !partialOK(cs, bits, next, codes) {
+			continue
+		}
+		used[c] = true
+		if assignChainSearch(cs, bits, next+1, codes, used) {
+			return true
+		}
+		delete(used, c)
+	}
+	return false
+}
+
+// partialOK prunes assignments violating pairwise-checkable constraints
+// among the first next+1 symbols.
+func partialOK(cs *constraint.Set, bits, next int, codes []hypercube.Code) bool {
+	assigned := func(s int) bool { return s <= next }
+	for _, d := range cs.Dominances {
+		if assigned(d.Big) && assigned(d.Small) && !hypercube.Covers(codes[d.Big], codes[d.Small]) {
+			return false
+		}
+	}
+	for _, d := range cs.Distance2s {
+		if assigned(d.A) && assigned(d.B) && hypercube.Distance(codes[d.A], codes[d.B]) < 2 {
+			return false
+		}
+	}
+	mask := hypercube.Code(1)<<uint(bits) - 1
+	for _, ch := range cs.Chains {
+		for i := 0; i+1 < len(ch.Seq); i++ {
+			a, b := ch.Seq[i], ch.Seq[i+1]
+			if assigned(a) && assigned(b) && codes[b] != (codes[a]+1)&mask {
+				return false
+			}
+		}
+	}
+	return true
+}

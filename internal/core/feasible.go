@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/constraint"
+	"repro/internal/dichotomy"
+)
+
+// Feasibility reports the outcome of the polynomial satisfiability check of
+// Theorem 6.1 together with its intermediate artifacts, which the paper's
+// Figure-4 walk-through displays.
+type Feasibility struct {
+	Feasible bool
+	// Seeds is the set I of initial encoding-dichotomies (both
+	// orientations).
+	Seeds []dichotomy.D
+	// Raised is the set D of valid, maximally raised dichotomies.
+	Raised []dichotomy.D
+	// Uncovered lists the members of I not covered by any member of D;
+	// empty iff Feasible.
+	Uncovered []dichotomy.D
+}
+
+// CheckFeasible decides P-1: whether the input and output constraints admit
+// any encoding. The constraints are satisfiable iff every initial
+// encoding-dichotomy is covered by some valid, maximally raised
+// encoding-dichotomy (Theorem 6.1). The algorithm is polynomial in the
+// number of symbols and constraints (Figure 6).
+func CheckFeasible(cs *constraint.Set) Feasibility {
+	seeds := dichotomy.Initial(cs)
+	raised := dichotomy.ValidRaised(seeds, cs)
+	var uncovered []dichotomy.D
+	for _, i := range seeds {
+		if !dichotomy.CoveredBySome(i, raised) {
+			uncovered = append(uncovered, i)
+		}
+	}
+	return Feasibility{
+		Feasible:  len(uncovered) == 0,
+		Seeds:     seeds,
+		Raised:    raised,
+		Uncovered: uncovered,
+	}
+}

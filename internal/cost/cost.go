@@ -1,0 +1,169 @@
+// Package cost implements the three P-3 cost functions of Section 7: the
+// number of face constraints violated by an encoding, and the number of
+// product terms (cubes) or literals in a two-level implementation of the
+// encoded constraints (Figure 9).
+//
+// For each face constraint I a characteristic function F_I is built whose
+// on-set holds the codes of the constraint's members, whose off-set holds
+// the codes of all other encoded symbols (except the constraint's encoding
+// don't-cares), and whose don't-care set holds the unused codes. Each F_I
+// is minimized with the espresso-lite engine; a satisfied constraint yields
+// exactly one product term.
+package cost
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/constraint"
+	"repro/internal/espresso"
+	"repro/internal/hypercube"
+)
+
+// Metric selects the objective minimized by the P-3 algorithms.
+type Metric int
+
+const (
+	// Violations counts unsatisfied face constraints.
+	Violations Metric = iota
+	// Cubes counts product terms of the encoded constraints.
+	Cubes
+	// Literals counts SOP literals of the encoded constraints — the
+	// multi-level cost approximation used with MIS-MV (Section 9).
+	Literals
+)
+
+// String names the metric for logs and flags.
+func (m Metric) String() string {
+	switch m {
+	case Violations:
+		return "violations"
+	case Cubes:
+		return "cubes"
+	case Literals:
+		return "literals"
+	default:
+		return "unknown"
+	}
+}
+
+// Assignment is a (possibly partial) encoding over a subset of the symbol
+// universe: codes are defined exactly for the symbols in Subset.
+type Assignment struct {
+	Bits   int
+	Subset bitset.Set
+	// Codes is indexed by symbol; entries outside Subset are ignored.
+	Codes []hypercube.Code
+}
+
+// FullAssignment wraps a complete encoding of n symbols.
+func FullAssignment(bits int, codes []hypercube.Code) Assignment {
+	var sub bitset.Set
+	for i := range codes {
+		sub.Add(i)
+	}
+	return Assignment{Bits: bits, Subset: sub, Codes: codes}
+}
+
+// CountViolations evaluates the violated-face-constraint metric for the
+// constraints of cs restricted to the assignment's subset (Section 7.1
+// evaluates restricted constraints with a global view).
+func CountViolations(cs *constraint.Set, a Assignment) int {
+	violated := 0
+	for _, f := range cs.Faces {
+		members := bitset.Intersect(f.Members, a.Subset)
+		if members.Len() < 2 {
+			continue
+		}
+		if !faceSatisfied(f, members, cs.N(), a) {
+			violated++
+		}
+	}
+	return violated
+}
+
+func faceSatisfied(f constraint.Face, members bitset.Set, n int, a Assignment) bool {
+	var codes []hypercube.Code
+	members.ForEach(func(s int) bool {
+		codes = append(codes, a.Codes[s])
+		return true
+	})
+	face := hypercube.Span(a.Bits, codes...)
+	ok := true
+	a.Subset.ForEach(func(s int) bool {
+		if members.Has(s) || f.DontCare.Has(s) || f.Members.Has(s) {
+			return true
+		}
+		if face.Contains(a.Codes[s]) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Result carries the two-level costs of an assignment.
+type Result struct {
+	Violations int
+	Cubes      int
+	Literals   int
+}
+
+// Evaluate computes all three metrics of Section 7 for the assignment. The
+// cube and literal counts sum the minimized per-constraint characteristic
+// functions, as in Figure 9.
+func Evaluate(cs *constraint.Set, a Assignment) Result {
+	r := Result{Violations: CountViolations(cs, a)}
+	for _, f := range cs.Faces {
+		members := bitset.Intersect(f.Members, a.Subset)
+		if members.Len() < 2 {
+			continue
+		}
+		g := minimizeFace(f, members, a)
+		r.Cubes += g.Size()
+		r.Literals += g.Literals()
+	}
+	return r
+}
+
+// Of evaluates a single metric.
+func Of(m Metric, cs *constraint.Set, a Assignment) int {
+	switch m {
+	case Violations:
+		return CountViolations(cs, a)
+	case Cubes:
+		return Evaluate(cs, a).Cubes
+	case Literals:
+		return Evaluate(cs, a).Literals
+	default:
+		panic("cost: unknown metric")
+	}
+}
+
+// minimizeFace builds and minimizes the characteristic function F_I of one
+// face constraint under the assignment.
+func minimizeFace(f constraint.Face, members bitset.Set, a Assignment) *espresso.Cover {
+	on := espresso.NewCover(a.Bits)
+	off := espresso.NewCover(a.Bits)
+	a.Subset.ForEach(func(s int) bool {
+		m := espresso.MintermCube(a.Bits, a.Codes[s])
+		switch {
+		case members.Has(s):
+			on.Add(m)
+		case f.DontCare.Has(s) || f.Members.Has(s):
+			// encoding don't-care of this constraint, or a member outside
+			// the subset restriction: leave in the DC set
+		default:
+			off.Add(m)
+		}
+		return true
+	})
+	if on.Size() == 0 {
+		return on
+	}
+	// DC set = everything that is neither on nor off (unused codes plus
+	// the constraint's encoding don't-cares).
+	both := on.Clone()
+	both.Cubes = append(both.Cubes, off.Cubes...)
+	dc := both.Complement()
+	return espresso.Minimize(on, dc, off)
+}

@@ -1,0 +1,130 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/hypercube"
+)
+
+// figure9Constraints is the Section-7 example: (e,f,c), (e,d,g), (a,b,d),
+// (a,g,f,d) over symbols a..g.
+func figure9Constraints() *constraint.Set {
+	return constraint.MustParse(`
+		symbols a b c d e f g
+		face e f c
+		face e d g
+		face a b d
+		face a g f d
+	`)
+}
+
+// TestFigure9FourBitEncoding checks the paper's 4-bit solution: a=1010,
+// b=0010, c=0011, d=1110, e=0111, f=1011, g=1100 satisfies all four
+// constraints, so the encoded constraints cost exactly 4 cubes. The
+// minimizer exploits the unused codes as don't-cares, implementing the
+// constraints in 5 literals (the spanned faces alone would need 6).
+func TestFigure9FourBitEncoding(t *testing.T) {
+	cs := figure9Constraints()
+	codes := codesFor(t, cs, map[string]uint64{
+		"a": 0b1010, "b": 0b0010, "c": 0b0011, "d": 0b1110,
+		"e": 0b0111, "f": 0b1011, "g": 0b1100,
+	})
+	a := FullAssignment(4, codes)
+	r := Evaluate(cs, a)
+	if r.Violations != 0 {
+		t.Fatalf("the paper's 4-bit encoding satisfies all constraints, got %d violations", r.Violations)
+	}
+	if r.Cubes != 4 {
+		t.Fatalf("4 satisfied constraints cost 4 cubes, got %d", r.Cubes)
+	}
+	if r.Literals != 5 {
+		t.Fatalf("expected 5 literals (1+1+2+1), got %d", r.Literals)
+	}
+}
+
+// TestFigure9ThreeBitImpossible checks the premise of Figure 9: no 3-bit
+// encoding satisfies all four constraints.
+func TestFigure9ThreeBitImpossible(t *testing.T) {
+	cs := figure9Constraints()
+	n := cs.N()
+	codes := make([]hypercube.Code, n)
+	used := [8]bool{}
+	var rec func(s int) bool
+	rec = func(s int) bool {
+		if s == n {
+			return CountViolations(cs, FullAssignment(3, codes)) == 0
+		}
+		for c := 0; c < 8; c++ {
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			codes[s] = hypercube.Code(c)
+			if rec(s + 1) {
+				return true
+			}
+			used[c] = false
+		}
+		return false
+	}
+	if rec(0) {
+		t.Fatalf("found a 3-bit encoding satisfying all constraints; the paper requires 4 bits")
+	}
+}
+
+// TestFigure9Cost reproduces the figure's cost evaluation: there exists a
+// 3-bit encoding violating exactly 3 face constraints that needs 7 cubes
+// and 14 literals to implement the encoded constraints.
+func TestFigure9Cost(t *testing.T) {
+	enc, r := SearchFigure9(figure9Constraints())
+	if enc == nil {
+		t.Fatal("no 3-bit encoding with the paper's cost profile (3 violated, 7 cubes, 14 literals) exists")
+	}
+	if r.Violations != 3 || r.Cubes != 7 || r.Literals != 14 {
+		t.Fatalf("SearchFigure9 returned wrong profile: %+v", r)
+	}
+}
+
+// TestSatisfiedConstraintIsOneCube checks the Section-7 claim directly: a
+// satisfied constraint minimizes to a single product term, a violated one
+// to at least two.
+func TestSatisfiedConstraintIsOneCube(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c d
+		face a b
+		face a c
+	`)
+	codes := codesFor(t, cs, map[string]uint64{"a": 0b00, "b": 0b01, "c": 0b10, "d": 0b11})
+	// Face (a,b) spans -0? a=00,b=01: span mask fixes bit1=0 → face 0-;
+	// c=10 outside, d=11 outside: satisfied.
+	// Face (a,c): a=00,c=10 span fixes bit0=0 → face -0; b=01? bit0=1
+	// outside; d=11 outside: satisfied.
+	r := Evaluate(cs, FullAssignment(2, codes))
+	if r.Violations != 0 || r.Cubes != 2 {
+		t.Fatalf("both constraints satisfied ⇒ 2 cubes, got %+v", r)
+	}
+
+	// Now a violated constraint: put c inside the face of (a,b).
+	codes2 := codesFor(t, cs, map[string]uint64{"a": 0b00, "b": 0b11, "c": 0b01, "d": 0b10})
+	r2 := Evaluate(cs, FullAssignment(2, codes2))
+	if r2.Violations == 0 {
+		t.Fatal("expected a violation")
+	}
+	if r2.Cubes < 3 {
+		t.Fatalf("a violated constraint needs at least 2 cubes, got total %d", r2.Cubes)
+	}
+}
+
+func codesFor(t *testing.T, cs *constraint.Set, m map[string]uint64) []hypercube.Code {
+	t.Helper()
+	codes := make([]hypercube.Code, cs.N())
+	for name, c := range m {
+		i, ok := cs.Syms.Lookup(name)
+		if !ok {
+			t.Fatalf("unknown symbol %s", name)
+		}
+		codes[i] = c
+	}
+	return codes
+}

@@ -1,0 +1,127 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/hypercube"
+)
+
+// TestEvaluatorMatchesDirect: the memoizing evaluator must agree with the
+// direct evaluation on random assignments, and must hit its cache on
+// repeats.
+func TestEvaluatorMatchesDirect(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c d e f g
+		face e f c
+		face e d g
+		face a b [ c ] d
+	`)
+	ev := NewEvaluator(cs)
+	rng := rand.New(rand.NewSource(71))
+	n := cs.N()
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(8)
+		codes := make([]hypercube.Code, n)
+		for i := 0; i < n; i++ {
+			codes[i] = hypercube.Code(perm[i])
+		}
+		a := FullAssignment(3, codes)
+		direct := Evaluate(cs, a)
+		cached := ev.Evaluate(a)
+		if direct != cached {
+			t.Fatalf("trial %d: direct %+v != cached %+v", trial, direct, cached)
+		}
+		// Evaluate again: all faces must hit.
+		before := ev.Misses
+		if ev.Evaluate(a) != direct {
+			t.Fatal("repeat evaluation changed")
+		}
+		if ev.Misses != before {
+			t.Fatal("repeat evaluation must be fully cached")
+		}
+	}
+	if ev.Hits == 0 {
+		t.Fatal("cache never hit across trials")
+	}
+}
+
+// TestEvaluatorSwapInvariance: swapping the codes of two symbols that play
+// the same role for a constraint must hit the cache (the key is a code
+// multiset per role).
+func TestEvaluatorSwapInvariance(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c d
+		face a b
+	`)
+	ev := NewEvaluator(cs)
+	codes := []hypercube.Code{0, 1, 2, 3}
+	ev.Evaluate(FullAssignment(2, codes))
+	misses := ev.Misses
+	// Swap the two off-set symbols c and d: same multiset, must hit.
+	codes[2], codes[3] = codes[3], codes[2]
+	ev.Evaluate(FullAssignment(2, codes))
+	if ev.Misses != misses {
+		t.Fatal("role-preserving swap must be a cache hit")
+	}
+	// Swap a member with an off symbol: different key, must miss.
+	codes[0], codes[2] = codes[2], codes[0]
+	ev.Evaluate(FullAssignment(2, codes))
+	if ev.Misses == misses {
+		t.Fatal("role-changing swap must be a cache miss")
+	}
+}
+
+func TestOfMatchesEvaluate(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c d
+		face a b
+		face a c
+	`)
+	codes := []hypercube.Code{0, 3, 1, 2}
+	a := FullAssignment(2, codes)
+	r := Evaluate(cs, a)
+	if Of(Violations, cs, a) != r.Violations ||
+		Of(Cubes, cs, a) != r.Cubes ||
+		Of(Literals, cs, a) != r.Literals {
+		t.Fatal("Of must agree with Evaluate")
+	}
+	ev := NewEvaluator(cs)
+	if ev.Of(Violations, a) != r.Violations ||
+		ev.Of(Cubes, a) != r.Cubes ||
+		ev.Of(Literals, a) != r.Literals {
+		t.Fatal("Evaluator.Of must agree with Evaluate")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Violations.String() != "violations" || Cubes.String() != "cubes" || Literals.String() != "literals" {
+		t.Fatal("metric names wrong")
+	}
+	if Metric(42).String() != "unknown" {
+		t.Fatal("unknown metric must render as unknown")
+	}
+}
+
+// TestPartialAssignment: restricted subsets evaluate only the surviving
+// constraints.
+func TestPartialAssignment(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c d
+		face a b
+		face c d
+	`)
+	codes := make([]hypercube.Code, 4)
+	codes[0], codes[1] = 0, 1
+	a := Assignment{Bits: 1, Codes: codes}
+	for _, s := range []string{"a", "b"} {
+		i, _ := cs.Syms.Lookup(s)
+		a.Subset.Add(i)
+	}
+	r := Evaluate(cs, a)
+	// Face (c,d) has fewer than 2 members in the subset: skipped.
+	if r.Cubes != 1 || r.Violations != 0 {
+		t.Fatalf("restricted evaluation wrong: %+v", r)
+	}
+}

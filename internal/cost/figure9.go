@@ -1,0 +1,51 @@
+package cost
+
+import (
+	"repro/internal/constraint"
+	"repro/internal/hypercube"
+)
+
+// SearchFigure9 searches the 3-bit encodings of the Figure-9 constraint set
+// for one with the paper's cost profile — exactly 3 violated face
+// constraints, 7 cubes and 14 literals — and returns it together with its
+// evaluation. It returns (nil, Result{}) when no such encoding exists. Used
+// by the Figure-9 regeneration harness and its test.
+func SearchFigure9(cs *constraint.Set) (*Assignment, Result) {
+	n := cs.N()
+	codes := make([]hypercube.Code, n)
+	used := [8]bool{}
+	var found *Assignment
+	var foundRes Result
+	var rec func(s int) bool
+	rec = func(s int) bool {
+		if s == n {
+			a := FullAssignment(3, codes)
+			if CountViolations(cs, a) != 3 {
+				return false
+			}
+			r := Evaluate(cs, a)
+			if r.Cubes == 7 && r.Literals == 14 {
+				cp := make([]hypercube.Code, n)
+				copy(cp, codes)
+				fa := FullAssignment(3, cp)
+				found, foundRes = &fa, r
+				return true
+			}
+			return false
+		}
+		for c := 0; c < 8; c++ {
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			codes[s] = hypercube.Code(c)
+			if rec(s + 1) {
+				return true
+			}
+			used[c] = false
+		}
+		return false
+	}
+	rec(0)
+	return found, foundRes
+}

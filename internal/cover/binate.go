@@ -1,0 +1,228 @@
+package cover
+
+import (
+	"errors"
+	"sort"
+)
+
+// Lit is a literal of a binate covering clause over column variables.
+type Lit struct {
+	Col int
+	Neg bool
+}
+
+// BinateProblem asks for a minimum-cost assignment of column variables such
+// that every clause holds: a clause is satisfied when some positive literal
+// is assigned true or some negative literal is assigned false (Section 4).
+type BinateProblem struct {
+	NumCols int
+	// Cost per column charged when the column is selected (assigned
+	// true); nil means unit costs.
+	Cost []int
+	// Clauses in product-of-sums form.
+	Clauses [][]Lit
+}
+
+// BinateSolution is the result of a binate solve.
+type BinateSolution struct {
+	// Selected lists columns assigned true, ascending.
+	Selected []int
+	Cost     int
+	Optimal  bool
+}
+
+// ErrBinateInfeasible is returned when no assignment satisfies all clauses.
+var ErrBinateInfeasible = errors.New("cover: binate problem infeasible")
+
+func (p *BinateProblem) cost(c int) int {
+	if p.Cost == nil {
+		return 1
+	}
+	return p.Cost[c]
+}
+
+const (
+	unassigned int8 = iota
+	assignedTrue
+	assignedFalse
+)
+
+type binateSolver struct {
+	p        *BinateProblem
+	assign   []int8
+	maxNodes int
+	nodes    int
+	bestCost int
+	best     []int8
+	found    bool
+}
+
+// Solve runs branch-and-bound minimization. Variables left unassigned in a
+// satisfying partial assignment default to false (cost 0).
+func (p *BinateProblem) Solve(opts Options) (BinateSolution, error) {
+	s := &binateSolver{
+		p:        p,
+		assign:   make([]int8, p.NumCols),
+		maxNodes: opts.MaxNodes,
+		bestCost: 1 << 30,
+	}
+	if s.maxNodes <= 0 {
+		s.maxNodes = DefaultMaxNodes
+	}
+	s.search(0)
+	if !s.found {
+		return BinateSolution{}, ErrBinateInfeasible
+	}
+	var sel []int
+	cost := 0
+	for c, a := range s.best {
+		if a == assignedTrue {
+			sel = append(sel, c)
+			cost += p.cost(c)
+		}
+	}
+	sort.Ints(sel)
+	return BinateSolution{Selected: sel, Cost: cost, Optimal: s.nodes <= s.maxNodes}, nil
+}
+
+// clauseState classifies a clause under the current partial assignment.
+// It returns (satisfied, unassigned literal count, some unassigned literal).
+func (s *binateSolver) clauseState(cl []Lit) (bool, int, Lit) {
+	n := 0
+	var unit Lit
+	for _, l := range cl {
+		switch s.assign[l.Col] {
+		case unassigned:
+			n++
+			unit = l
+		case assignedTrue:
+			if !l.Neg {
+				return true, 0, Lit{}
+			}
+		case assignedFalse:
+			if l.Neg {
+				return true, 0, Lit{}
+			}
+		}
+	}
+	return false, n, unit
+}
+
+// propagate applies unit propagation; it returns false on conflict and the
+// list of columns assigned (for undo).
+func (s *binateSolver) propagate(cost *int) (bool, []int) {
+	var trail []int
+	for {
+		progress := false
+		for _, cl := range s.p.Clauses {
+			sat, n, unit := s.clauseState(cl)
+			if sat {
+				continue
+			}
+			switch n {
+			case 0:
+				return false, trail
+			case 1:
+				if unit.Neg {
+					s.assign[unit.Col] = assignedFalse
+				} else {
+					s.assign[unit.Col] = assignedTrue
+					*cost += s.p.cost(unit.Col)
+				}
+				trail = append(trail, unit.Col)
+				progress = true
+			}
+		}
+		if !progress {
+			return true, trail
+		}
+	}
+}
+
+func (s *binateSolver) undo(trail []int, cost *int) {
+	for _, c := range trail {
+		if s.assign[c] == assignedTrue {
+			*cost -= s.p.cost(c)
+		}
+		s.assign[c] = unassigned
+	}
+}
+
+// currentCost computes the cost of columns assigned true.
+func (s *binateSolver) currentCost() int {
+	cost := 0
+	for c, a := range s.assign {
+		if a == assignedTrue {
+			cost += s.p.cost(c)
+		}
+	}
+	return cost
+}
+
+func (s *binateSolver) search(cost int) {
+	s.nodes++
+	if s.nodes > s.maxNodes || cost >= s.bestCost {
+		return
+	}
+	ok, trail := s.propagate(&cost)
+	if !ok {
+		s.undo(trail, &cost)
+		return
+	}
+	if cost >= s.bestCost {
+		s.undo(trail, &cost)
+		return
+	}
+	// Find an unsatisfied clause with the fewest unassigned literals.
+	bestClause := -1
+	bestN := 1 << 30
+	for i, cl := range s.p.Clauses {
+		sat, n, _ := s.clauseState(cl)
+		if sat {
+			continue
+		}
+		if n < bestN {
+			bestN, bestClause = n, i
+		}
+	}
+	if bestClause < 0 {
+		// All clauses satisfied.
+		if cost < s.bestCost {
+			s.bestCost = cost
+			s.best = append([]int8(nil), s.assign...)
+			s.found = true
+		}
+		s.undo(trail, &cost)
+		return
+	}
+	// Branch on an unassigned literal of that clause: satisfy it first via
+	// the cheaper polarity.
+	var v int = -1
+	var neg bool
+	for _, l := range s.p.Clauses[bestClause] {
+		if s.assign[l.Col] == unassigned {
+			v, neg = l.Col, l.Neg
+			break
+		}
+	}
+	branches := [2]int8{assignedFalse, assignedTrue}
+	if !neg {
+		// Positive literal: satisfying it costs; try true last only if
+		// false (deferring cost) fails to prune better. Cheaper branch
+		// first is false only if the literal is negative; for a positive
+		// literal we must eventually pay, but trying true first satisfies
+		// the clause immediately and tends to find feasible solutions
+		// sooner.
+		branches = [2]int8{assignedTrue, assignedFalse}
+	}
+	for _, b := range branches {
+		s.assign[v] = b
+		extra := 0
+		if b == assignedTrue {
+			extra = s.p.cost(v)
+		}
+		s.search(cost + extra)
+		s.assign[v] = unassigned
+	}
+	s.undo(trail, &cost)
+}

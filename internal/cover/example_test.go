@@ -1,0 +1,40 @@
+package cover_test
+
+import (
+	"fmt"
+
+	"repro/internal/cover"
+)
+
+// ExampleProblem_SolveExact solves a small unate covering problem exactly.
+func ExampleProblem_SolveExact() {
+	p := cover.Problem{
+		NumCols: 4,
+		RowCols: [][]int{
+			{0, 1},
+			{1, 2},
+			{2, 3},
+		},
+	}
+	sol, _ := p.SolveExact(cover.Options{})
+	fmt.Println("cost:", sol.Cost, "optimal:", sol.Optimal)
+	// Output:
+	// cost: 2 optimal: true
+}
+
+// ExampleBinateProblem_Solve solves a binate problem: selecting column 0
+// forbids column 1.
+func ExampleBinateProblem_Solve() {
+	p := cover.BinateProblem{
+		NumCols: 3,
+		Clauses: [][]cover.Lit{
+			{{Col: 0}, {Col: 1}},                       // cover: c0 or c1
+			{{Col: 0, Neg: true}, {Col: 2}},            // c0 -> c2
+			{{Col: 1, Neg: true}, {Col: 2, Neg: true}}, // c1 and c2 exclusive
+		},
+	}
+	sol, _ := p.Solve(cover.Options{})
+	fmt.Println("selected:", sol.Selected)
+	// Output:
+	// selected: [1]
+}

@@ -1,0 +1,621 @@
+// Package cover provides the covering-problem solvers the encoding
+// framework reduces to: an exact branch-and-bound unate covering solver with
+// the classical reductions (essential columns, row and column dominance,
+// maximal-independent-set lower bound), a greedy heuristic, and a binate
+// covering solver used by the Section-4 abstraction and the Section-8
+// extension constraints.
+package cover
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+)
+
+// Problem is a unate covering problem: choose a minimum-cost subset of
+// columns such that every row has at least one chosen column.
+type Problem struct {
+	NumCols int
+	// Cost per column; nil means unit costs.
+	Cost []int
+	// RowCols[r] lists the columns that cover row r.
+	RowCols [][]int
+}
+
+// Solution is the result of a covering run.
+type Solution struct {
+	Cols []int // selected columns, ascending
+	Cost int
+	// Optimal is true when the solver proved optimality (exact solve
+	// finished within its budgets).
+	Optimal bool
+}
+
+// Options tunes the exact solver.
+type Options struct {
+	// MaxNodes bounds branch-and-bound nodes; 0 means DefaultMaxNodes.
+	// When exceeded the best solution found so far is returned with
+	// Optimal=false.
+	MaxNodes int
+	// TimeLimit bounds wall-clock search time; 0 means no limit. On
+	// expiry the best solution found is returned with Optimal=false.
+	TimeLimit time.Duration
+	// DominanceLimit bounds when the quadratic row/column dominance
+	// reductions run inside search nodes (they always run at the root);
+	// 0 means DefaultDominanceLimit.
+	DominanceLimit int
+	// LowerBound, when positive, lets the search stop as soon as a
+	// solution of this cost is found (e.g. the information-theoretic
+	// ceil(log2 n) bound on code length).
+	LowerBound int
+}
+
+// DefaultMaxNodes bounds exact search effort.
+const DefaultMaxNodes = 200_000
+
+// DefaultDominanceLimit bounds when quadratic dominance checks run inside
+// search nodes.
+const DefaultDominanceLimit = 400
+
+// ErrInfeasible is returned when some row is covered by no column.
+var ErrInfeasible = errors.New("cover: infeasible (row with no covering column)")
+
+func (p *Problem) cost(c int) int {
+	if p.Cost == nil {
+		return 1
+	}
+	return p.Cost[c]
+}
+
+type solver struct {
+	p        *Problem
+	rowSets  []bitset.Set // rowSets[r]: columns covering r
+	colSets  []bitset.Set // colSets[c]: rows covered by c
+	maxNodes int
+	domLimit int
+	deadline time.Time
+	hasDL    bool
+	lb       int
+	nodes    int
+	bestCost int
+	bestSel  []int
+	found    bool
+	done     bool // stop flag: budget exhausted or lower bound met
+	budget   bool // true when a budget (not LB) stopped the search
+}
+
+// SolveExact solves the problem with branch and bound. If a budget is
+// exhausted, the best feasible solution found is returned with
+// Optimal=false. ErrInfeasible is returned when no cover exists.
+func (p *Problem) SolveExact(opts Options) (Solution, error) {
+	nRows := len(p.RowCols)
+	s := &solver{
+		p:        p,
+		maxNodes: opts.MaxNodes,
+		domLimit: opts.DominanceLimit,
+		lb:       opts.LowerBound,
+	}
+	if s.maxNodes <= 0 {
+		s.maxNodes = DefaultMaxNodes
+	}
+	if s.domLimit <= 0 {
+		s.domLimit = DefaultDominanceLimit
+	}
+	if opts.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opts.TimeLimit)
+		s.hasDL = true
+	}
+	s.rowSets = make([]bitset.Set, nRows)
+	s.colSets = make([]bitset.Set, p.NumCols)
+	for c := 0; c < p.NumCols; c++ {
+		s.colSets[c] = bitset.New(nRows)
+	}
+	for r, cols := range p.RowCols {
+		s.rowSets[r] = bitset.New(p.NumCols)
+		for _, c := range cols {
+			if c < 0 || c >= p.NumCols {
+				return Solution{}, fmt.Errorf("cover: row %d references column %d out of range", r, c)
+			}
+			s.rowSets[r].Add(c)
+			s.colSets[c].Add(r)
+		}
+		if len(cols) == 0 {
+			return Solution{}, ErrInfeasible
+		}
+	}
+
+	activeRows := bitset.New(nRows)
+	for r := 0; r < nRows; r++ {
+		activeRows.Add(r)
+	}
+	activeCols := bitset.New(p.NumCols)
+	for c := 0; c < p.NumCols; c++ {
+		activeCols.Add(c)
+	}
+
+	// Root simplifications: drop duplicate columns (same row coverage) and
+	// empty columns before any search.
+	s.dedupeColumns(activeRows, activeCols)
+
+	// Upper bound: several randomized-greedy runs plus a
+	// multiplicative-weights greedy loop, each cover cleaned by redundancy
+	// elimination; the incumbent drives branch-and-bound pruning.
+	best := -1
+	consider := func(g []int) {
+		if g == nil {
+			return
+		}
+		g = s.dropRedundant(activeRows, g)
+		if c := costOf(p, g); best < 0 || c < best {
+			best = c
+			s.bestSel = g
+			s.found = true
+		}
+	}
+	for variant := 0; variant < 8; variant++ {
+		g := s.greedyVariant(activeRows, activeCols, variant)
+		if g == nil && variant == 0 {
+			return Solution{}, ErrInfeasible
+		}
+		consider(g)
+	}
+	for _, g := range s.weightedGreedy(activeRows, activeCols, 24) {
+		consider(g)
+	}
+	s.bestCost = best
+
+	if s.lb <= 0 || s.bestCost > s.lb {
+		s.branch(activeRows, activeCols, nil, 0, true)
+	}
+
+	if !s.found {
+		return Solution{}, ErrInfeasible
+	}
+	sel := append([]int(nil), s.bestSel...)
+	sort.Ints(sel)
+	return Solution{Cols: sel, Cost: s.bestCost, Optimal: !s.budget}, nil
+}
+
+func costOf(p *Problem, sel []int) int {
+	total := 0
+	for _, c := range sel {
+		total += p.cost(c)
+	}
+	return total
+}
+
+// dedupeColumns removes duplicate and empty columns by hashing their row
+// coverage, keeping the cheapest representative.
+func (s *solver) dedupeColumns(rows, cols bitset.Set) {
+	type rep struct {
+		col  int
+		set  bitset.Set
+		cost int
+	}
+	byHash := map[uint64][]rep{}
+	cols.ForEach(func(c int) bool {
+		cs := s.colSets[c]
+		if bitset.IntersectLenUpTo(cs, rows, 1) == 0 {
+			cols.Remove(c)
+			return true
+		}
+		h := cs.Hash()
+		for _, r := range byHash[h] {
+			if r.set.Equal(cs) {
+				if s.p.cost(c) >= r.cost {
+					cols.Remove(c)
+				} else {
+					cols.Remove(r.col)
+				}
+				return true
+			}
+		}
+		byHash[h] = append(byHash[h], rep{c, cs, s.p.cost(c)})
+		return true
+	})
+}
+
+func (s *solver) expired() bool {
+	if s.done {
+		return true
+	}
+	if s.nodes > s.maxNodes {
+		s.done, s.budget = true, true
+		return true
+	}
+	if s.hasDL && s.nodes%256 == 0 && time.Now().After(s.deadline) {
+		s.done, s.budget = true, true
+		return true
+	}
+	return false
+}
+
+// branch explores one node; rows and cols are owned by the callee (cloned
+// by the caller).
+func (s *solver) branch(rows, cols bitset.Set, selected []int, cost int, root bool) {
+	s.nodes++
+	if s.expired() {
+		return
+	}
+
+	// Reduction loop.
+	for {
+		if cost >= s.bestCost {
+			return
+		}
+		if rows.IsEmpty() {
+			s.record(selected, cost)
+			return
+		}
+
+		// Essential columns and infeasibility in one scan.
+		essential := -1
+		infeasible := false
+		rows.ForEach(func(r int) bool {
+			switch bitset.IntersectLenUpTo(s.rowSets[r], cols, 2) {
+			case 0:
+				infeasible = true
+				return false
+			case 1:
+				e, _ := bitset.FirstOfIntersection(s.rowSets[r], cols)
+				essential = e
+				return false
+			}
+			return true
+		})
+		if infeasible {
+			return
+		}
+		if essential >= 0 {
+			selected = append(selected, essential)
+			cost += s.p.cost(essential)
+			rows.DifferenceWith(s.colSets[essential])
+			cols.Remove(essential)
+			continue
+		}
+
+		// Quadratic dominance reductions only at the root or on small
+		// cores.
+		nr, nc := rows.Len(), cols.Len()
+		changed := false
+		if root || nr <= s.domLimit {
+			changed = s.reduceRowDominance(rows, cols) || changed
+		}
+		if root || nc <= s.domLimit {
+			changed = s.reduceColDominance(rows, cols) || changed
+		}
+		root = false
+		if !changed {
+			break
+		}
+	}
+
+	if cost+s.lowerBound(rows, cols) >= s.bestCost {
+		return
+	}
+
+	// Branch on the columns of the hardest row (fewest candidates).
+	bestRow, bestLen := -1, 1<<30
+	rows.ForEach(func(r int) bool {
+		l := bitset.IntersectLenUpTo(s.rowSets[r], cols, bestLen)
+		if l < bestLen {
+			bestLen, bestRow = l, r
+		}
+		return true
+	})
+	type scored struct{ c, score int }
+	var order []scored
+	s.rowSets[bestRow].ForEach(func(c int) bool {
+		if cols.Has(c) {
+			order = append(order, scored{c, bitset.IntersectLen(s.colSets[c], rows)})
+		}
+		return true
+	})
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].c < order[j].c
+	})
+	remCols := cols.Clone()
+	for _, o := range order {
+		if s.expired() {
+			return
+		}
+		c := o.c
+		newRows := bitset.Difference(rows, s.colSets[c])
+		newCols := remCols.Clone()
+		newCols.Remove(c)
+		s.branch(newRows, newCols, append(selected, c), cost+s.p.cost(c), false)
+		// Solutions containing c have been fully explored.
+		remCols.Remove(c)
+	}
+}
+
+func (s *solver) record(selected []int, cost int) {
+	if cost < s.bestCost || !s.found {
+		s.bestCost = cost
+		s.bestSel = append([]int(nil), selected...)
+		s.found = true
+		if s.lb > 0 && cost <= s.lb {
+			s.done = true
+		}
+	}
+}
+
+// reduceRowDominance removes rows whose candidate column set is a superset
+// of another row's (the superset row is easier to cover and thus implied).
+func (s *solver) reduceRowDominance(rows, cols bitset.Set) bool {
+	active := rows.Elems()
+	removed := false
+	for i := 0; i < len(active); i++ {
+		ri := active[i]
+		if !rows.Has(ri) {
+			continue
+		}
+		for j := 0; j < len(active); j++ {
+			rj := active[j]
+			if i == j || !rows.Has(rj) || !rows.Has(ri) {
+				continue
+			}
+			// Row rj dominated by ri: cand(ri) ⊆ cand(rj).
+			if bitset.IntersectionSubsetOf(s.rowSets[ri], s.rowSets[rj], cols) {
+				if j < i && bitset.IntersectionSubsetOf(s.rowSets[rj], s.rowSets[ri], cols) {
+					continue // identical rows: keep the earlier
+				}
+				rows.Remove(rj)
+				removed = true
+			}
+		}
+	}
+	return removed
+}
+
+// reduceColDominance removes columns whose active coverage is contained in
+// a no-costlier column's.
+func (s *solver) reduceColDominance(rows, cols bitset.Set) bool {
+	active := cols.Elems()
+	removed := false
+	for i := 0; i < len(active); i++ {
+		ci := active[i]
+		if !cols.Has(ci) {
+			continue
+		}
+		for j := 0; j < len(active); j++ {
+			cj := active[j]
+			if i == j || !cols.Has(cj) {
+				continue
+			}
+			// ci dominated by cj.
+			if s.p.cost(cj) <= s.p.cost(ci) &&
+				bitset.IntersectionSubsetOf(s.colSets[ci], s.colSets[cj], rows) {
+				if j > i && s.p.cost(cj) == s.p.cost(ci) &&
+					bitset.IntersectionSubsetOf(s.colSets[cj], s.colSets[ci], rows) {
+					continue // identical columns: keep the earlier
+				}
+				cols.Remove(ci)
+				removed = true
+				break
+			}
+		}
+	}
+	return removed
+}
+
+// lowerBound: greedily pick pairwise column-disjoint rows; each needs a
+// distinct column of at least its cheapest candidate's cost.
+func (s *solver) lowerBound(rows, cols bitset.Set) int {
+	var used bitset.Set
+	lb := 0
+	unitCost := s.p.Cost == nil
+	rows.ForEach(func(r int) bool {
+		if bitset.IntersectionIntersects(s.rowSets[r], cols, used) {
+			return true
+		}
+		used.UnionWithIntersection(s.rowSets[r], cols)
+		if unitCost {
+			lb++
+			return true
+		}
+		minCost := 1 << 30
+		s.rowSets[r].ForEach(func(c int) bool {
+			if cols.Has(c) && s.p.cost(c) < minCost {
+				minCost = s.p.cost(c)
+			}
+			return true
+		})
+		lb += minCost
+		return true
+	})
+	return lb
+}
+
+// greedy returns a feasible selection (nil when infeasible): repeatedly
+// pick the column covering the most uncovered rows per unit cost.
+func (s *solver) greedy(rows, cols bitset.Set) []int {
+	return s.greedyVariant(rows, cols, 0)
+}
+
+// greedyVariant is greedy with deterministic tie-breaking diversity:
+// variant v picks the (v mod 3)-th best column on every (step+v)-th step,
+// giving the restart loop distinct feasible covers.
+func (s *solver) greedyVariant(rows, cols bitset.Set, variant int) []int {
+	remaining := rows.Clone()
+	sel := []int{} // non-nil: nil is the infeasibility sentinel
+	step := 0
+	for !remaining.IsEmpty() {
+		// Track the top three scoring columns.
+		type cand struct {
+			c     int
+			score float64
+		}
+		top := [3]cand{{-1, -1}, {-1, -1}, {-1, -1}}
+		cols.ForEach(func(c int) bool {
+			k := bitset.IntersectLen(s.colSets[c], remaining)
+			if k == 0 {
+				return true
+			}
+			sc := float64(k) / float64(s.p.cost(c))
+			for i := 0; i < 3; i++ {
+				if sc > top[i].score {
+					copy(top[i+1:], top[i:2])
+					top[i] = cand{c, sc}
+					break
+				}
+			}
+			return true
+		})
+		if top[0].c < 0 {
+			return nil
+		}
+		pick := 0
+		if variant > 0 && (step+variant)%3 == 0 {
+			pick = variant % 3
+			for pick > 0 && top[pick].c < 0 {
+				pick--
+			}
+		}
+		sel = append(sel, top[pick].c)
+		remaining.DifferenceWith(s.colSets[top[pick].c])
+		step++
+	}
+	return sel
+}
+
+// weightedGreedy runs a multiplicative-weights set-cover loop: rows that
+// keep ending up covered by a single selected column get their weight
+// bumped, steering subsequent greedy passes toward columns that cover the
+// chronically hard rows together. Returns every cover built.
+func (s *solver) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
+	nRows := len(s.rowSets)
+	weights := make([]float64, nRows)
+	for r := range weights {
+		weights[r] = 1
+	}
+	var covers [][]int
+	for it := 0; it < iters; it++ {
+		remaining := rows.Clone()
+		var sel []int
+		for !remaining.IsEmpty() {
+			bestC, bestScore := -1, -1.0
+			cols.ForEach(func(c int) bool {
+				w := 0.0
+				bitset.Intersect(s.colSets[c], remaining).ForEach(func(r int) bool {
+					w += weights[r]
+					return true
+				})
+				if w == 0 {
+					return true
+				}
+				score := w / float64(s.p.cost(c))
+				if score > bestScore {
+					bestScore, bestC = score, c
+				}
+				return true
+			})
+			if bestC < 0 {
+				return covers
+			}
+			sel = append(sel, bestC)
+			remaining.DifferenceWith(s.colSets[bestC])
+		}
+		covers = append(covers, sel)
+		// Bump rows covered exactly once by this cover.
+		counts := make([]int, nRows)
+		for _, c := range sel {
+			bitset.Intersect(s.colSets[c], rows).ForEach(func(r int) bool {
+				counts[r]++
+				return true
+			})
+		}
+		for r := range counts {
+			if counts[r] == 1 {
+				weights[r] *= 1.3
+			}
+		}
+	}
+	return covers
+}
+
+// dropRedundant removes selected columns whose rows are covered by the
+// remaining selection, most expensive and least-covering first.
+func (s *solver) dropRedundant(rows bitset.Set, sel []int) []int {
+	order := append([]int(nil), sel...)
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := order[i], order[j]
+		if s.p.cost(ci) != s.p.cost(cj) {
+			return s.p.cost(ci) > s.p.cost(cj)
+		}
+		return bitset.IntersectLen(s.colSets[ci], rows) < bitset.IntersectLen(s.colSets[cj], rows)
+	})
+	kept := map[int]bool{}
+	for _, c := range sel {
+		kept[c] = true
+	}
+	for _, c := range order {
+		// Is every row of c covered by another kept column?
+		kept[c] = false
+		redundant := true
+		bitset.Intersect(s.colSets[c], rows).ForEach(func(r int) bool {
+			covered := false
+			s.rowSets[r].ForEach(func(c2 int) bool {
+				if kept[c2] {
+					covered = true
+					return false
+				}
+				return true
+			})
+			if !covered {
+				redundant = false
+				return false
+			}
+			return true
+		})
+		if !redundant {
+			kept[c] = true
+		}
+	}
+	var out []int
+	for _, c := range sel {
+		if kept[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SolveGreedy returns a feasible (not necessarily optimal) cover without
+// any branch and bound.
+func (p *Problem) SolveGreedy() (Solution, error) {
+	nRows := len(p.RowCols)
+	s := &solver{p: p}
+	s.colSets = make([]bitset.Set, p.NumCols)
+	for c := range s.colSets {
+		s.colSets[c] = bitset.New(nRows)
+	}
+	for r, colsOfRow := range p.RowCols {
+		if len(colsOfRow) == 0 {
+			return Solution{}, ErrInfeasible
+		}
+		for _, c := range colsOfRow {
+			s.colSets[c].Add(r)
+		}
+	}
+	rows := bitset.New(nRows)
+	for r := 0; r < nRows; r++ {
+		rows.Add(r)
+	}
+	cols := bitset.New(p.NumCols)
+	for c := 0; c < p.NumCols; c++ {
+		cols.Add(c)
+	}
+	sel := s.greedy(rows, cols)
+	if sel == nil {
+		return Solution{}, ErrInfeasible
+	}
+	sort.Ints(sel)
+	return Solution{Cols: sel, Cost: costOf(p, sel), Optimal: false}, nil
+}

@@ -1,0 +1,300 @@
+// Package dichotomy implements encoding-dichotomies (Section 3 of the
+// paper): 2-block partitions of subsets of the symbols, where the left block
+// receives encoding bit 0 and the right block bit 1, together with the
+// compatibility, union, covering, validity and raising operations the
+// constraint-satisfaction framework is built from.
+package dichotomy
+
+import (
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/constraint"
+	"repro/internal/sym"
+)
+
+// D is an encoding-dichotomy (L; R). Symbols in L are assigned bit 0 and
+// symbols in R bit 1 in the encoding column this dichotomy generates.
+// Symbols in neither block are unassigned by this column.
+type D struct {
+	L, R bitset.Set
+}
+
+// New returns the dichotomy (L; R) over the given index sets (cloned).
+func New(l, r bitset.Set) D {
+	return D{L: l.Clone(), R: r.Clone()}
+}
+
+// Of builds a dichotomy from explicit element slices; convenient in tests.
+func Of(l, r []int) D {
+	return D{L: bitset.FromSlice(l), R: bitset.FromSlice(r)}
+}
+
+// Clone returns an independent copy.
+func (d D) Clone() D {
+	return D{L: d.L.Clone(), R: d.R.Clone()}
+}
+
+// Mirror returns the dichotomy with blocks swapped: (R; L).
+func (d D) Mirror() D {
+	return D{L: d.R.Clone(), R: d.L.Clone()}
+}
+
+// Support returns the set of symbols assigned by the dichotomy.
+func (d D) Support() bitset.Set {
+	return bitset.Union(d.L, d.R)
+}
+
+// WellFormed reports whether the blocks are disjoint.
+func (d D) WellFormed() bool {
+	return !d.L.Intersects(d.R)
+}
+
+// Compatible reports whether d and e can be merged into one column
+// (Definition 3.2): the left block of each is disjoint from the right block
+// of the other.
+func (d D) Compatible(e D) bool {
+	return !d.L.Intersects(e.R) && !d.R.Intersects(e.L)
+}
+
+// Union returns the union dichotomy (Definition 3.3). It must only be called
+// on compatible dichotomies.
+func Union(d, e D) D {
+	return D{L: bitset.Union(d.L, e.L), R: bitset.Union(d.R, e.R)}
+}
+
+// Covers reports whether d covers e (Definition 3.4): e's blocks are subsets
+// of d's blocks in either the same or the swapped orientation.
+func (d D) Covers(e D) bool {
+	return (e.L.SubsetOf(d.L) && e.R.SubsetOf(d.R)) ||
+		(e.L.SubsetOf(d.R) && e.R.SubsetOf(d.L))
+}
+
+// CoversOriented reports whether d covers e without swapping blocks.
+func (d D) CoversOriented(e D) bool {
+	return e.L.SubsetOf(d.L) && e.R.SubsetOf(d.R)
+}
+
+// Equal reports block-wise equality (orientation sensitive).
+func (d D) Equal(e D) bool {
+	return d.L.Equal(e.L) && d.R.Equal(e.R)
+}
+
+// Key returns a canonical orientation-sensitive map key.
+func (d D) Key() string {
+	return d.L.Key() + "|" + d.R.Key()
+}
+
+// CanonicalKey returns a map key identical for d and d.Mirror().
+func (d D) CanonicalKey() string {
+	a, b := d.L.Key(), d.R.Key()
+	if a <= b {
+		return a + "|" + b
+	}
+	return b + "|" + a
+}
+
+// Separates reports whether the dichotomy assigns a and b to opposite
+// blocks.
+func (d D) Separates(a, b int) bool {
+	return (d.L.Has(a) && d.R.Has(b)) || (d.R.Has(a) && d.L.Has(b))
+}
+
+// String renders the dichotomy with raw indices, e.g. "(0,2; 1,3)".
+func (d D) String() string {
+	return "(" + trim(d.L.String()) + "; " + trim(d.R.String()) + ")"
+}
+
+// Format renders the dichotomy with symbol names from t.
+func (d D) Format(t *sym.Table) string {
+	name := func(s bitset.Set) string {
+		var parts []string
+		s.ForEach(func(e int) bool {
+			parts = append(parts, t.Name(e))
+			return true
+		})
+		return strings.Join(parts, " ")
+	}
+	return "(" + name(d.L) + "; " + name(d.R) + ")"
+}
+
+func trim(s string) string {
+	return strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+}
+
+// Valid reports whether the dichotomy can be extended to a complete encoding
+// column that satisfies the output constraints in cs (Definition 3.6, and
+// procedure remove_invalid_dichotomies in Figure 5):
+//
+//   - dominance a > b fails iff a ∈ L and b ∈ R;
+//   - disjunctive p = ∨cᵢ fails iff p ∈ L with some child in R, or p ∈ R
+//     with every child in L;
+//   - extended disjunctive ∨ⱼ∧ᵢcⱼᵢ ≥ p fails iff p ∈ R and every conjunction
+//     has a symbol in L.
+//
+// A dichotomy with overlapping blocks is never valid.
+func Valid(d D, cs *constraint.Set) bool {
+	if !d.WellFormed() {
+		return false
+	}
+	for _, dom := range cs.Dominances {
+		if d.L.Has(dom.Big) && d.R.Has(dom.Small) {
+			return false
+		}
+	}
+	for _, dj := range cs.Disjunctives {
+		if d.L.Has(dj.Parent) {
+			for _, c := range dj.Children {
+				if d.R.Has(c) {
+					return false
+				}
+			}
+		}
+		if d.R.Has(dj.Parent) {
+			allLeft := true
+			for _, c := range dj.Children {
+				if !d.L.Has(c) {
+					allLeft = false
+					break
+				}
+			}
+			if allLeft {
+				return false
+			}
+		}
+	}
+	for _, ed := range cs.ExtDisjunctives {
+		if !d.R.Has(ed.Parent) {
+			continue
+		}
+		allHit := true
+		for _, conj := range ed.Conjunctions {
+			hit := false
+			for _, c := range conj {
+				if d.L.Has(c) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				allHit = false
+				break
+			}
+		}
+		if allHit {
+			return false
+		}
+	}
+	return true
+}
+
+// Raise maximally raises d with respect to the output constraints in cs
+// (Definitions 6.1/6.2, procedure raise_dichotomy in Figure 5): symbols
+// forced by the constraints are inserted into the blocks until a fix-point.
+//
+// Propagation rules, all sound implications of the bit semantics L→0, R→1:
+//
+//	dominance a > b:      a∈L ⇒ b∈L;   b∈R ⇒ a∈R
+//	disjunctive p = ∨cᵢ:  implied dominances p > cᵢ for every child, plus
+//	                      all cᵢ∈L ⇒ p∈L, and
+//	                      p∈R with exactly one child not in L ⇒ that child∈R
+//	ext disj  ∨ⱼ∧cⱼᵢ ≥ p: every conjunction hit in L ⇒ p∈L;
+//	                      p∈R with exactly one unhit conjunction ⇒ all of
+//	                      that conjunction's children ∈R
+//
+// The second return value is false when raising derives a contradiction
+// (some symbol forced into both blocks) or the raised dichotomy violates an
+// output constraint; such dichotomies must be discarded.
+func Raise(d D, cs *constraint.Set) (D, bool) {
+	r := d.Clone()
+	for {
+		changed := false
+		add := func(s *bitset.Set, e int) {
+			if !s.Has(e) {
+				s.Add(e)
+				changed = true
+			}
+		}
+		for _, dom := range cs.Dominances {
+			if r.L.Has(dom.Big) {
+				add(&r.L, dom.Small)
+			}
+			if r.R.Has(dom.Small) {
+				add(&r.R, dom.Big)
+			}
+		}
+		for _, dj := range cs.Disjunctives {
+			// Implied dominances parent > child.
+			for _, c := range dj.Children {
+				if r.L.Has(dj.Parent) {
+					add(&r.L, c)
+				}
+				if r.R.Has(c) {
+					add(&r.R, dj.Parent)
+				}
+			}
+			// All children 0 forces the parent to 0.
+			allLeft := true
+			notLeft := -1
+			numNotLeft := 0
+			for _, c := range dj.Children {
+				if !r.L.Has(c) {
+					allLeft = false
+					notLeft = c
+					numNotLeft++
+				}
+			}
+			if allLeft {
+				add(&r.L, dj.Parent)
+			}
+			// Parent 1 with a single candidate child forces that child to 1.
+			if r.R.Has(dj.Parent) && numNotLeft == 1 {
+				add(&r.R, notLeft)
+			}
+		}
+		for _, ed := range cs.ExtDisjunctives {
+			allHit := true
+			unhit := -1
+			numUnhit := 0
+			for ci, conj := range ed.Conjunctions {
+				hit := false
+				for _, c := range conj {
+					if r.L.Has(c) {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					allHit = false
+					unhit = ci
+					numUnhit++
+				}
+			}
+			if allHit {
+				add(&r.L, ed.Parent)
+			}
+			if r.R.Has(ed.Parent) && numUnhit == 1 {
+				for _, c := range ed.Conjunctions[unhit] {
+					add(&r.R, c)
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if r.L.Intersects(r.R) {
+			return r, false
+		}
+	}
+	return r, Valid(r, cs)
+}
+
+// CoveredBySome reports whether any dichotomy in ds covers d.
+func CoveredBySome(d D, ds []D) bool {
+	for _, e := range ds {
+		if e.Covers(d) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package dichotomy_test
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/dichotomy"
+)
+
+// ExampleRaise reproduces the paper's Figure-4 walk-through: the initial
+// encoding-dichotomy (s1; s2 s5) is maximally raised under the output
+// constraints to (s1 s3; s0 s2 s4 s5).
+func ExampleRaise() {
+	cs := constraint.MustParse(`
+		symbols s0 s1 s2 s3 s4 s5
+		dom s0 > s1
+		dom s0 > s2
+		dom s1 > s3
+		dom s4 > s5
+		dom s5 > s2
+		dom s5 > s3
+		disj s0 = s1 | s2
+	`)
+	idx := func(n string) int { i, _ := cs.Syms.Lookup(n); return i }
+	d := dichotomy.Of([]int{idx("s1")}, []int{idx("s2"), idx("s5")})
+	raised, ok := dichotomy.Raise(d, cs)
+	fmt.Println(ok, raised.Format(cs.Syms))
+	// Output:
+	// true (s1 s3; s0 s2 s4 s5)
+}
+
+// ExampleD_Covers shows Definition 3.4: covering holds in either
+// orientation.
+func ExampleD_Covers() {
+	d := dichotomy.Of([]int{0}, []int{1, 2})
+	fmt.Println(dichotomy.Of([]int{0, 3}, []int{1, 2, 4}).Covers(d))
+	fmt.Println(dichotomy.Of([]int{1, 2, 3}, []int{0}).Covers(d))
+	fmt.Println(dichotomy.Of([]int{0, 1}, []int{2}).Covers(d))
+	// Output:
+	// true
+	// true
+	// false
+}
+
+// ExampleD_Compatible demonstrates Definition 3.2 and the union.
+func ExampleD_Compatible() {
+	d1 := dichotomy.Of([]int{0, 1}, []int{2, 3})
+	d2 := dichotomy.Of([]int{0}, []int{3})
+	d3 := dichotomy.Of([]int{2}, []int{0})
+	fmt.Println(d1.Compatible(d2), d1.Compatible(d3))
+	fmt.Println(dichotomy.Union(d1, d2))
+	// Output:
+	// true false
+	// (0,1; 2,3)
+}

@@ -1,0 +1,71 @@
+package espresso
+
+// Sharp computes a ∖ b as a cover of at most n cubes (the disjoint sharp):
+// for each variable where b constrains a, one cube keeps a's literals and
+// fixes that variable to the half outside b.
+func Sharp(n int, a, b Cube) []Cube {
+	if !a.Intersects(n, b) {
+		return []Cube{a}
+	}
+	if b.Contains(a) {
+		return nil
+	}
+	var out []Cube
+	cur := a
+	for v := 0; v < n; v++ {
+		bit := uint64(1) << uint(v)
+		// The part of cur with variable v outside b's allowed values.
+		keepZ := cur.Z&bit != 0 && b.Z&bit == 0 // cur allows 0, b forbids 0
+		keepO := cur.O&bit != 0 && b.O&bit == 0
+		if keepZ {
+			c := cur
+			c.O &^= bit // restrict to v=0
+			out = append(out, c)
+		}
+		if keepO {
+			c := cur
+			c.Z &^= bit
+			out = append(out, c)
+		}
+		if keepZ || keepO {
+			// Continue in the half that overlaps b.
+			cur = Cube{Z: cur.Z & ^uint64(0), O: cur.O}
+			if keepZ {
+				cur.Z &^= bit
+			}
+			if keepO {
+				cur.O &^= bit
+			}
+		}
+	}
+	return out
+}
+
+// Consensus returns the consensus of a and b and true when it exists:
+// for cubes at distance exactly one, the cube agreeing with both in the
+// conflicting variable's complement-free positions.
+func Consensus(n int, a, b Cube) (Cube, bool) {
+	if a.Distance(n, b) != 1 {
+		return Cube{}, false
+	}
+	// The conflicting variable becomes free; all others intersect.
+	free := (a.Z & b.Z) | (a.O & b.O)
+	conflict := ^free & mask(n)
+	c := a.Intersect(b)
+	c.Z |= conflict
+	c.O |= conflict
+	return c, true
+}
+
+// CoverSharp subtracts cube b from every cube of f, returning a cover of
+// f ∖ b.
+func CoverSharp(f *Cover, b Cube) *Cover {
+	out := NewCover(f.N)
+	for _, c := range f.Cubes {
+		for _, r := range Sharp(f.N, c, b) {
+			out.Add(r)
+		}
+	}
+	out.SCC()
+	return out
+}

@@ -1,0 +1,135 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSharpExhaustive checks a ∖ b point-wise on random cubes.
+func TestSharpExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	randCube := func(n int) Cube {
+		var c Cube
+		for v := 0; v < n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.Z |= 1 << uint(v)
+			case 1:
+				c.O |= 1 << uint(v)
+			default:
+				c.Z |= 1 << uint(v)
+				c.O |= 1 << uint(v)
+			}
+		}
+		return c
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(4)
+		a, b := randCube(n), randCube(n)
+		if a.IsEmpty(n) || b.IsEmpty(n) {
+			continue
+		}
+		pieces := Sharp(n, a, b)
+		for m := uint64(0); m < 1<<uint(n); m++ {
+			want := a.ContainsMinterm(n, m) && !b.ContainsMinterm(n, m)
+			got := false
+			for _, p := range pieces {
+				if p.ContainsMinterm(n, m) {
+					got = true
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d: sharp(%s, %s) wrong at %0*b (pieces %v)",
+					trial, a.String(n), b.String(n), n, m, pieces)
+			}
+		}
+		// The sharp pieces must be pairwise disjoint.
+		for i := range pieces {
+			for j := i + 1; j < len(pieces); j++ {
+				if pieces[i].Intersects(n, pieces[j]) {
+					t.Fatalf("trial %d: sharp pieces overlap", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestConsensus(t *testing.T) {
+	n := 3
+	a, b := ParseCube("01-"), ParseCube("11-")
+	c, ok := Consensus(n, a, b)
+	if !ok {
+		t.Fatal("distance-1 cubes have a consensus")
+	}
+	if got := c.String(n); got != "-1-" {
+		t.Fatalf("consensus = %q, want -1-", got)
+	}
+	if _, ok := Consensus(n, ParseCube("00-"), ParseCube("11-")); ok {
+		t.Fatal("distance-2 cubes have no consensus")
+	}
+	if _, ok := Consensus(n, ParseCube("0--"), ParseCube("01-")); ok {
+		t.Fatal("intersecting cubes (distance 0) have no consensus here")
+	}
+}
+
+// TestConsensusCoversBoundary: the consensus contains every minterm pair
+// boundary between a and b.
+func TestConsensusCoversBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(3)
+		// Construct two cubes at distance exactly 1 by splitting a parent.
+		var parent Cube
+		for v := 0; v < n; v++ {
+			switch rng.Intn(2) {
+			case 0:
+				parent.Z |= 1 << uint(v)
+				parent.O |= 1 << uint(v)
+			default:
+				if rng.Intn(2) == 0 {
+					parent.Z |= 1 << uint(v)
+				} else {
+					parent.O |= 1 << uint(v)
+				}
+			}
+		}
+		// Pick a free variable to split on.
+		freeVars := parent.Z & parent.O & mask(n)
+		if freeVars == 0 {
+			continue
+		}
+		var v int
+		for v = 0; v < n; v++ {
+			if freeVars&(1<<uint(v)) != 0 {
+				break
+			}
+		}
+		bit := uint64(1) << uint(v)
+		a := Cube{Z: parent.Z, O: parent.O &^ bit}
+		b := Cube{Z: parent.Z &^ bit, O: parent.O}
+		c, ok := Consensus(n, a, b)
+		if !ok {
+			t.Fatalf("trial %d: split halves must have a consensus", trial)
+		}
+		if c != parent {
+			t.Fatalf("trial %d: consensus of split halves is the parent: got %s want %s",
+				trial, c.String(n), parent.String(n))
+		}
+	}
+}
+
+func TestCoverSharp(t *testing.T) {
+	f := NewCover(2)
+	f.Add(Universe(2))
+	g := CoverSharp(f, ParseCube("11"))
+	// Universe minus one minterm = 3 minterms.
+	count := 0
+	for m := uint64(0); m < 4; m++ {
+		if g.ContainsMinterm(m) {
+			count++
+		}
+	}
+	if count != 3 || g.ContainsMinterm(0b11) {
+		t.Fatalf("cover sharp wrong:\n%s", g)
+	}
+}

@@ -1,0 +1,169 @@
+package espresso
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cover"
+)
+
+// Primes returns all prime implicants of the function whose on-set is f
+// and don't-care set dc (nil allowed), by Quine–McCluskey merging over the
+// care+dc minterms. Limited to 16 variables.
+func Primes(f, dc *Cover) ([]Cube, error) {
+	n := f.N
+	if n > 16 {
+		return nil, fmt.Errorf("espresso: Primes limited to 16 variables, got %d", n)
+	}
+	// Collect care ∪ dc minterms.
+	inSet := map[uint64]bool{}
+	for m := uint64(0); m < 1<<uint(n); m++ {
+		if f.ContainsMinterm(m) || (dc != nil && dc.ContainsMinterm(m)) {
+			inSet[m] = true
+		}
+	}
+	if len(inSet) == 0 {
+		return nil, nil
+	}
+	level := map[Cube]bool{}
+	for m := range inSet {
+		level[MintermCube(n, m)] = true
+	}
+	primes := map[Cube]bool{}
+	for len(level) > 0 {
+		next := map[Cube]bool{}
+		merged := map[Cube]bool{}
+		cubes := make([]Cube, 0, len(level))
+		for c := range level {
+			cubes = append(cubes, c)
+		}
+		for i := 0; i < len(cubes); i++ {
+			for j := i + 1; j < len(cubes); j++ {
+				a, b := cubes[i], cubes[j]
+				if a.Distance(n, b) != 1 {
+					continue
+				}
+				sc := a.Supercube(b)
+				// Valid merge only when the supercube introduces no new
+				// minterms (distance-1 cubes of equal size always qualify;
+				// unequal sizes may not).
+				if countMinterms(n, sc) == countMinterms(n, a)+countMinterms(n, b) {
+					next[sc] = true
+					merged[a] = true
+					merged[b] = true
+				}
+			}
+		}
+		for c := range level {
+			if !merged[c] {
+				primes[c] = true
+			}
+		}
+		level = next
+	}
+	var out []Cube
+	for c := range primes {
+		out = append(out, c)
+	}
+	// Drop primes contained in other primes (can arise across levels).
+	tmp := &Cover{N: n, Cubes: out}
+	tmp.SCC()
+	out = tmp.Cubes
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Z != out[j].Z {
+			return out[i].Z < out[j].Z
+		}
+		return out[i].O < out[j].O
+	})
+	return out, nil
+}
+
+func countMinterms(n int, c Cube) int {
+	dc := c.Z & c.O & mask(n)
+	count := 1
+	for b := dc; b != 0; b &= b - 1 {
+		count <<= 1
+	}
+	if c.IsEmpty(n) {
+		return 0
+	}
+	return count
+}
+
+// MinimizeExact computes a minimum-cube cover of the on-set f with
+// don't-cares dc, by prime generation and exact unate covering
+// (Quine–McCluskey). Exponential; intended as ground truth for the
+// espresso-lite heuristic on small functions.
+func MinimizeExact(f, dc *Cover, opts cover.Options) (*Cover, error) {
+	n := f.N
+	primes, err := Primes(f, dc)
+	if err != nil {
+		return nil, err
+	}
+	if len(primes) == 0 {
+		return NewCover(n), nil
+	}
+	// Rows: care on-set minterms. Columns: primes.
+	var careMinterms []uint64
+	for m := uint64(0); m < 1<<uint(n); m++ {
+		if f.ContainsMinterm(m) {
+			careMinterms = append(careMinterms, m)
+		}
+	}
+	p := cover.Problem{NumCols: len(primes), RowCols: make([][]int, len(careMinterms))}
+	for ri, m := range careMinterms {
+		for ci, c := range primes {
+			if c.ContainsMinterm(n, m) {
+				p.RowCols[ri] = append(p.RowCols[ri], ci)
+			}
+		}
+	}
+	sol, err := p.SolveExact(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := NewCover(n)
+	for _, ci := range sol.Cols {
+		out.Add(primes[ci])
+	}
+	return out, nil
+}
+
+// EssentialPrimes returns the primes covering some care minterm no other
+// prime covers; they belong to every minimum cover.
+func EssentialPrimes(f, dc *Cover) ([]Cube, error) {
+	primes, err := Primes(f, dc)
+	if err != nil {
+		return nil, err
+	}
+	var out []Cube
+	for m := uint64(0); m < 1<<uint(f.N); m++ {
+		if !f.ContainsMinterm(m) {
+			continue
+		}
+		owner := -1
+		unique := true
+		for ci, c := range primes {
+			if c.ContainsMinterm(f.N, m) {
+				if owner >= 0 {
+					unique = false
+					break
+				}
+				owner = ci
+			}
+		}
+		if unique && owner >= 0 {
+			out = append(out, primes[owner])
+		}
+	}
+	// Deduplicate.
+	tmp := map[Cube]bool{}
+	var dedup []Cube
+	for _, c := range out {
+		if !tmp[c] {
+			tmp[c] = true
+			dedup = append(dedup, c)
+		}
+	}
+	return dedup, nil
+}

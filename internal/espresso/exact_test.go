@@ -1,0 +1,144 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cover"
+)
+
+func TestPrimesSimple(t *testing.T) {
+	// f = v0' + v1 over 2 vars: minterms 00,01,11. Primes: "0-" and "-1".
+	f := FromMinterms(2, []uint64{0b00, 0b10, 0b11})
+	primes, err := Primes(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(primes) != 2 {
+		t.Fatalf("want 2 primes, got %v", primes)
+	}
+	want := map[Cube]bool{ParseCube("0-"): true, ParseCube("-1"): true}
+	for _, p := range primes {
+		if !want[p] {
+			t.Fatalf("unexpected prime %s", p.String(2))
+		}
+	}
+}
+
+func TestPrimesAreMaximalImplicants(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(3)
+		var on, dc []uint64
+		for m := uint64(0); m < 1<<uint(n); m++ {
+			switch rng.Intn(3) {
+			case 0:
+				on = append(on, m)
+			case 1:
+				dc = append(dc, m)
+			}
+		}
+		f := FromMinterms(n, on)
+		d := FromMinterms(n, dc)
+		primes, err := Primes(f, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inCare := func(m uint64) bool { return f.ContainsMinterm(m) || d.ContainsMinterm(m) }
+		for _, p := range primes {
+			// Implicant: every covered minterm is on or dc.
+			for m := uint64(0); m < 1<<uint(n); m++ {
+				if p.ContainsMinterm(n, m) && !inCare(m) {
+					t.Fatalf("trial %d: %s covers off-minterm %b", trial, p.String(n), m)
+				}
+			}
+			// Maximal: raising any literal exits the care set.
+			for v := 0; v < n; v++ {
+				bit := uint64(1) << uint(v)
+				if p.Z&bit != 0 && p.O&bit != 0 {
+					continue
+				}
+				raised := Cube{Z: p.Z | bit, O: p.O | bit}
+				ok := true
+				for m := uint64(0); m < 1<<uint(n); m++ {
+					if raised.ContainsMinterm(n, m) && !inCare(m) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					t.Fatalf("trial %d: prime %s is not maximal (var %d raisable)", trial, p.String(n), v)
+				}
+			}
+		}
+	}
+}
+
+// TestMinimizeExactIsOptimalAndHeuristicClose compares the QM+covering
+// exact minimizer with espresso-lite on random functions: exact must be a
+// valid minimum (≤ any equivalent cover we can find) and the heuristic
+// must come within one cube of it.
+func TestMinimizeExactIsOptimalAndHeuristicClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(3)
+		var on, dc []uint64
+		for m := uint64(0); m < 1<<uint(n); m++ {
+			switch rng.Intn(3) {
+			case 0:
+				on = append(on, m)
+			case 1:
+				dc = append(dc, m)
+			}
+		}
+		f := FromMinterms(n, on)
+		d := FromMinterms(n, dc)
+		exact, err := MinimizeExact(f, d, cover.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equivalent(f, exact, d) {
+			t.Fatalf("trial %d: exact cover not equivalent", trial)
+		}
+		heur := Minimize(f, d, nil)
+		if !Equivalent(f, heur, d) {
+			t.Fatalf("trial %d: heuristic cover not equivalent", trial)
+		}
+		if heur.Size() < exact.Size() {
+			t.Fatalf("trial %d: heuristic (%d cubes) beat the 'exact' minimum (%d) — exact is broken",
+				trial, heur.Size(), exact.Size())
+		}
+		if heur.Size() > exact.Size()+1 {
+			t.Fatalf("trial %d: heuristic %d cubes vs exact %d", trial, heur.Size(), exact.Size())
+		}
+	}
+}
+
+func TestEssentialPrimes(t *testing.T) {
+	// f over 2 vars: minterms 00, 01, 11: primes 0-, -1; minterm 00 only
+	// in 0-, minterm 11 only in -1: both essential.
+	f := FromMinterms(2, []uint64{0b00, 0b10, 0b11})
+	ess, err := EssentialPrimes(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ess) != 2 {
+		t.Fatalf("want 2 essential primes, got %v", ess)
+	}
+}
+
+func TestPrimesEmpty(t *testing.T) {
+	f := NewCover(3)
+	primes, err := Primes(f, nil)
+	if err != nil || len(primes) != 0 {
+		t.Fatalf("empty function: %v %v", primes, err)
+	}
+}
+
+func TestPrimesTooWide(t *testing.T) {
+	f := NewCover(20)
+	f.Add(Universe(20))
+	if _, err := Primes(f, nil); err == nil {
+		t.Fatal("20 variables must be rejected")
+	}
+}

@@ -1,0 +1,39 @@
+package espresso_test
+
+import (
+	"fmt"
+
+	"repro/internal/espresso"
+)
+
+// ExampleMinimize minimizes the minterms of a face: four points of a
+// 4-cube collapse to a single 2-literal product.
+func ExampleMinimize() {
+	f := espresso.FromMinterms(4, []uint64{0b0010, 0b0110, 0b1010, 0b1110})
+	g := espresso.Minimize(f, nil, nil)
+	fmt.Println(g.Size(), "cube(s):")
+	fmt.Print(g)
+	// Output:
+	// 1 cube(s):
+	// 01--
+}
+
+// ExampleCover_Tautology checks whether a cover fills the whole space.
+func ExampleCover_Tautology() {
+	f := espresso.NewCover(3)
+	f.Add(espresso.ParseCube("0--"))
+	f.Add(espresso.ParseCube("1--"))
+	fmt.Println(f.Tautology())
+	// Output:
+	// true
+}
+
+// ExampleCover_Complement complements a single product term.
+func ExampleCover_Complement() {
+	f := espresso.NewCover(2)
+	f.Add(espresso.ParseCube("11"))
+	g := f.Complement()
+	fmt.Println(g.Size(), "cubes cover the complement")
+	// Output:
+	// 2 cubes cover the complement
+}

@@ -1,0 +1,357 @@
+package espresso
+
+import "sort"
+
+// Tautology reports whether the cover equals the whole space, by unate
+// reduction and Shannon splitting on the most binate variable.
+func (f *Cover) Tautology() bool {
+	return tautRec(f.N, f.Cubes)
+}
+
+func tautRec(n int, cubes []Cube) bool {
+	full := mask(n)
+	orZ, orO := uint64(0), uint64(0)
+	for _, c := range cubes {
+		if c.Z&full == full && c.O&full == full {
+			return true
+		}
+		orZ |= ^c.Z & c.O // variables appearing as positive literal
+		orO |= ^c.O & c.Z // variables appearing as negative literal
+	}
+	if len(cubes) == 0 {
+		return false
+	}
+	// Unate test: a variable is binate if it appears in both phases.
+	binate := orZ & orO & full
+	if binate == 0 {
+		// Unate cover is a tautology iff it contains the universe cube,
+		// already checked above.
+		return false
+	}
+	// Split on the most frequent binate variable.
+	best, bestCount := -1, -1
+	for v := 0; v < n; v++ {
+		b := uint64(1) << uint(v)
+		if binate&b == 0 {
+			continue
+		}
+		count := 0
+		for _, c := range cubes {
+			if c.Z&b == 0 || c.O&b == 0 {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = v, count
+		}
+	}
+	b := uint64(1) << uint(best)
+	var c0, c1 []Cube
+	for _, c := range cubes {
+		if c.Z&b != 0 { // cube admits v=0
+			c0 = append(c0, Cube{Z: c.Z | b, O: c.O | b})
+		}
+		if c.O&b != 0 { // cube admits v=1
+			c1 = append(c1, Cube{Z: c.Z | b, O: c.O | b})
+		}
+	}
+	return tautRec(n, c0) && tautRec(n, c1)
+}
+
+// CoversCube reports whether cube c is contained in the union of the cover.
+func (f *Cover) CoversCube(c Cube) bool {
+	var cof []Cube
+	for _, d := range f.Cubes {
+		if r, ok := d.Cofactor(f.N, c); ok {
+			cof = append(cof, r)
+		}
+	}
+	return tautRec(f.N, cof)
+}
+
+// Complement returns a cover of the complement of f, by Shannon recursion
+// with single-cube-containment cleanup.
+func (f *Cover) Complement() *Cover {
+	out := &Cover{N: f.N, Cubes: complRec(f.N, f.Cubes, Universe(f.N))}
+	out.SCC()
+	return out
+}
+
+// complRec returns cubes covering space ∩ ¬(∪cubes), where cubes are given
+// cofactored against space.
+func complRec(n int, cubes []Cube, space Cube) []Cube {
+	if len(cubes) == 0 {
+		return []Cube{space}
+	}
+	full := mask(n)
+	for _, c := range cubes {
+		if c.Z&full == full && c.O&full == full {
+			return nil
+		}
+	}
+	// Select the most frequently constrained variable.
+	best, bestCount := -1, -1
+	for v := 0; v < n; v++ {
+		b := uint64(1) << uint(v)
+		if space.Z&b == 0 || space.O&b == 0 {
+			continue // already fixed by space
+		}
+		count := 0
+		for _, c := range cubes {
+			if c.Z&b == 0 || c.O&b == 0 {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = v, count
+		}
+	}
+	if best < 0 || bestCount == 0 {
+		// All cubes are full don't-care over the free variables of space —
+		// they cover space entirely (none was the universe, but within
+		// space's free vars they are unconstrained).
+		return nil
+	}
+	b := uint64(1) << uint(best)
+	half := func(keepZ bool) []Cube {
+		var sub []Cube
+		for _, c := range cubes {
+			if keepZ && c.Z&b != 0 {
+				sub = append(sub, Cube{Z: c.Z | b, O: c.O | b})
+			}
+			if !keepZ && c.O&b != 0 {
+				sub = append(sub, Cube{Z: c.Z | b, O: c.O | b})
+			}
+		}
+		return sub
+	}
+	sp0 := Cube{Z: space.Z, O: space.O &^ b}
+	sp1 := Cube{Z: space.Z &^ b, O: space.O}
+	return append(complRec(n, half(true), sp0), complRec(n, half(false), sp1)...)
+}
+
+// Expand enlarges each cube of f against the blocking cover off (the
+// off-set). Two mechanisms are combined, approximating espresso's
+// coverage-directed expansion: first, pairs of cubes whose supercube is
+// disjoint from off are merged (this recovers whole faces from their
+// minterms in one step); then each cube's literals are raised greedily,
+// most-easily-raised first, while the cube stays disjoint from off.
+// Expanded cubes that cover earlier ones subsume them via SCC.
+func (f *Cover) Expand(off *Cover) {
+	f.mergeSupercubes(off)
+	for i := range f.Cubes {
+		f.Cubes[i] = expandCube(f.N, f.Cubes[i], off)
+	}
+	f.SCC()
+}
+
+// mergeSupercubes repeatedly replaces pairs of cubes by their supercube
+// whenever the supercube does not intersect the off-set.
+func (f *Cover) mergeSupercubes(off *Cover) {
+	for {
+		merged := false
+		for i := 0; i < len(f.Cubes) && !merged; i++ {
+			for j := i + 1; j < len(f.Cubes); j++ {
+				sc := f.Cubes[i].Supercube(f.Cubes[j])
+				ok := true
+				for _, o := range off.Cubes {
+					if sc.Intersects(f.N, o) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					f.Cubes[i] = sc
+					f.Cubes = append(f.Cubes[:j], f.Cubes[j+1:]...)
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+func expandCube(n int, c Cube, off *Cover) Cube {
+	type cand struct{ v, blockers int }
+	var cands []cand
+	for v := 0; v < n; v++ {
+		b := uint64(1) << uint(v)
+		if c.Z&b != 0 && c.O&b != 0 {
+			continue // already free
+		}
+		raised := Cube{Z: c.Z | b, O: c.O | b}
+		blockers := 0
+		for _, o := range off.Cubes {
+			if raised.Intersects(n, o) {
+				blockers++
+			}
+		}
+		cands = append(cands, cand{v, blockers})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].blockers != cands[j].blockers {
+			return cands[i].blockers < cands[j].blockers
+		}
+		return cands[i].v < cands[j].v
+	})
+	for _, cd := range cands {
+		b := uint64(1) << uint(cd.v)
+		raised := Cube{Z: c.Z | b, O: c.O | b}
+		ok := true
+		for _, o := range off.Cubes {
+			if raised.Intersects(n, o) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			c = raised
+		}
+	}
+	return c
+}
+
+// Irredundant removes cubes covered by the union of the remaining cubes
+// and the don't-care cover dc (may be nil).
+func (f *Cover) Irredundant(dc *Cover) {
+	// Try removing the largest cubes last: removing small cubes first
+	// preserves the expanded primes.
+	order := make([]int, len(f.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return f.Cubes[order[a]].Literals(f.N) > f.Cubes[order[b]].Literals(f.N)
+	})
+	removed := make([]bool, len(f.Cubes))
+	for _, i := range order {
+		rest := &Cover{N: f.N}
+		for j, c := range f.Cubes {
+			if j != i && !removed[j] {
+				rest.Cubes = append(rest.Cubes, c)
+			}
+		}
+		if dc != nil {
+			rest.Cubes = append(rest.Cubes, dc.Cubes...)
+		}
+		if rest.CoversCube(f.Cubes[i]) {
+			removed[i] = true
+		}
+	}
+	var kept []Cube
+	for i, c := range f.Cubes {
+		if !removed[i] {
+			kept = append(kept, c)
+		}
+	}
+	f.Cubes = kept
+}
+
+// Reduce shrinks each cube to the smallest cube covering the minterms it
+// alone covers (relative to the rest of the cover plus dc), enabling the
+// next expansion to escape local minima.
+func (f *Cover) Reduce(dc *Cover) {
+	for i := range f.Cubes {
+		rest := &Cover{N: f.N}
+		for j, c := range f.Cubes {
+			if j != i {
+				rest.Cubes = append(rest.Cubes, c)
+			}
+		}
+		if dc != nil {
+			rest.Cubes = append(rest.Cubes, dc.Cubes...)
+		}
+		f.Cubes[i] = reduceCube(f.N, f.Cubes[i], rest)
+	}
+	var kept []Cube
+	for _, c := range f.Cubes {
+		if !c.IsEmpty(f.N) {
+			kept = append(kept, c)
+		}
+	}
+	f.Cubes = kept
+}
+
+// reduceCube returns the supercube of c ∖ rest.
+func reduceCube(n int, c Cube, rest *Cover) Cube {
+	var cof []Cube
+	for _, d := range rest.Cubes {
+		if r, ok := d.Cofactor(n, c); ok {
+			cof = append(cof, r)
+		}
+	}
+	remainder := complRec(n, cof, Universe(n))
+	if len(remainder) == 0 {
+		return Cube{} // fully covered by the rest
+	}
+	sc := remainder[0]
+	for _, r := range remainder[1:] {
+		sc = sc.Supercube(r)
+	}
+	return c.Intersect(sc)
+}
+
+// Minimize runs the espresso loop on the on-set f with don't-care set dc
+// (nil allowed) and returns a minimized cover. The off-set is computed by
+// complementation unless provided via off (pass nil to compute).
+func Minimize(f, dc, off *Cover) *Cover {
+	g := f.Clone()
+	g.SCC()
+	if len(g.Cubes) == 0 {
+		return g
+	}
+	if off == nil {
+		onDC := g.Clone()
+		if dc != nil {
+			onDC.Cubes = append(onDC.Cubes, dc.Cubes...)
+		}
+		off = onDC.Complement()
+	}
+	best := g.Clone()
+	cost := func(c *Cover) (int, int) { return c.Size(), c.Literals() }
+	bc, bl := cost(best)
+	for iter := 0; iter < 4; iter++ {
+		g.Expand(off)
+		g.Irredundant(dc)
+		c, l := cost(g)
+		if c < bc || (c == bc && l < bl) {
+			best = g.Clone()
+			bc, bl = c, l
+		} else if iter > 0 {
+			break
+		}
+		g.Reduce(dc)
+	}
+	return best
+}
+
+// FromMinterms builds a cover of the given minterms over n variables.
+func FromMinterms(n int, ms []uint64) *Cover {
+	f := NewCover(n)
+	for _, m := range ms {
+		f.Add(MintermCube(n, m))
+	}
+	return f
+}
+
+// Equivalent reports whether covers f and g agree on every minterm outside
+// the don't-care set dc (nil means none). Exhaustive over 2^n minterms;
+// intended for testing with small n.
+func Equivalent(f, g, dc *Cover) bool {
+	n := f.N
+	if n > 24 {
+		panic("espresso: Equivalent limited to 24 variables")
+	}
+	for m := uint64(0); m < 1<<uint(n); m++ {
+		if dc != nil && dc.ContainsMinterm(m) {
+			continue
+		}
+		if f.ContainsMinterm(m) != g.ContainsMinterm(m) {
+			return false
+		}
+	}
+	return true
+}

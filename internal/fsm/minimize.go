@@ -1,0 +1,148 @@
+package fsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MinimizeStates merges behaviorally equivalent states of a complete,
+// deterministic machine by Moore-style partition refinement: two states
+// are equivalent iff on every input minterm they assert identical outputs
+// and transition to equivalent states. State minimization is the classic
+// step preceding state assignment — fewer symbols mean shorter codes and
+// smaller constraint systems.
+//
+// It returns the quotient machine and the mapping from old state indices
+// to new ones. State names of merged classes are taken from the
+// lowest-indexed representative.
+func MinimizeStates(m *FSM) (*FSM, []int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if !m.Deterministic() {
+		return nil, nil, fmt.Errorf("fsm %s: state minimization requires a deterministic machine", m.Name)
+	}
+	n := m.NumStates()
+	if n == 0 {
+		return m, nil, nil
+	}
+	if m.NumInputs > 16 {
+		return nil, nil, fmt.Errorf("fsm %s: state minimization enumerates input minterms; %d inputs is too many", m.Name, m.NumInputs)
+	}
+	numIn := 1 << uint(m.NumInputs)
+
+	// behavior[s][in] = (next state, output pattern); -1 next marks
+	// unspecified points (incompletely specified machines are rejected —
+	// exact minimization of those is a covering problem, out of scope).
+	type cell struct {
+		next int
+		out  string
+	}
+	behavior := make([][]cell, n)
+	for s := range behavior {
+		behavior[s] = make([]cell, numIn)
+		for i := range behavior[s] {
+			behavior[s][i].next = -1
+		}
+	}
+	for ti, t := range m.Trans {
+		cube := m.InCube(ti)
+		for in := 0; in < numIn; in++ {
+			if cube.ContainsMinterm(m.NumInputs, uint64(in)) {
+				behavior[t.From][in] = cell{next: t.To, out: t.Out}
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		for in := 0; in < numIn; in++ {
+			if behavior[s][in].next < 0 {
+				return nil, nil, fmt.Errorf("fsm %s: state %s unspecified on input %0*b",
+					m.Name, m.States.Name(s), m.NumInputs, in)
+			}
+		}
+	}
+
+	// Initial partition: by per-minterm output signature.
+	class := make([]int, n)
+	{
+		sig := map[string]int{}
+		for s := 0; s < n; s++ {
+			key := ""
+			for in := 0; in < numIn; in++ {
+				key += behavior[s][in].out + "|"
+			}
+			id, ok := sig[key]
+			if !ok {
+				id = len(sig)
+				sig[key] = id
+			}
+			class[s] = id
+		}
+	}
+
+	// Refinement to fix point: split classes whose members disagree on
+	// successor classes.
+	for {
+		sig := map[string]int{}
+		next := make([]int, n)
+		for s := 0; s < n; s++ {
+			key := fmt.Sprintf("%d", class[s])
+			for in := 0; in < numIn; in++ {
+				key += fmt.Sprintf(",%d", class[behavior[s][in].next])
+			}
+			id, ok := sig[key]
+			if !ok {
+				id = len(sig)
+				sig[key] = id
+			}
+			next[s] = id
+		}
+		same := true
+		for s := range class {
+			if class[s] != next[s] {
+				same = false
+			}
+		}
+		class = next
+		if same {
+			break
+		}
+	}
+
+	// Build the quotient with the lowest-indexed representative per class,
+	// renumbering classes by representative order for determinism.
+	rep := map[int]int{}
+	var reps []int
+	for s := 0; s < n; s++ {
+		if _, ok := rep[class[s]]; !ok {
+			rep[class[s]] = s
+			reps = append(reps, s)
+		}
+	}
+	sort.Ints(reps)
+	newIndex := map[int]int{} // class id -> new state index
+	q := New(m.Name, m.NumInputs, m.NumOutputs)
+	for _, r := range reps {
+		newIndex[class[r]] = q.States.Intern(m.States.Name(r))
+	}
+	mapping := make([]int, n)
+	for s := 0; s < n; s++ {
+		mapping[s] = newIndex[class[s]]
+	}
+	for _, r := range reps {
+		for ti, t := range m.Trans {
+			if t.From != r {
+				continue
+			}
+			_ = ti
+			q.Trans = append(q.Trans, Transition{
+				In:   t.In,
+				From: mapping[r],
+				To:   mapping[t.To],
+				Out:  t.Out,
+			})
+		}
+	}
+	q.Reset = mapping[m.Reset]
+	return q, mapping, nil
+}

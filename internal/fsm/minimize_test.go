@@ -1,0 +1,147 @@
+package fsm
+
+import (
+	"testing"
+)
+
+func buildMachine(t *testing.T, inputs, outputs int, trans [][4]string) *FSM {
+	t.Helper()
+	m := New("test", inputs, outputs)
+	for _, tr := range trans {
+		m.AddTransition(tr[0], tr[1], tr[2], tr[3])
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMinimizeMergesDuplicates(t *testing.T) {
+	// a and b are bit-for-bit identical; c distinguishes itself.
+	m := buildMachine(t, 1, 1, [][4]string{
+		{"0", "a", "c", "1"},
+		{"1", "a", "a", "0"},
+		{"0", "b", "c", "1"},
+		{"1", "b", "b", "0"},
+		{"0", "c", "c", "0"},
+		{"1", "c", "a", "1"},
+	})
+	q, mapping, err := MinimizeStates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumStates() != 2 {
+		t.Fatalf("want 2 states after merging a≡b, got %d", q.NumStates())
+	}
+	a, _ := m.States.Lookup("a")
+	b, _ := m.States.Lookup("b")
+	c, _ := m.States.Lookup("c")
+	if mapping[a] != mapping[b] {
+		t.Fatal("a and b must map to the same class")
+	}
+	if mapping[a] == mapping[c] {
+		t.Fatal("c must stay separate")
+	}
+}
+
+func TestMinimizeDistinguishesByOutput(t *testing.T) {
+	m := buildMachine(t, 1, 1, [][4]string{
+		{"-", "a", "a", "0"},
+		{"-", "b", "b", "1"},
+	})
+	q, _, err := MinimizeStates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumStates() != 2 {
+		t.Fatalf("different outputs must not merge, got %d states", q.NumStates())
+	}
+}
+
+func TestMinimizeDistinguishesBySuccessor(t *testing.T) {
+	// a,b same outputs but different eventual behavior: a→x (outputs 1),
+	// b→y (outputs 0).
+	m := buildMachine(t, 1, 1, [][4]string{
+		{"-", "a", "x", "0"},
+		{"-", "b", "y", "0"},
+		{"-", "x", "x", "1"},
+		{"-", "y", "y", "0"},
+	})
+	q, mapping, err := MinimizeStates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.States.Lookup("a")
+	b, _ := m.States.Lookup("b")
+	if mapping[a] == mapping[b] {
+		t.Fatalf("a and b reach distinguishable states; must not merge (%d states)", q.NumStates())
+	}
+	// b and y are both forever-0: they merge.
+	y, _ := m.States.Lookup("y")
+	if mapping[b] != mapping[y] {
+		t.Fatal("b and y are equivalent")
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	m := Generate(Suite[4]) // dk512
+	q, _, err := MinimizeStates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, mapping, err := MinimizeStates(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.NumStates() != q.NumStates() {
+		t.Fatalf("second minimization changed the state count %d -> %d", q.NumStates(), q2.NumStates())
+	}
+	for i, v := range mapping {
+		if i != v {
+			t.Fatal("second minimization must be the identity")
+		}
+	}
+}
+
+func TestMinimizeRejectsNondeterministic(t *testing.T) {
+	m := New("nd", 1, 1)
+	m.AddTransition("-", "a", "a", "0")
+	m.AddTransition("1", "a", "b", "1")
+	m.States.Intern("b")
+	if _, _, err := MinimizeStates(m); err == nil {
+		t.Fatal("non-deterministic machines must be rejected")
+	}
+}
+
+func TestMinimizeRejectsIncomplete(t *testing.T) {
+	m := New("inc", 1, 1)
+	m.AddTransition("0", "a", "a", "0")
+	if _, _, err := MinimizeStates(m); err == nil {
+		t.Fatal("incompletely specified machines must be rejected")
+	}
+}
+
+func TestMinimizePreservesSuiteBehavior(t *testing.T) {
+	// The synthetic machines should already be nearly minimal (hub
+	// structure creates some twins); whatever merges happen must keep the
+	// transition structure valid.
+	for _, name := range []string{"dk512", "master", "bbsse"} {
+		m, _ := GenerateByName(name)
+		q, mapping, err := MinimizeStates(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: quotient invalid: %v", name, err)
+		}
+		if !q.Deterministic() {
+			t.Fatalf("%s: quotient must stay deterministic", name)
+		}
+		if q.NumStates() > m.NumStates() {
+			t.Fatalf("%s: minimization grew the machine", name)
+		}
+		if len(mapping) != m.NumStates() {
+			t.Fatalf("%s: mapping has wrong length", name)
+		}
+	}
+}

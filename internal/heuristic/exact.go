@@ -1,0 +1,109 @@
+package heuristic
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dichotomy"
+	"repro/internal/hypercube"
+)
+
+// ExactBounded solves P-3 exactly by the formulation Section 7.1 opens
+// with: enumerate all 2^(n-1) encoding-dichotomies over the n symbols and
+// select c of them that assign distinct codes to every symbol while
+// minimizing the cost metric. The enumeration is exponential — "clearly
+// infeasible on all but trivial instances" — so this serves as the ground
+// truth the split/merge/select heuristic is validated against in tests.
+// Limited to 12 symbols.
+func ExactBounded(cs *constraint.Set, opts Options) (*Result, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	n := cs.N()
+	if n > 12 {
+		return nil, fmt.Errorf("heuristic: ExactBounded limited to 12 symbols, got %d", n)
+	}
+	c := opts.Bits
+	if c == 0 {
+		c = hypercube.MinBits(n)
+	}
+	if n == 0 {
+		return &Result{Encoding: core.NewEncoding(cs.Syms, 0, nil)}, nil
+	}
+	if n == 1 {
+		return &Result{Encoding: core.NewEncoding(cs.Syms, c, make([]hypercube.Code, 1))}, nil
+	}
+
+	// Candidate generation: all total dichotomies with symbol 0 fixed to
+	// the left block (orientation is irrelevant to every cost metric, so
+	// the 2^(n-1) canonical representatives suffice).
+	var cands []dichotomy.D
+	for pat := uint64(0); pat < uint64(1)<<uint(n-1); pat++ {
+		var d dichotomy.D
+		d.L.Add(0)
+		for s := 1; s < n; s++ {
+			if pat&(1<<uint(s-1)) != 0 {
+				d.R.Add(s)
+			} else {
+				d.L.Add(s)
+			}
+		}
+		if d.R.IsEmpty() {
+			continue // constant column carries no information
+		}
+		cands = append(cands, d)
+	}
+
+	all := bitset.New(n)
+	for i := 0; i < n; i++ {
+		all.Add(i)
+	}
+	evaluator := cost.NewEvaluator(cs)
+	bestCost := 1 << 30
+	var best []int
+
+	sel := make([]int, c)
+	var rec func(pos, from int)
+	rec = func(pos, from int) {
+		if pos == c {
+			if !uniqueCodes(all, cands, sel) {
+				return
+			}
+			a := assignmentOf(all, cands, sel, n)
+			v := evaluator.Of(opts.Metric, a)
+			if v < bestCost {
+				bestCost = v
+				best = append([]int(nil), sel...)
+			}
+			return
+		}
+		for i := from; i < len(cands); i++ {
+			sel[pos] = i
+			rec(pos+1, i+1)
+		}
+	}
+	rec(0, 0)
+	if best == nil {
+		return nil, fmt.Errorf("heuristic: no selection of %d dichotomies yields distinct codes", c)
+	}
+	enc := core.FromColumns(cs.Syms, pick(cands, best))
+	a := cost.FullAssignment(enc.Bits, enc.Codes)
+	return &Result{Encoding: enc, Cost: cost.Evaluate(cs, a)}, nil
+}
+
+// assignmentOf derives the full assignment of a selection.
+func assignmentOf(p bitset.Set, cands []dichotomy.D, sel []int, n int) cost.Assignment {
+	codes := make([]hypercube.Code, n)
+	for j, ci := range sel {
+		col := cands[ci]
+		for s := 0; s < n; s++ {
+			if col.R.Has(s) {
+				codes[s] |= 1 << uint(j)
+			}
+		}
+	}
+	return cost.Assignment{Bits: len(sel), Subset: p, Codes: codes}
+}

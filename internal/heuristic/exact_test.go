@@ -1,0 +1,118 @@
+package heuristic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/constraint"
+	"repro/internal/cost"
+)
+
+// TestExactBoundedOnSection7Example computes the true P-3 optimum of the
+// Section-7 constraint set at 3 bits and checks the heuristic lands within
+// a small additive gap.
+func TestExactBoundedOnSection7Example(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c d e f g
+		face e f c
+		face e d g
+		face a b d
+		face a g f d
+	`)
+	exact, err := ExactBounded(cs, Options{Metric: cost.Violations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cost.Violations < 1 {
+		t.Fatalf("3 bits cannot satisfy all constraints; exact says %d violations", exact.Cost.Violations)
+	}
+	h, err := Encode(cs, Options{Metric: cost.Violations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cost.Violations > exact.Cost.Violations+1 {
+		t.Fatalf("heuristic %d violations vs exact optimum %d",
+			h.Cost.Violations, exact.Cost.Violations)
+	}
+}
+
+// TestHeuristicNearExactRandom compares the heuristic against the exact
+// P-3 formulation on random small instances: the heuristic must stay
+// within a bounded gap of the optimum on every metric.
+func TestHeuristicNearExactRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(3)
+		cs := constraint.NewSet(nil)
+		for i := 0; i < n; i++ {
+			cs.Syms.Intern(string(rune('a' + i)))
+		}
+		for k := 1 + rng.Intn(3); k > 0; k-- {
+			var m bitset.Set
+			for s := 0; s < n; s++ {
+				if rng.Intn(3) == 0 {
+					m.Add(s)
+				}
+			}
+			if m.Len() >= 2 && m.Len() < n {
+				cs.Faces = append(cs.Faces, constraint.Face{Members: m})
+			}
+		}
+		if len(cs.Faces) == 0 {
+			continue
+		}
+		exact, err := ExactBounded(cs, Options{Metric: cost.Violations})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		h, err := Encode(cs, Options{Metric: cost.Violations})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if h.Cost.Violations > exact.Cost.Violations+1 {
+			t.Fatalf("trial %d: heuristic %d vs optimum %d on\n%s",
+				trial, h.Cost.Violations, exact.Cost.Violations, cs)
+		}
+	}
+}
+
+func TestExactBoundedRejectsLarge(t *testing.T) {
+	cs := constraint.NewSet(nil)
+	for i := 0; i < 13; i++ {
+		cs.Syms.Intern(string(rune('a' + i)))
+	}
+	if _, err := ExactBounded(cs, Options{}); err == nil {
+		t.Fatal("13 symbols must be rejected")
+	}
+}
+
+func TestExactBoundedDegenerate(t *testing.T) {
+	empty := constraint.NewSet(nil)
+	if res, err := ExactBounded(empty, Options{}); err != nil || res.Encoding.Bits != 0 {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+	single := constraint.NewSet(nil)
+	single.Syms.Intern("a")
+	if _, err := ExactBounded(single, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinatoricHelpers(t *testing.T) {
+	if combinations(5, 2) != 10 || combinations(4, 4) != 1 || combinations(3, 5) != 0 {
+		t.Fatal("combinations wrong")
+	}
+	count := 0
+	forEachCombination(5, 3, func(sel []int) {
+		count++
+		for i := 1; i < len(sel); i++ {
+			if sel[i] <= sel[i-1] {
+				t.Fatal("combination not strictly increasing")
+			}
+		}
+	})
+	if count != 10 {
+		t.Fatalf("enumerated %d combinations, want 10", count)
+	}
+}

@@ -1,0 +1,32 @@
+package heuristic_test
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/cost"
+	"repro/internal/heuristic"
+)
+
+// Example runs the Section-7.1 bounded-length heuristic on the Section-7
+// constraint set at minimum length: three bits cannot satisfy all four
+// face constraints, so at least one violation remains.
+func Example() {
+	cs := constraint.MustParse(`
+		symbols a b c d e f g
+		face e f c
+		face e d g
+		face a b d
+		face a g f d
+	`)
+	res, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Violations})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("bits:", res.Encoding.Bits)
+	fmt.Println("some violation remains:", res.Cost.Violations >= 1)
+	// Output:
+	// bits: 3
+	// some violation remains: true
+}

@@ -1,0 +1,538 @@
+// Package heuristic implements the bounded-length encoding heuristic of
+// Section 7.1: the exact P-3 formulation (select c of the 2^(n-1) possible
+// encoding-dichotomies minimizing a cost function) is approximated by
+// recursive *splitting* of the symbol set with a Kernighan–Lin-style
+// partitioner, *merging* of the sub-solutions' restricted dichotomies by
+// cross product, and *selection* of the c best restricted dichotomies under
+// the chosen cost metric with a bounded enumeration.
+package heuristic
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dichotomy"
+	"repro/internal/hypercube"
+	"repro/internal/partition"
+)
+
+// Options configures the heuristic encoder.
+type Options struct {
+	// Metric is the P-3 cost function; default Violations.
+	Metric cost.Metric
+	// Bits fixes the code length; 0 means the minimum length
+	// ceil(log2 n), as used throughout the paper's Tables 2 and 3.
+	Bits int
+	// MaxEvaluations bounds the number of candidate-selection cost
+	// evaluations per subset (Section 7.1 "the number of evaluations can
+	// be restricted to some fixed number"); 0 means DefaultMaxEvaluations.
+	MaxEvaluations int
+	// Restarts is the number of independent split/merge/select runs with
+	// distinct partitioning tie-breaks; the best result wins. 0 means
+	// DefaultRestarts.
+	Restarts int
+	// PolishBudget bounds the cost evaluations of the final pairwise-swap
+	// polish over the assembled encoding; 0 means DefaultPolishBudget,
+	// negative disables polishing.
+	PolishBudget int
+}
+
+// DefaultMaxEvaluations bounds the selection-phase search per subproblem.
+const DefaultMaxEvaluations = 2000
+
+// DefaultRestarts is the number of multi-start runs.
+const DefaultRestarts = 4
+
+// DefaultPolishBudget bounds the final swap-improvement evaluations.
+const DefaultPolishBudget = 6000
+
+// Result carries the heuristic encoding and its evaluated cost.
+type Result struct {
+	Encoding *core.Encoding
+	Cost     cost.Result
+}
+
+// Encode runs the split/merge/select heuristic on the input constraints of
+// cs and returns an encoding of the requested length. Output constraints
+// are not handled by this algorithm (the paper presents it for input
+// constraints); they are ignored if present.
+func Encode(cs *constraint.Set, opts Options) (*Result, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	n := cs.N()
+	if n == 0 {
+		return &Result{Encoding: core.NewEncoding(cs.Syms, 0, nil)}, nil
+	}
+	c := opts.Bits
+	if c == 0 {
+		c = hypercube.MinBits(n)
+	}
+	if n > 1<<uint(c) {
+		return nil, fmt.Errorf("heuristic: %d symbols do not fit in %d bits", n, c)
+	}
+	if opts.MaxEvaluations == 0 {
+		opts.MaxEvaluations = DefaultMaxEvaluations
+	}
+
+	restarts := opts.Restarts
+	if restarts == 0 {
+		restarts = DefaultRestarts
+	}
+	all := bitset.New(n)
+	for i := 0; i < n; i++ {
+		all.Add(i)
+	}
+	evaluator := cost.NewEvaluator(cs)
+	metricOf := func(enc *core.Encoding) int {
+		return evaluator.Of(opts.Metric, cost.FullAssignment(enc.Bits, enc.Codes))
+	}
+
+	var best *core.Encoding
+	bestCost := 1 << 30
+	for r := 0; r < restarts; r++ {
+		e := &encoder{cs: cs, opts: opts, variant: r}
+		cols := e.solve(all, c)
+		enc := core.FromColumns(cs.Syms, cols)
+		ensureUnique(enc, c)
+		if v := metricOf(enc); v < bestCost {
+			bestCost, best = v, enc
+		}
+	}
+
+	polish(cs, best, opts, evaluator)
+	a := cost.FullAssignment(best.Bits, best.Codes)
+	return &Result{Encoding: best, Cost: cost.Evaluate(cs, a)}, nil
+}
+
+// polish improves the assembled encoding with pairwise code swaps and
+// moves to unused codes, accepting strict improvements of the metric.
+func polish(cs *constraint.Set, enc *core.Encoding, opts Options, evaluator *cost.Evaluator) {
+	budget := opts.PolishBudget
+	if budget == 0 {
+		budget = DefaultPolishBudget
+	}
+	if budget < 0 {
+		return
+	}
+	n := cs.N()
+	limit := 1 << uint(enc.Bits)
+	used := make([]bool, limit)
+	for _, c := range enc.Codes {
+		used[c] = true
+	}
+	eval := func() int {
+		return evaluator.Of(opts.Metric, cost.FullAssignment(enc.Bits, enc.Codes))
+	}
+	best := eval()
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+		for a := 0; a < n && budget > 0; a++ {
+			for b := a + 1; b < n && budget > 0; b++ {
+				enc.Codes[a], enc.Codes[b] = enc.Codes[b], enc.Codes[a]
+				budget--
+				if v := eval(); v < best {
+					best = v
+					improved = true
+				} else {
+					enc.Codes[a], enc.Codes[b] = enc.Codes[b], enc.Codes[a]
+				}
+			}
+		}
+		for a := 0; a < n && budget > 0; a++ {
+			for c := 0; c < limit && budget > 0; c++ {
+				if used[c] {
+					continue
+				}
+				old := enc.Codes[a]
+				enc.Codes[a] = uint64(c)
+				budget--
+				if v := eval(); v < best {
+					best = v
+					used[old] = false
+					used[c] = true
+					improved = true
+				} else {
+					enc.Codes[a] = old
+				}
+			}
+		}
+		if improved || budget <= 0 {
+			continue
+		}
+		// Pairwise moves are exhausted: try 3-cycles of codes to escape
+		// swap-local minima before giving up.
+		for a := 0; a < n && budget > 0; a++ {
+			for b := a + 1; b < n && budget > 0; b++ {
+				for c := b + 1; c < n && budget > 0; c++ {
+					rotate := func() {
+						enc.Codes[a], enc.Codes[b], enc.Codes[c] =
+							enc.Codes[b], enc.Codes[c], enc.Codes[a]
+					}
+					applied, kept := 0, false
+					for rot := 0; rot < 2 && budget > 0; rot++ {
+						rotate()
+						applied++
+						budget--
+						if v := eval(); v < best {
+							best = v
+							improved = true
+							kept = true
+							break
+						}
+					}
+					if !kept {
+						// Three rotations are the identity: undo.
+						for ; applied%3 != 0; applied++ {
+							rotate()
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+type encoder struct {
+	cs      *constraint.Set
+	opts    Options
+	variant int
+}
+
+// ensureUnique guarantees distinct codes within the fixed code length: any
+// symbol sharing a code with an earlier one is remapped to an unused code.
+// The selection phase almost always delivers distinct codes already; this
+// is a terminal safety net so the returned encoding is always usable.
+func ensureUnique(enc *core.Encoding, c int) {
+	if enc.Bits < c {
+		enc.Bits = c
+	}
+	limit := hypercube.Code(1) << uint(enc.Bits)
+	used := make(map[hypercube.Code]bool, len(enc.Codes))
+	var free hypercube.Code
+	for i, code := range enc.Codes {
+		if !used[code] {
+			used[code] = true
+			continue
+		}
+		for used[free] && free < limit {
+			free++
+		}
+		if free < limit {
+			enc.Codes[i] = free
+			used[free] = true
+		}
+	}
+}
+
+// solve returns up to c total restricted dichotomies over subset P that
+// assign distinct codes to all symbols of P and minimize the cost metric
+// on the restricted constraints.
+func (e *encoder) solve(p bitset.Set, c int) []dichotomy.D {
+	switch p.Len() {
+	case 0:
+		return nil
+	case 1:
+		s, _ := p.Min()
+		return []dichotomy.D{dichotomy.Of([]int{s}, nil)}
+	case 2:
+		elems := p.Elems()
+		return []dichotomy.D{dichotomy.Of(elems[:1], elems[1:])}
+	}
+
+	// Split: each side must fit in c-1 bits.
+	capSide := 1 << uint(c-1)
+	h := e.nets(p)
+	left, right := partition.BipartitionVariant(h, p.Elems(), capSide, capSide, e.variant)
+
+	d1 := e.solve(left, c-1)
+	d2 := e.solve(right, c-1)
+
+	// Merge: the partition dichotomy plus both-orientation cross products.
+	var cands []dichotomy.D
+	cands = append(cands, dichotomy.New(left, right))
+	for _, a := range d1 {
+		for _, b := range d2 {
+			cands = append(cands, dichotomy.Union(a, b))
+			cands = append(cands, dichotomy.Union(a, b.Mirror()))
+		}
+	}
+	cands = dedupe(cands)
+
+	return e.selectBest(p, c, cands)
+}
+
+// nets builds the splitting hypergraph: one net per restricted face
+// constraint (cut nets are violated constraints) and one per pair that a
+// restricted initial uniqueness dichotomy would distinguish is implied by
+// the uniqueness guarantee of the merge step, so faces suffice.
+func (e *encoder) nets(p bitset.Set) *partition.Hypergraph {
+	h := &partition.Hypergraph{N: e.cs.N()}
+	for _, f := range e.cs.Faces {
+		m := bitset.Intersect(f.Members, p)
+		if m.Len() >= 2 {
+			h.Nets = append(h.Nets, m.Elems())
+		}
+	}
+	return h
+}
+
+// selectBest picks min(c, needed) candidates giving distinct codes to all
+// of P while minimizing the restricted cost metric. A greedy seed is
+// improved by bounded swap passes; when the candidate pool is small enough
+// the selection is exhaustive.
+func (e *encoder) selectBest(p bitset.Set, c int, cands []dichotomy.D) []dichotomy.D {
+	if len(cands) <= c {
+		return cands
+	}
+	restricted := e.cs.Restrict(p)
+	evaluator := cost.NewEvaluator(restricted)
+
+	evalBudget := e.opts.MaxEvaluations
+	evalSel := func(sel []int) (int, bool) {
+		if !uniqueCodes(p, cands, sel) {
+			return 1 << 30, false
+		}
+		if evalBudget <= 0 {
+			return 1 << 30, false
+		}
+		evalBudget--
+		a := e.assignment(p, cands, sel)
+		if e.opts.Metric == cost.Violations {
+			return cost.CountViolations(restricted, a), true
+		}
+		return evaluator.Of(e.opts.Metric, a), true
+	}
+
+	// Exhaustive when feasible within budget.
+	if combinations(len(cands), c) <= e.opts.MaxEvaluations {
+		best, bestCost := []int(nil), 1<<30
+		forEachCombination(len(cands), c, func(sel []int) {
+			if v, ok := evalSel(sel); ok && v < bestCost {
+				bestCost = v
+				best = append([]int(nil), sel...)
+			}
+		})
+		if best != nil {
+			return pick(cands, best)
+		}
+	}
+
+	// Greedy seed: the partition dichotomy first (it is candidate 0 and
+	// guarantees progress on uniqueness), then grow by the candidate that
+	// most improves distinctness, ties by metric.
+	sel := greedySeed(p, cands, c)
+	if sel == nil {
+		// Fall back: any c candidates; uniqueness enforced later by caller
+		// retries.
+		sel = make([]int, c)
+		for i := range sel {
+			sel[i] = i % len(cands)
+		}
+	}
+	bestCost, _ := evalSel(sel)
+
+	// Swap improvement passes.
+	improved := true
+	for improved && evalBudget > 0 {
+		improved = false
+		for si := 0; si < len(sel) && evalBudget > 0; si++ {
+			for ci := 0; ci < len(cands) && evalBudget > 0; ci++ {
+				if contains(sel, ci) {
+					continue
+				}
+				old := sel[si]
+				sel[si] = ci
+				if v, ok := evalSel(sel); ok && v < bestCost {
+					bestCost = v
+					improved = true
+				} else {
+					sel[si] = old
+				}
+			}
+		}
+	}
+	return pick(cands, sel)
+}
+
+// assignment derives the partial codes of subset p from the selected
+// candidate columns.
+func (e *encoder) assignment(p bitset.Set, cands []dichotomy.D, sel []int) cost.Assignment {
+	codes := make([]hypercube.Code, e.cs.N())
+	for j, ci := range sel {
+		col := cands[ci]
+		p.ForEach(func(s int) bool {
+			if col.R.Has(s) {
+				codes[s] |= 1 << uint(j)
+			}
+			return true
+		})
+	}
+	return cost.Assignment{Bits: len(sel), Subset: p, Codes: codes}
+}
+
+// uniqueCodes reports whether the selection assigns distinct codes to every
+// symbol of p.
+func uniqueCodes(p bitset.Set, cands []dichotomy.D, sel []int) bool {
+	seen := map[uint64]bool{}
+	ok := true
+	p.ForEach(func(s int) bool {
+		var code uint64
+		for j, ci := range sel {
+			if cands[ci].R.Has(s) {
+				code |= 1 << uint(j)
+			}
+		}
+		if seen[code] {
+			ok = false
+			return false
+		}
+		seen[code] = true
+		return true
+	})
+	return ok
+}
+
+// greedySeed builds an initial selection achieving distinct codes: start
+// from the partition dichotomy (index 0) and add the candidate separating
+// the most still-confounded pairs.
+func greedySeed(p bitset.Set, cands []dichotomy.D, c int) []int {
+	sel := []int{0}
+	for len(sel) < c {
+		bestCand, bestSep := -1, -1
+		for ci := range cands {
+			if contains(sel, ci) {
+				continue
+			}
+			sep := confoundedPairsSeparated(p, cands, sel, ci)
+			if sep > bestSep {
+				bestSep, bestCand = sep, ci
+			}
+		}
+		if bestCand < 0 {
+			return nil
+		}
+		sel = append(sel, bestCand)
+	}
+	if !uniqueCodes(p, cands, sel) && !repairUniqueness(p, cands, sel) {
+		return sel // caller's cost function will reject; swaps may fix it
+	}
+	return sel
+}
+
+// confoundedPairsSeparated counts pairs of symbols with equal partial codes
+// under sel that candidate ci separates.
+func confoundedPairsSeparated(p bitset.Set, cands []dichotomy.D, sel []int, ci int) int {
+	elems := p.Elems()
+	code := func(s int) uint64 {
+		var v uint64
+		for j, k := range sel {
+			if cands[k].R.Has(s) {
+				v |= 1 << uint(j)
+			}
+		}
+		return v
+	}
+	count := 0
+	for i := 0; i < len(elems); i++ {
+		for j := i + 1; j < len(elems); j++ {
+			if code(elems[i]) == code(elems[j]) && cands[ci].Separates(elems[i], elems[j]) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// repairUniqueness tries single-column replacements to reach distinct
+// codes; returns true on success.
+func repairUniqueness(p bitset.Set, cands []dichotomy.D, sel []int) bool {
+	for si := range sel {
+		old := sel[si]
+		for ci := range cands {
+			if contains(sel, ci) {
+				continue
+			}
+			sel[si] = ci
+			if uniqueCodes(p, cands, sel) {
+				return true
+			}
+		}
+		sel[si] = old
+	}
+	return false
+}
+
+func contains(sel []int, v int) bool {
+	for _, s := range sel {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func pick(cands []dichotomy.D, sel []int) []dichotomy.D {
+	out := make([]dichotomy.D, len(sel))
+	for i, ci := range sel {
+		out[i] = cands[ci]
+	}
+	return out
+}
+
+func dedupe(ds []dichotomy.D) []dichotomy.D {
+	seen := map[string]bool{}
+	var out []dichotomy.D
+	for _, d := range ds {
+		k := d.CanonicalKey()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// combinations returns C(n, k) saturating at a large bound.
+func combinations(n, k int) int {
+	if k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+		if res > 1<<30 || res < 0 {
+			return 1 << 30
+		}
+	}
+	return res
+}
+
+// forEachCombination enumerates k-subsets of [0,n) in lexicographic order.
+func forEachCombination(n, k int, fn func(sel []int)) {
+	sel := make([]int, k)
+	for i := range sel {
+		sel[i] = i
+	}
+	for {
+		fn(sel)
+		i := k - 1
+		for i >= 0 && sel[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		sel[i]++
+		for j := i + 1; j < k; j++ {
+			sel[j] = sel[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package hypercube
+
+// Graph is an undirected graph on vertices 0..N-1, used by the
+// NP-completeness witness of Section 2: deciding whether a graph of 2^k
+// nodes is a subgraph of the k-cube is NP-complete, and face hypercube
+// embedding restricted to two-symbol face constraints is exactly this
+// problem.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// EmbedInCube searches for an adjacency-preserving injection of g into the
+// k-cube by backtracking: vertex i is mapped to a distinct cube vertex such
+// that every edge maps to a cube edge (Hamming distance 1). It returns the
+// mapping and true on success. Exponential — intended for the small
+// instances of the reduction demonstration only.
+func EmbedInCube(g Graph, k int) ([]Code, bool) {
+	if g.N > 1<<uint(k) {
+		return nil, false
+	}
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	mapping := make([]Code, g.N)
+	placed := make([]bool, g.N)
+	used := make(map[Code]bool, g.N)
+
+	// Order vertices by degree descending for earlier pruning.
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && len(adj[order[j]]) > len(adj[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == g.N {
+			return true
+		}
+		v := order[pos]
+		for c := Code(0); c < 1<<uint(k); c++ {
+			if used[c] {
+				continue
+			}
+			ok := true
+			for _, u := range adj[v] {
+				if placed[u] && Distance(mapping[u], c) != 1 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[v], placed[v], used[c] = c, true, true
+			if rec(pos + 1) {
+				return true
+			}
+			placed[v] = false
+			delete(used, c)
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return mapping, true
+}
+
+// CheckEmbedding verifies that a mapping preserves adjacency and is
+// injective within the k-cube.
+func CheckEmbedding(g Graph, k int, mapping []Code) bool {
+	if len(mapping) != g.N {
+		return false
+	}
+	seen := make(map[Code]bool, g.N)
+	limit := Code(1) << uint(k)
+	for _, c := range mapping {
+		if c >= limit || seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	for _, e := range g.Edges {
+		if Distance(mapping[e[0]], mapping[e[1]]) != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+// Package hypercube provides the geometric primitives of the encoding
+// problem: faces of the binary n-cube, Hamming distances, and a brute-force
+// graph-into-hypercube embedder used as an executable witness of the
+// Section-2 NP-completeness reduction.
+package hypercube
+
+import "math/bits"
+
+// Code is a vertex of the n-cube, stored in the low bits of a uint64.
+// Encodings in this repository are limited to 64 bits, far beyond any
+// practical code length.
+type Code = uint64
+
+// Face is a subcube of the n-cube: the vertices v with v&Mask == Value.
+// Free (spanning) positions are the zero bits of Mask.
+type Face struct {
+	Mask  Code // 1 bits are fixed positions
+	Value Code // values at the fixed positions (subset of Mask)
+	Width int  // dimension n of the ambient cube
+}
+
+// Span returns the minimal face containing all the given vertices
+// (the k-face spanned by them). Span of no vertices is the empty-mask face
+// covering everything.
+func Span(width int, vs ...Code) Face {
+	if len(vs) == 0 {
+		return Face{Mask: 0, Value: 0, Width: width}
+	}
+	full := fullMask(width)
+	mask := full
+	val := vs[0]
+	for _, v := range vs[1:] {
+		mask &^= val ^ v // positions that differ become free
+		val &= mask
+	}
+	return Face{Mask: mask, Value: val & mask, Width: width}
+}
+
+func fullMask(width int) Code {
+	if width >= 64 {
+		return ^Code(0)
+	}
+	return (Code(1) << uint(width)) - 1
+}
+
+// Contains reports whether vertex v lies on the face.
+func (f Face) Contains(v Code) bool {
+	return v&f.Mask == f.Value
+}
+
+// Dim returns the dimension of the face (number of free positions within
+// the ambient width).
+func (f Face) Dim() int {
+	return f.Width - bits.OnesCount64(f.Mask&fullMask(f.Width))
+}
+
+// Size returns the number of vertices on the face.
+func (f Face) Size() uint64 {
+	return uint64(1) << uint(f.Dim())
+}
+
+// Distance returns the Hamming distance between two vertices.
+func Distance(a, b Code) int {
+	return bits.OnesCount64(a ^ b)
+}
+
+// Covers reports whether a bit-wise covers b (a ⊇ b as bit sets).
+func Covers(a, b Code) bool {
+	return a|b == a
+}
+
+// MinBits returns the least k with 2^k >= n; the information-theoretic
+// lower bound on code length for n distinct symbols.
+func MinBits(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,161 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpan(t *testing.T) {
+	f := Span(4, 0b0111, 0b1011, 0b0011)
+	// Agreeing positions: bits 0 and 1 (both 1 everywhere).
+	if f.Mask != 0b0011 || f.Value != 0b0011 {
+		t.Fatalf("span = %+v", f)
+	}
+	if f.Dim() != 2 || f.Size() != 4 {
+		t.Fatalf("dim=%d size=%d", f.Dim(), f.Size())
+	}
+	if !f.Contains(0b1111) || f.Contains(0b1110) {
+		t.Fatal("containment wrong")
+	}
+}
+
+func TestSpanSingleVertex(t *testing.T) {
+	f := Span(3, 0b101)
+	if f.Dim() != 0 || !f.Contains(0b101) || f.Contains(0b100) {
+		t.Fatalf("single-vertex span wrong: %+v", f)
+	}
+}
+
+func TestSpanEmpty(t *testing.T) {
+	f := Span(3)
+	if f.Dim() != 3 || !f.Contains(0b111) || !f.Contains(0) {
+		t.Fatalf("empty span must cover everything: %+v", f)
+	}
+}
+
+// TestSpanMinimality: the span contains all inputs and is the smallest such
+// face (every face containing the inputs contains the span).
+func TestSpanMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 500; trial++ {
+		width := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(4)
+		vs := make([]Code, k)
+		for i := range vs {
+			vs[i] = Code(rng.Intn(1 << uint(width)))
+		}
+		f := Span(width, vs...)
+		for _, v := range vs {
+			if !f.Contains(v) {
+				t.Fatalf("span misses input %b", v)
+			}
+		}
+		// Minimality: for each fixed position, some input pair must agree
+		// there — equivalently, no strictly smaller face (more fixed bits)
+		// contains all inputs. Check: every free bit of the span varies
+		// among inputs.
+		for b := 0; b < width; b++ {
+			bit := Code(1) << uint(b)
+			if f.Mask&bit != 0 {
+				continue
+			}
+			varies := false
+			for _, v := range vs[1:] {
+				if v&bit != vs[0]&bit {
+					varies = true
+					break
+				}
+			}
+			if !varies {
+				t.Fatalf("free bit %d does not vary among inputs %v", b, vs)
+			}
+		}
+	}
+}
+
+func TestDistanceAndCovers(t *testing.T) {
+	if Distance(0b1010, 0b0110) != 2 {
+		t.Fatal("distance wrong")
+	}
+	if !Covers(0b111, 0b101) || Covers(0b101, 0b111) {
+		t.Fatal("covers wrong")
+	}
+	err := quick.Check(func(a, b Code) bool {
+		// Covers(a|b, a) and Covers(a|b, b) always.
+		return Covers(a|b, a) && Covers(a|b, b)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinBits(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 68: 7}
+	for n, want := range cases {
+		if got := MinBits(n); got != want {
+			t.Errorf("MinBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEmbedCycleInCube(t *testing.T) {
+	// A 4-cycle embeds in the 2-cube; it IS the 2-cube.
+	g := Graph{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}
+	m, ok := EmbedInCube(g, 2)
+	if !ok || !CheckEmbedding(g, 2, m) {
+		t.Fatal("4-cycle must embed in the 2-cube")
+	}
+}
+
+func TestEmbedOddCycleFails(t *testing.T) {
+	// Odd cycles are not bipartite; the hypercube is. No embedding exists.
+	g := Graph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {2, 0}}}
+	if _, ok := EmbedInCube(g, 3); ok {
+		t.Fatal("triangle cannot embed in any hypercube")
+	}
+}
+
+func TestEmbedFullCube(t *testing.T) {
+	// The 3-cube graph itself (2^3 nodes): must embed in the 3-cube — the
+	// instance family of the Section-2 NP-completeness restriction.
+	var g Graph
+	g.N = 8
+	for v := 0; v < 8; v++ {
+		for b := 0; b < 3; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				g.Edges = append(g.Edges, [2]int{v, u})
+			}
+		}
+	}
+	m, ok := EmbedInCube(g, 3)
+	if !ok || !CheckEmbedding(g, 3, m) {
+		t.Fatal("the 3-cube graph must embed in the 3-cube")
+	}
+	// Adding one more edge creates a non-embeddable graph (degree 4 > 3).
+	g.Edges = append(g.Edges, [2]int{0, 7})
+	if _, ok := EmbedInCube(g, 3); ok {
+		t.Fatal("over-constrained graph must not embed")
+	}
+}
+
+func TestEmbedTooManyNodes(t *testing.T) {
+	g := Graph{N: 5}
+	if _, ok := EmbedInCube(g, 2); ok {
+		t.Fatal("5 nodes cannot inject into 4 vertices")
+	}
+}
+
+func TestCheckEmbeddingRejects(t *testing.T) {
+	g := Graph{N: 2, Edges: [][2]int{{0, 1}}}
+	if CheckEmbedding(g, 2, []Code{0, 3}) {
+		t.Fatal("distance-2 images must be rejected")
+	}
+	if CheckEmbedding(g, 2, []Code{1, 1}) {
+		t.Fatal("non-injective mappings must be rejected")
+	}
+	if CheckEmbedding(g, 1, []Code{0, 2}) {
+		t.Fatal("out-of-cube vertices must be rejected")
+	}
+}

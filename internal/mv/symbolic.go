@@ -1,0 +1,58 @@
+package mv
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/fsm"
+)
+
+// SymRow is one row of a combinational table with a symbolic input
+// variable: when the binary inputs match In and the symbolic variable
+// holds Value, the outputs assert Out. This is the classic standalone
+// input-encoding application (e.g. opcode decoding), historically run
+// through ESPRESSO-MV.
+type SymRow struct {
+	In    string // binary input cube over {0,1,-}; "" when NumInputs is 0
+	Value string // symbolic value name
+	Out   string // output pattern over {0,1,-}
+}
+
+// SymbolicInputConstraints derives the face-embedding constraints of a
+// combinational symbolic-input table: rows are MV-minimized (symbolic
+// values with identical behavior over overlapping input regions merge into
+// one literal) and each multi-value literal becomes a face constraint.
+// The returned set's symbol table holds the symbolic values.
+func SymbolicInputConstraints(numInputs, numOutputs int, rows []SymRow) (*constraint.Set, error) {
+	// Reuse the FSM machinery by modeling the table as a Mealy machine
+	// whose present state is the symbolic value and whose next state is a
+	// constant: the (next state, output) assertion then depends on the
+	// outputs alone, exactly the combinational semantics.
+	m := fsm.New("symbolic", numInputs, numOutputs)
+	for _, r := range rows {
+		in := r.In
+		if numInputs == 0 {
+			in = ""
+		}
+		if len(in) != numInputs {
+			return nil, fmt.Errorf("mv: row input %q does not match %d inputs", r.In, numInputs)
+		}
+		if len(r.Out) != numOutputs {
+			return nil, fmt.Errorf("mv: row output %q does not match %d outputs", r.Out, numOutputs)
+		}
+		m.AddTransition(in, r.Value, r.Value, r.Out)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	// Rewrite every next state to the constant first state so grouping
+	// keys reduce to (input region, outputs).
+	for i := range m.Trans {
+		m.Trans[i].To = 0
+	}
+	sc := Cover(m)
+	sc.Minimize()
+	cs := constraint.NewSet(m.States)
+	sc.FaceConstraints(cs)
+	return cs, nil
+}

@@ -1,0 +1,99 @@
+package nova
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/cost"
+	"repro/internal/hypercube"
+)
+
+func TestSatisfiableInstanceFullySatisfied(t *testing.T) {
+	// Two disjoint pairs in 2 bits: trivially satisfiable.
+	cs := constraint.MustParse(`
+		symbols a b c d
+		face a b
+		face c d
+	`)
+	enc, err := Encode(cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Bits != 2 {
+		t.Fatalf("minimum length is 2 bits, got %d", enc.Bits)
+	}
+	v := cost.CountViolations(cs, cost.FullAssignment(enc.Bits, enc.Codes))
+	if v != 0 {
+		t.Fatalf("instance is satisfiable at minimum length, %d violations:\n%s", v, enc)
+	}
+}
+
+func TestDistinctCodes(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c d e f g
+		face e f c
+		face e d g
+		face a b d
+		face a g f d
+	`)
+	enc, err := Encode(cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[hypercube.Code]bool{}
+	for _, c := range enc.Codes {
+		if seen[c] {
+			t.Fatalf("duplicate code:\n%s", enc)
+		}
+		seen[c] = true
+	}
+	if enc.Bits != 3 {
+		t.Fatalf("7 symbols at minimum length = 3 bits, got %d", enc.Bits)
+	}
+}
+
+func TestFixedBits(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c
+		face a b
+	`)
+	enc, err := Encode(cs, Options{Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Bits != 4 {
+		t.Fatalf("want 4 bits, got %d", enc.Bits)
+	}
+	if v := cost.CountViolations(cs, cost.FullAssignment(enc.Bits, enc.Codes)); v != 0 {
+		t.Fatalf("plenty of room, yet %d violations", v)
+	}
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	cs := constraint.NewSet(nil)
+	enc, err := Encode(cs, Options{})
+	if err != nil || enc.Bits != 0 {
+		t.Fatalf("empty set: %v, %v", enc, err)
+	}
+	bad := constraint.NewSet(nil)
+	bad.Syms.Intern("a")
+	bad.Dominances = append(bad.Dominances, constraint.Dominance{Big: 0, Small: 3})
+	if _, err := Encode(bad, Options{}); err == nil {
+		t.Fatal("invalid constraint set must be rejected")
+	}
+}
+
+func TestDontCareFacesRespected(t *testing.T) {
+	// (a,b,[c]) over 4 symbols: d must stay off the ab-face, c is free.
+	cs := constraint.MustParse(`
+		symbols a b c d
+		face a b [ c ]
+	`)
+	enc, err := Encode(cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := cost.CountViolations(cs, cost.FullAssignment(enc.Bits, enc.Codes)); v != 0 {
+		t.Fatalf("don't-care face is satisfiable in 2 bits, got %d violations:\n%s", v, enc)
+	}
+}

@@ -1,0 +1,275 @@
+// Package partition implements Fiduccia–Mattheyses-style hypergraph
+// bipartitioning with block-capacity bounds — the "splitting" step of the
+// Section-7.1 bounded-length encoding heuristic, which the paper bases on
+// the Kernighan–Lin algorithm. Nodes are symbols; nets are the symbol sets
+// of restricted constraints; the partitioner minimizes the weighted number
+// of cut nets.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Hypergraph is a weighted hypergraph over nodes 0..N-1.
+type Hypergraph struct {
+	N       int
+	Nets    [][]int
+	Weights []int // per net; nil means unit weights
+}
+
+func (h *Hypergraph) weight(i int) int {
+	if h.Weights == nil {
+		return 1
+	}
+	return h.Weights[i]
+}
+
+// CutCost returns the total weight of nets with nodes on both sides.
+// Nodes outside either side are ignored.
+func (h *Hypergraph) CutCost(left, right bitset.Set) int {
+	cut := 0
+	for i, net := range h.Nets {
+		hasL, hasR := false, false
+		for _, v := range net {
+			if left.Has(v) {
+				hasL = true
+			} else if right.Has(v) {
+				hasR = true
+			}
+		}
+		if hasL && hasR {
+			cut += h.weight(i)
+		}
+	}
+	return cut
+}
+
+// Bipartition splits the given nodes into two blocks of size at most
+// maxLeft and maxRight, minimizing the cut cost with iterative
+// Fiduccia–Mattheyses passes. Both blocks are non-empty when len(nodes) ≥ 2.
+// The algorithm is deterministic.
+func Bipartition(h *Hypergraph, nodes []int, maxLeft, maxRight int) (bitset.Set, bitset.Set) {
+	return BipartitionVariant(h, nodes, maxLeft, maxRight, 0)
+}
+
+// BipartitionVariant is Bipartition with a deterministic tie-breaking
+// variant: different variants seed the initial assignment differently,
+// giving multi-start callers distinct local optima to choose from.
+func BipartitionVariant(h *Hypergraph, nodes []int, maxLeft, maxRight, variant int) (bitset.Set, bitset.Set) {
+	n := len(nodes)
+	if n == 0 {
+		return bitset.Set{}, bitset.Set{}
+	}
+	if maxLeft+maxRight < n {
+		panic("partition: capacities cannot hold all nodes")
+	}
+	inSubset := bitset.FromSlice(nodes)
+
+	// Initial assignment: order nodes by connectivity and alternate fills,
+	// respecting capacity.
+	ordered := append([]int(nil), nodes...)
+	deg := make(map[int]int)
+	for _, net := range h.Nets {
+		for _, v := range net {
+			if inSubset.Has(v) {
+				deg[v]++
+			}
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if deg[ordered[i]] != deg[ordered[j]] {
+			return deg[ordered[i]] > deg[ordered[j]]
+		}
+		return ordered[i] < ordered[j]
+	})
+	if v := variant % len(ordered); v > 0 {
+		ordered = append(ordered[v:], ordered[:v]...)
+	}
+	var left, right bitset.Set
+	nl, nr := 0, 0
+	// Seed the two sides with the two highest-degree nodes, then place each
+	// node on the side with more net affinity.
+	for idx, v := range ordered {
+		var side *bitset.Set
+		switch {
+		case idx == 0:
+			side = &left
+		case idx == 1 && nr < maxRight:
+			side = &right
+		default:
+			aff := affinity(h, v, left, right, inSubset)
+			if (aff > 0 && nl < maxLeft) || nr >= maxRight {
+				side = &left
+			} else {
+				side = &right
+			}
+		}
+		if side == &left {
+			left.Add(v)
+			nl++
+		} else {
+			right.Add(v)
+			nr++
+		}
+	}
+	if right.IsEmpty() && n >= 2 {
+		// Force non-empty right block: move the lowest-gain node.
+		v := ordered[n-1]
+		left.Remove(v)
+		right.Add(v)
+		nl--
+		nr++
+	}
+
+	// FM passes.
+	for pass := 0; pass < 8; pass++ {
+		if !fmPass(h, nodes, &left, &right, maxLeft, maxRight) {
+			break
+		}
+	}
+	return left, right
+}
+
+// affinity scores how much node v prefers the left side: positive means
+// more shared nets with left than right.
+func affinity(h *Hypergraph, v int, left, right, subset bitset.Set) int {
+	score := 0
+	for _, net := range h.Nets {
+		has := false
+		for _, u := range net {
+			if u == v {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		for _, u := range net {
+			if u == v || !subset.Has(u) {
+				continue
+			}
+			if left.Has(u) {
+				score++
+			} else if right.Has(u) {
+				score--
+			}
+		}
+	}
+	return score
+}
+
+// fmPass performs one FM pass: tentatively move every node once (best gain
+// first), then roll back to the best prefix. One unit of capacity slack is
+// tolerated mid-pass so node swaps can be discovered; only prefixes whose
+// block sizes respect the real capacities are recorded. Returns true if the
+// pass improved the cut.
+func fmPass(h *Hypergraph, nodes []int, left, right *bitset.Set, maxLeft, maxRight int) bool {
+	type move struct {
+		v      int
+		toLeft bool
+	}
+	curL, curR := left.Clone(), right.Clone()
+	locked := bitset.Set{}
+	startCut := h.CutCost(curL, curR)
+	bestCut := startCut
+	bestPrefix := 0
+	var moves []move
+
+	for len(moves) < len(nodes) {
+		bestGain := -1 << 30
+		bestV, bestToLeft := -1, false
+		for _, v := range nodes {
+			if locked.Has(v) {
+				continue
+			}
+			fromLeft := curL.Has(v)
+			// Destination capacity with one unit of mid-pass slack.
+			if fromLeft {
+				if curR.Len() >= maxRight+1 || curL.Len() <= 1 {
+					continue
+				}
+			} else {
+				if curL.Len() >= maxLeft+1 || curR.Len() <= 1 {
+					continue
+				}
+			}
+			g := moveGain(h, v, curL, curR)
+			if g > bestGain || (g == bestGain && v < bestV) {
+				bestGain, bestV, bestToLeft = g, v, !fromLeft
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		if bestToLeft {
+			curR.Remove(bestV)
+			curL.Add(bestV)
+		} else {
+			curL.Remove(bestV)
+			curR.Add(bestV)
+		}
+		locked.Add(bestV)
+		moves = append(moves, move{bestV, bestToLeft})
+		if curL.Len() > maxLeft || curR.Len() > maxRight {
+			continue // over-capacity states are never recorded
+		}
+		cut := h.CutCost(curL, curR)
+		if cut < bestCut {
+			bestCut = cut
+			bestPrefix = len(moves)
+		}
+	}
+
+	if bestCut >= startCut {
+		return false
+	}
+	// Replay the best prefix onto the real partition.
+	for i := 0; i < bestPrefix; i++ {
+		m := moves[i]
+		if m.toLeft {
+			right.Remove(m.v)
+			left.Add(m.v)
+		} else {
+			left.Remove(m.v)
+			right.Add(m.v)
+		}
+	}
+	return true
+}
+
+// moveGain is the cut-weight reduction of moving v to the other side.
+func moveGain(h *Hypergraph, v int, left, right bitset.Set) int {
+	gain := 0
+	for i, net := range h.Nets {
+		mentions := false
+		var nl, nr int
+		for _, u := range net {
+			if u == v {
+				mentions = true
+				continue
+			}
+			if left.Has(u) {
+				nl++
+			} else if right.Has(u) {
+				nr++
+			}
+		}
+		if !mentions {
+			continue
+		}
+		onLeft := left.Has(v)
+		w := h.weight(i)
+		// Net currently cut?
+		cutNow := (nl > 0 || onLeft) && (nr > 0 || !onLeft)
+		cutAfter := (nl > 0 || !onLeft) && (nr > 0 || onLeft)
+		if cutNow && !cutAfter {
+			gain += w
+		} else if !cutNow && cutAfter {
+			gain -= w
+		}
+	}
+	return gain
+}

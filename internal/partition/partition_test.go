@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestBipartitionBasics(t *testing.T) {
+	h := &Hypergraph{N: 4, Nets: [][]int{{0, 1}, {2, 3}}}
+	l, r := Bipartition(h, []int{0, 1, 2, 3}, 2, 2)
+	if l.Len()+r.Len() != 4 || l.Intersects(r) {
+		t.Fatalf("not a partition: %s | %s", l, r)
+	}
+	if h.CutCost(l, r) != 0 {
+		t.Fatalf("the two nets are separable with zero cut, got %d (%s | %s)", h.CutCost(l, r), l, r)
+	}
+}
+
+func TestBipartitionCapacities(t *testing.T) {
+	h := &Hypergraph{N: 6, Nets: [][]int{{0, 1, 2, 3, 4, 5}}}
+	nodes := []int{0, 1, 2, 3, 4, 5}
+	l, r := Bipartition(h, nodes, 4, 4)
+	if l.Len() > 4 || r.Len() > 4 {
+		t.Fatalf("capacity violated: %d | %d", l.Len(), r.Len())
+	}
+	if l.IsEmpty() || r.IsEmpty() {
+		t.Fatal("both sides must be non-empty")
+	}
+}
+
+func TestBipartitionCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("insufficient capacity must panic")
+		}
+	}()
+	h := &Hypergraph{N: 3}
+	Bipartition(h, []int{0, 1, 2}, 1, 1)
+}
+
+func TestBipartitionSubset(t *testing.T) {
+	// Nodes outside the subset are ignored entirely.
+	h := &Hypergraph{N: 10, Nets: [][]int{{0, 9}, {1, 2}}}
+	l, r := Bipartition(h, []int{0, 1, 2}, 2, 2)
+	total := bitset.Union(l, r)
+	if !total.Equal(bitset.Of(0, 1, 2)) {
+		t.Fatalf("partition covers wrong nodes: %s", total)
+	}
+}
+
+func TestCutCost(t *testing.T) {
+	h := &Hypergraph{
+		N:       4,
+		Nets:    [][]int{{0, 1}, {0, 2}, {2, 3}},
+		Weights: []int{5, 1, 1},
+	}
+	l, r := bitset.Of(0, 1), bitset.Of(2, 3)
+	if got := h.CutCost(l, r); got != 1 {
+		t.Fatalf("cut = %d, want 1 (only net {0,2} crosses)", got)
+	}
+}
+
+func TestSingleAndEmpty(t *testing.T) {
+	h := &Hypergraph{N: 2}
+	l, r := Bipartition(h, []int{0}, 1, 1)
+	if l.Len()+r.Len() != 1 {
+		t.Fatal("single node must land on one side")
+	}
+	l, r = Bipartition(h, nil, 1, 1)
+	if !l.IsEmpty() || !r.IsEmpty() {
+		t.Fatal("empty input must produce empty blocks")
+	}
+}
+
+// TestImprovesOverRandom: FM must never do worse than its own initial
+// assignment, and on separable instances should find low cuts.
+func TestImprovesOverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + rng.Intn(8)
+		h := &Hypergraph{N: n}
+		// Two dense clusters plus sparse cross edges.
+		half := n / 2
+		for i := 0; i < half; i++ {
+			for j := i + 1; j < half; j++ {
+				if rng.Intn(2) == 0 {
+					h.Nets = append(h.Nets, []int{i, j})
+				}
+			}
+		}
+		for i := half; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					h.Nets = append(h.Nets, []int{i, j})
+				}
+			}
+		}
+		cross := 0
+		for k := 0; k < 2; k++ {
+			h.Nets = append(h.Nets, []int{rng.Intn(half), half + rng.Intn(n-half)})
+			cross++
+		}
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		capSide := (n + 1) / 2
+		l, r := Bipartition(h, nodes, capSide+1, capSide+1)
+		cut := h.CutCost(l, r)
+		// The planted partition cuts only the cross nets.
+		if cut > cross+3 {
+			t.Fatalf("trial %d: cut %d far above planted cut %d", trial, cut, cross)
+		}
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	h := &Hypergraph{N: 8, Nets: [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7}, {1, 5}}}
+	nodes := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	l0, r0 := BipartitionVariant(h, nodes, 4, 4, 0)
+	same := true
+	for v := 1; v < 5; v++ {
+		l, r := BipartitionVariant(h, nodes, 4, 4, v)
+		if !l.Equal(l0) || !r.Equal(r0) {
+			same = false
+		}
+		if l.Len()+r.Len() != 8 || l.Intersects(r) {
+			t.Fatalf("variant %d not a partition", v)
+		}
+	}
+	if same {
+		t.Log("all variants converged to the same partition (acceptable, instance is easy)")
+	}
+}

@@ -1,0 +1,154 @@
+package prime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/dichotomy"
+)
+
+// csps implements the paper's Figure-2 algorithm. The variables of the
+// 2-CNF are the seed indices; a clause (i + j) records that seeds i and j
+// are incompatible. The recursion cs picks a splitting variable x, rewrites
+// the product of all clauses containing x as the two-term expression
+// (x + Π partners), recurses on the remaining clauses, and multiplies the
+// results with single-cube-containment minimization (procedure ps). Each
+// term of the final sum-of-products is a minimal vertex cover of the
+// incompatibility graph; the seeds *missing* from a term form a maximal
+// compatible.
+func csps(seeds []dichotomy.D, limit int, deadline time.Time) ([]bitset.Set, error) {
+	n := len(seeds)
+	if n == 0 {
+		return nil, nil
+	}
+	// Collect incompatibility clauses.
+	type clause struct{ a, b int }
+	var clauses []clause
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !seeds[i].Compatible(seeds[j]) {
+				clauses = append(clauses, clause{i, j})
+			}
+		}
+	}
+
+	// cs over a clause list. Terms are bitsets of variables present.
+	var cs func(cls []clause) ([]bitset.Set, error)
+	cs = func(cls []clause) ([]bitset.Set, error) {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		if len(cls) == 0 {
+			return []bitset.Set{bitset.New(n)}, nil
+		}
+		// Splitting variable: the most frequent variable keeps the
+		// two-term expression short and the recursion shallow.
+		count := map[int]int{}
+		for _, c := range cls {
+			count[c.a]++
+			count[c.b]++
+		}
+		x, best := -1, -1
+		for v, k := range count {
+			if k > best || (k == best && v < x) {
+				x, best = v, k
+			}
+		}
+		partners := bitset.New(n)
+		var rest []clause
+		for _, c := range cls {
+			switch {
+			case c.a == x:
+				partners.Add(c.b)
+			case c.b == x:
+				partners.Add(c.a)
+			default:
+				rest = append(rest, c)
+			}
+		}
+		sub, err := cs(rest)
+		if err != nil {
+			return nil, err
+		}
+		xOnly := bitset.New(n)
+		xOnly.Add(x)
+		return ps([]bitset.Set{xOnly, partners}, sub, limit)
+	}
+
+	terms, err := cs(clauses)
+	if err != nil {
+		return nil, err
+	}
+	if len(terms) > limit {
+		return nil, fmt.Errorf("%w (> %d)", ErrLimit, limit)
+	}
+
+	// Complement each term to obtain the maximal compatibles.
+	all := bitset.New(n)
+	for i := 0; i < n; i++ {
+		all.Add(i)
+	}
+	out := make([]bitset.Set, 0, len(terms))
+	for _, t := range terms {
+		out = append(out, bitset.Difference(all, t))
+	}
+	return out, nil
+}
+
+// ps multiplies the two-term expression expr1 with expr2 and minimizes the
+// product with single-cube containment. The minimized product of a unate
+// expression is its unique set of prime implicants, so containment alone is
+// sufficient (footnote 3 of the paper).
+func ps(expr1, expr2 []bitset.Set, limit int) ([]bitset.Set, error) {
+	product := make([]bitset.Set, 0, len(expr1)*len(expr2))
+	for _, t1 := range expr1 {
+		for _, t2 := range expr2 {
+			product = append(product, bitset.Union(t1, t2))
+		}
+	}
+	out := singleCubeContainment(product)
+	if len(out) > limit {
+		return nil, fmt.Errorf("%w (> %d)", ErrLimit, limit)
+	}
+	return out, nil
+}
+
+// singleCubeContainment removes every term that is a superset of another
+// term, leaving the minimal sum-of-products.
+func singleCubeContainment(terms []bitset.Set) []bitset.Set {
+	type sized struct {
+		t bitset.Set
+		n int
+	}
+	ts := make([]sized, len(terms))
+	for i, t := range terms {
+		ts[i] = sized{t, t.Len()}
+	}
+	sort.SliceStable(ts, func(i, j int) bool { return ts[i].n < ts[j].n })
+	var kept []sized
+	seen := make(map[string]bool)
+outer:
+	for _, c := range ts {
+		k := c.t.Key()
+		if seen[k] {
+			continue
+		}
+		for _, k := range kept {
+			if k.n < c.n && k.t.SubsetOf(c.t) {
+				continue outer
+			}
+			if k.n == c.n && k.t.Equal(c.t) {
+				continue outer
+			}
+		}
+		seen[k] = true
+		kept = append(kept, c)
+	}
+	out := make([]bitset.Set, len(kept))
+	for i, k := range kept {
+		out[i] = k.t
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package prime
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/dichotomy"
+)
+
+// figure3Seeds builds the paper's nine initial encoding-dichotomies for the
+// constraints (s0,s2,s4) (s0,s1,s4) (s1,s2,s3) (s1,s3,s4), with symbol s1
+// forced into right blocks and the single unimplied uniqueness pair
+// (s0, s4) — exactly the instance the Figure-3 cs/ps trace works.
+func figure3Seeds() []dichotomy.D {
+	return []dichotomy.D{
+		dichotomy.Of([]int{0}, []int{4}),       // uniqueness s0;s4
+		dichotomy.Of([]int{1}, []int{0, 2, 4}), // (s1; s0s2s4)
+		dichotomy.Of([]int{3}, []int{0, 2, 4}), // (s3; s0s2s4)
+		dichotomy.Of([]int{3}, []int{0, 1, 4}), // (s3; s0s1s4)
+		dichotomy.Of([]int{2}, []int{0, 1, 4}), // (s2; s0s1s4)
+		dichotomy.Of([]int{0}, []int{1, 2, 3}), // (s0; s1s2s3)
+		dichotomy.Of([]int{4}, []int{1, 2, 3}), // (s4; s1s2s3)
+		dichotomy.Of([]int{0}, []int{1, 3, 4}), // (s0; s1s3s4)
+		dichotomy.Of([]int{2}, []int{1, 3, 4}), // (s2; s1s3s4)
+	}
+}
+
+func sortedKeys(sets []bitset.Set) []string {
+	keys := make([]string, len(sets))
+	for i, s := range sets {
+		keys[i] = s.String()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestFigure3MaximalCompatibles checks that both engines find exactly the
+// paper's seven maximal compatibles on the Figure-3 instance.
+func TestFigure3MaximalCompatibles(t *testing.T) {
+	seeds := figure3Seeds()
+	bk, err := GenerateSets(seeds, Options{Engine: BronKerbosch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := GenerateSets(seeds, Options{Engine: CSPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bk) != 7 {
+		t.Fatalf("paper finds 7 maximal compatibles, BronKerbosch found %d: %v", len(bk), sortedKeys(bk))
+	}
+	kb, kc := sortedKeys(bk), sortedKeys(cp)
+	if len(kb) != len(kc) {
+		t.Fatalf("engines disagree: %v vs %v", kb, kc)
+	}
+	for i := range kb {
+		if kb[i] != kc[i] {
+			t.Fatalf("engines disagree: %v vs %v", kb, kc)
+		}
+	}
+}
+
+// TestMaximalCompatibleProperty verifies on random instances that every
+// returned set is a clique of the compatibility relation, is maximal, and
+// that no maximal clique is missed (cross-checked by brute force).
+func TestMaximalCompatibleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		nsym := 3 + rng.Intn(4)
+		nseeds := 2 + rng.Intn(7)
+		var seeds []dichotomy.D
+		seen := map[string]bool{}
+		for len(seeds) < nseeds {
+			var d dichotomy.D
+			for s := 0; s < nsym; s++ {
+				switch rng.Intn(3) {
+				case 0:
+					d.L.Add(s)
+				case 1:
+					d.R.Add(s)
+				}
+			}
+			if d.L.IsEmpty() && d.R.IsEmpty() || seen[d.Key()] {
+				continue
+			}
+			seen[d.Key()] = true
+			seeds = append(seeds, d)
+		}
+		got, err := GenerateSets(seeds, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteMaximalCompatibles(seeds)
+		kg, kw := sortedKeys(got), sortedKeys(want)
+		if len(kg) != len(kw) {
+			t.Fatalf("trial %d: got %v want %v (seeds %v)", trial, kg, kw, seeds)
+		}
+		for i := range kg {
+			if kg[i] != kw[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, kg, kw)
+			}
+		}
+		// CSPS engine must agree too.
+		cp, err := GenerateSets(seeds, Options{Engine: CSPS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kc := sortedKeys(cp)
+		for i := range kg {
+			if kc[i] != kg[i] {
+				t.Fatalf("trial %d: cs/ps disagrees: %v vs %v", trial, kc, kg)
+			}
+		}
+	}
+}
+
+// bruteMaximalCompatibles enumerates all subsets.
+func bruteMaximalCompatibles(seeds []dichotomy.D) []bitset.Set {
+	n := len(seeds)
+	compatible := func(set int) bool {
+		for i := 0; i < n; i++ {
+			if set&(1<<uint(i)) == 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if set&(1<<uint(j)) == 0 {
+					continue
+				}
+				if !seeds[i].Compatible(seeds[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var cliques []int
+	for set := 1; set < 1<<uint(n); set++ {
+		if compatible(set) {
+			cliques = append(cliques, set)
+		}
+	}
+	var out []bitset.Set
+	for _, c := range cliques {
+		maximal := true
+		for _, d := range cliques {
+			if d != c && d&c == c {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			var s bitset.Set
+			for i := 0; i < n; i++ {
+				if c&(1<<uint(i)) != 0 {
+					s.Add(i)
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestGenerateUnions checks that Generate returns the union dichotomies of
+// the maximal compatibles.
+func TestGenerateUnions(t *testing.T) {
+	seeds := []dichotomy.D{
+		dichotomy.Of([]int{0}, []int{1}),
+		dichotomy.Of([]int{2}, []int{1}),
+		dichotomy.Of([]int{1}, []int{0}),
+	}
+	primes, err := Generate(seeds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds 0,1 are compatible (union (0 2; 1)); seed 2 conflicts with
+	// both. Expect two primes.
+	if len(primes) != 2 {
+		t.Fatalf("want 2 primes, got %v", primes)
+	}
+	foundUnion := false
+	for _, p := range primes {
+		if p.Equal(dichotomy.Of([]int{0, 2}, []int{1})) {
+			foundUnion = true
+		}
+	}
+	if !foundUnion {
+		t.Fatalf("missing union prime: %v", primes)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	// n unconstrained uniqueness pairs over disjoint symbols: every subset
+	// choosing one orientation per pair is a maximal compatible → 2^n
+	// cliques. With n=8 that is 256 > limit 100.
+	var seeds []dichotomy.D
+	for i := 0; i < 8; i++ {
+		seeds = append(seeds, dichotomy.Of([]int{2 * i}, []int{2*i + 1}))
+		seeds = append(seeds, dichotomy.Of([]int{2*i + 1}, []int{2 * i}))
+	}
+	_, err := Generate(seeds, Options{Limit: 100})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("want ErrLimit, got %v", err)
+	}
+	_, err = GenerateSets(seeds, Options{Limit: 100, Engine: CSPS})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("cs/ps: want ErrLimit, got %v", err)
+	}
+	// Under a generous limit the count is exactly 2^8.
+	sets, err := GenerateSets(seeds, Options{Limit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 256 {
+		t.Fatalf("want 256 maximal compatibles, got %d", len(sets))
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	var seeds []dichotomy.D
+	for i := 0; i < 14; i++ {
+		seeds = append(seeds, dichotomy.Of([]int{2 * i}, []int{2*i + 1}))
+		seeds = append(seeds, dichotomy.Of([]int{2*i + 1}, []int{2 * i}))
+	}
+	_, err := Generate(seeds, Options{Limit: 1 << 30, TimeLimit: time.Nanosecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestEmptySeeds(t *testing.T) {
+	primes, err := Generate(nil, Options{})
+	if err != nil || len(primes) != 0 {
+		t.Fatalf("empty seeds: %v, %v", primes, err)
+	}
+}
+
+// TestUnconstrainedPrimeCount verifies the paper's Section-5 claim: with n
+// symbols and no face constraints, the n(n-1) uniqueness dichotomies
+// generate exactly 2^n - 2 prime encoding-dichotomies.
+func TestUnconstrainedPrimeCount(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		var seeds []dichotomy.D
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					seeds = append(seeds, dichotomy.Of([]int{u}, []int{v}))
+				}
+			}
+		}
+		primes, err := Generate(seeds, Options{Limit: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1<<uint(n) - 2
+		if len(primes) != want {
+			t.Fatalf("n=%d: %d primes, paper says 2^n-2 = %d", n, len(primes), want)
+		}
+		// Every prime is a total bipartition with both blocks non-empty.
+		for _, p := range primes {
+			if p.Support().Len() != n || p.L.IsEmpty() || p.R.IsEmpty() {
+				t.Fatalf("n=%d: malformed prime %s", n, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package sim provides behavioral simulation of finite state machines and
+// of their encoded two-level implementations, closing the verification loop
+// of the encoding flow: after state assignment and PLA lowering, the
+// encoded hardware (PLA + state register) must produce the same output
+// trace as the symbolic machine on every input sequence.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/hypercube"
+)
+
+// SymbolicState runs the symbolic machine one step: given the current
+// state and an input vector (bit i of in is primary input i), it returns
+// the next state and the asserted outputs, or an error when the behavior
+// is undefined (incompletely specified machine) or non-deterministic.
+func SymbolicStep(m *fsm.FSM, state int, in uint64) (next int, out uint64, err error) {
+	found := false
+	for i, t := range m.Trans {
+		if t.From != state || !m.InCube(i).ContainsMinterm(m.NumInputs, in) {
+			continue
+		}
+		o := outBits(t.Out)
+		if found && (next != t.To || out != o) {
+			return 0, 0, fmt.Errorf("sim: state %s is non-deterministic on input %0*b",
+				m.States.Name(state), m.NumInputs, in)
+		}
+		next, out, found = t.To, o, true
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("sim: state %s has no transition for input %0*b",
+			m.States.Name(state), m.NumInputs, in)
+	}
+	return next, out, nil
+}
+
+func outBits(pattern string) uint64 {
+	var o uint64
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == '1' {
+			o |= 1 << uint(i)
+		}
+	}
+	return o
+}
+
+// Machine simulates the symbolic machine over an input sequence, returning
+// the output trace.
+func Machine(m *fsm.FSM, start int, inputs []uint64) ([]uint64, error) {
+	state := start
+	outs := make([]uint64, 0, len(inputs))
+	for _, in := range inputs {
+		next, out, err := SymbolicStep(m, state, in)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, out)
+		state = next
+	}
+	return outs, nil
+}
+
+// Hardware simulates the encoded implementation: a PLA evaluated
+// combinationally, feeding a state register holding the current state
+// code. It returns the primary-output trace.
+type Hardware struct {
+	PLA       *fsm.EncodedPLA
+	Bits      int // state-register width
+	NumInputs int // primary inputs
+	State     hypercube.Code
+}
+
+// NewHardware builds the encoded implementation of machine m under enc,
+// minimizing the PLA.
+func NewHardware(m *fsm.FSM, enc *core.Encoding, start int) *Hardware {
+	pla := m.Encode(enc)
+	pla.Minimize()
+	return &Hardware{
+		PLA:       pla,
+		Bits:      enc.Bits,
+		NumInputs: m.NumInputs,
+		State:     enc.Codes[start],
+	}
+}
+
+// Step clocks the hardware once with the given primary inputs and returns
+// the asserted primary outputs.
+func (h *Hardware) Step(in uint64) uint64 {
+	point := in | uint64(h.State)<<uint(h.NumInputs)
+	var asserted uint64
+	for _, r := range h.PLA.Rows {
+		if r.In.ContainsMinterm(h.PLA.NumInputs, point) {
+			asserted |= r.Out
+		}
+	}
+	h.State = hypercube.Code(asserted) & (hypercube.Code(1)<<uint(h.Bits) - 1)
+	return asserted >> uint(h.Bits)
+}
+
+// Run simulates the hardware over an input sequence.
+func (h *Hardware) Run(inputs []uint64) []uint64 {
+	outs := make([]uint64, 0, len(inputs))
+	for _, in := range inputs {
+		outs = append(outs, h.Step(in))
+	}
+	return outs
+}
+
+// Equivalent drives both the symbolic machine and its encoded hardware
+// with the same random input sequences and compares the output traces.
+// It returns an error describing the first divergence. Machines with
+// output don't-cares ('-') are compared only on their specified bits.
+func Equivalent(m *fsm.FSM, enc *core.Encoding, sequences, length int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	limit := uint64(1) << uint(m.NumInputs)
+	for s := 0; s < sequences; s++ {
+		inputs := make([]uint64, length)
+		for i := range inputs {
+			inputs[i] = uint64(rng.Intn(int(limit)))
+		}
+		want, err := Machine(m, m.Reset, inputs)
+		if err != nil {
+			return err
+		}
+		hw := NewHardware(m, enc, m.Reset)
+		got := hw.Run(inputs)
+		// Track the symbolic state alongside to mask don't-care outputs.
+		state := m.Reset
+		for i, in := range inputs {
+			mask := specifiedMask(m, state, in)
+			if got[i]&mask != want[i]&mask {
+				return fmt.Errorf("sim: sequence %d step %d: hardware outputs %0*b, machine %0*b",
+					s, i, m.NumOutputs, got[i], m.NumOutputs, want[i])
+			}
+			state, _, _ = mustStep(m, state, in)
+		}
+	}
+	return nil
+}
+
+func mustStep(m *fsm.FSM, state int, in uint64) (int, uint64, error) {
+	return SymbolicStep(m, state, in)
+}
+
+// specifiedMask returns a mask of output bits specified (not '-') by the
+// transition taken from state on input in.
+func specifiedMask(m *fsm.FSM, state int, in uint64) uint64 {
+	for i, t := range m.Trans {
+		if t.From == state && m.InCube(i).ContainsMinterm(m.NumInputs, in) {
+			var mask uint64
+			for o := 0; o < m.NumOutputs; o++ {
+				if t.Out[o] != '-' {
+					mask |= 1 << uint(o)
+				}
+			}
+			return mask
+		}
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+// Package sym provides the symbol table shared by all encoding components: a
+// bijection between symbol names (state names, symbolic values) and dense
+// integer indices.
+package sym
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table maps symbol names to dense indices [0, N) and back.
+type Table struct {
+	names []string
+	index map[string]int
+}
+
+// NewTable returns an empty symbol table.
+func NewTable() *Table {
+	return &Table{index: make(map[string]int)}
+}
+
+// FromNames builds a table containing the given names in order.
+// Duplicate names are rejected.
+func FromNames(names []string) (*Table, error) {
+	t := NewTable()
+	for _, n := range names {
+		if _, ok := t.index[n]; ok {
+			return nil, fmt.Errorf("sym: duplicate symbol %q", n)
+		}
+		t.Intern(n)
+	}
+	return t, nil
+}
+
+// Intern returns the index for name, adding it if absent.
+func (t *Table) Intern(name string) int {
+	if i, ok := t.index[name]; ok {
+		return i
+	}
+	i := len(t.names)
+	t.names = append(t.names, name)
+	t.index[name] = i
+	return i
+}
+
+// Lookup returns the index of name and whether it is present.
+func (t *Table) Lookup(name string) (int, bool) {
+	i, ok := t.index[name]
+	return i, ok
+}
+
+// Name returns the name of symbol i.
+func (t *Table) Name(i int) string {
+	if i < 0 || i >= len(t.names) {
+		return fmt.Sprintf("<sym#%d>", i)
+	}
+	return t.names[i]
+}
+
+// Len returns the number of symbols in the table.
+func (t *Table) Len() int { return len(t.names) }
+
+// Names returns a copy of all names in index order.
+func (t *Table) Names() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// SortedNames returns all names in lexicographic order.
+func (t *Table) SortedNames() []string {
+	out := t.Names()
+	sort.Strings(out)
+	return out
+}

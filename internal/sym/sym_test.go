@@ -1,0 +1,56 @@
+package sym
+
+import "testing"
+
+func TestInternLookup(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern("a")
+	b := tab.Intern("b")
+	if a == b {
+		t.Fatal("distinct names must get distinct indices")
+	}
+	if tab.Intern("a") != a {
+		t.Fatal("Intern must be idempotent")
+	}
+	if i, ok := tab.Lookup("b"); !ok || i != b {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := tab.Lookup("zzz"); ok {
+		t.Fatal("Lookup must miss unknown names")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Name(a) != "a" || tab.Name(b) != "b" {
+		t.Fatal("Name round-trip failed")
+	}
+	if tab.Name(99) == "" {
+		t.Fatal("out-of-range Name must return a placeholder")
+	}
+}
+
+func TestFromNames(t *testing.T) {
+	tab, err := FromNames([]string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 || tab.Name(1) != "y" {
+		t.Fatal("FromNames order broken")
+	}
+	if _, err := FromNames([]string{"x", "x"}); err == nil {
+		t.Fatal("duplicate names must be rejected")
+	}
+}
+
+func TestNamesCopies(t *testing.T) {
+	tab, _ := FromNames([]string{"b", "a"})
+	names := tab.Names()
+	names[0] = "mutated"
+	if tab.Name(0) != "b" {
+		t.Fatal("Names must return a copy")
+	}
+	sorted := tab.SortedNames()
+	if sorted[0] != "a" || sorted[1] != "b" {
+		t.Fatalf("SortedNames = %v", sorted)
+	}
+}
