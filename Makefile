@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the figure and parallel-engine benchmarks: enough to
+# prove the benchmark harness itself still runs, cheap enough for CI.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Figure|Parallel' -benchtime=1x .
+
+# The full evaluation: every table and figure plus the micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+ci: vet build race bench-smoke

@@ -336,6 +336,71 @@ func BenchmarkBinateCover(b *testing.B) {
 	}
 }
 
+// --- Parallel vs sequential ---
+//
+// The parallel engines are deterministic: for every worker count they
+// return byte-identical results, so these benchmarks measure pure speedup.
+// On a single-CPU machine all worker counts collapse to roughly the same
+// time; with N cores expect the prime and covering benchmarks to approach
+// Nx on instances large enough to amortize task setup.
+
+var workerCounts = []struct {
+	name    string
+	workers int
+}{{"seq", 1}, {"par2", 2}, {"par4", 4}, {"parAll", 0}}
+
+// BenchmarkParallelPrime compares the sequential Bron–Kerbosch sweep with
+// the frontier-parallel version on the bbsse seed set.
+func BenchmarkParallelPrime(b *testing.B) {
+	cs := bbsseConstraints(b)
+	seeds := dichotomy.ValidRaised(dichotomy.Initial(cs), cs)
+	for _, wc := range workerCounts {
+		b.Run(wc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prime.Generate(seeds, prime.Options{Workers: wc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExact compares worker counts across the whole exact
+// pipeline: prime generation, covering-matrix build, and the covering
+// branch and bound.
+func BenchmarkParallelExact(b *testing.B) {
+	cs := bbsseConstraints(b)
+	for _, wc := range workerCounts {
+		b.Run(wc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ExactEncode(cs, core.ExactOptions{Workers: wc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelHeuristic compares worker counts on the bounded-length
+// heuristic (parallel candidate scoring and restarts).
+func BenchmarkParallelHeuristic(b *testing.B) {
+	m, err := fsm.GenerateByName("s1a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs := mv.InputConstraints(m)
+	b.ResetTimer()
+	for _, wc := range workerCounts {
+		b.Run(wc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes, Workers: wc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEvaluator is the second ablation: memoized vs direct cost
 // evaluation under an annealing-style swap workload.
 func BenchmarkEvaluator(b *testing.B) {

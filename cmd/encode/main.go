@@ -29,6 +29,7 @@ func main() {
 	metric := flag.String("metric", "violations", "P-3 cost metric: violations, cubes or literals")
 	primeLimit := flag.Int("primes", prime.DefaultLimit, "maximal-compatible limit for the exact encoder")
 	timeout := flag.Duration("timeout", time.Minute, "time budget for the exact search")
+	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
 	verbose := flag.Bool("v", false, "print pipeline details")
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown metric %q", *metric))
 		}
-		res, err := heuristic.Encode(cs, heuristic.Options{Bits: *bits, Metric: m})
+		res, err := heuristic.Encode(cs, heuristic.Options{Bits: *bits, Metric: m, Workers: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -76,8 +77,9 @@ func main() {
 	}
 
 	exactOpts := core.ExactOptions{
-		Prime: prime.Options{Limit: *primeLimit, TimeLimit: *timeout},
-		Cover: cover.Options{TimeLimit: *timeout},
+		Prime:   prime.Options{Limit: *primeLimit, TimeLimit: *timeout},
+		Cover:   cover.Options{TimeLimit: *timeout},
+		Workers: *jobs,
 	}
 	var res *core.ExactResult
 	switch {

@@ -35,6 +35,7 @@ func main() {
 	emitBlif := flag.Bool("blif", false, "print the encoded machine as a BLIF netlist")
 	minimize := flag.Bool("minimize", false, "state-minimize the machine before encoding")
 	timeout := flag.Duration("timeout", time.Minute, "time budget for the exact search")
+	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
 	flag.Parse()
 
 	var m *fsm.FSM
@@ -78,7 +79,7 @@ func main() {
 		cs := mv.InputConstraints(m)
 		fmt.Printf("# %d states, %d transitions, %d face constraints\n",
 			m.NumStates(), len(m.Trans), len(cs.Faces))
-		res, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes})
+		res, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes, Workers: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -90,8 +91,9 @@ func main() {
 		fmt.Printf("# %d states, %d transitions, %d face constraints\n",
 			m.NumStates(), len(m.Trans), len(cs.Faces))
 		res, err := core.ExactEncode(cs, core.ExactOptions{
-			Prime: prime.Options{TimeLimit: *timeout},
-			Cover: cover.Options{TimeLimit: *timeout},
+			Prime:   prime.Options{TimeLimit: *timeout},
+			Cover:   cover.Options{TimeLimit: *timeout},
+			Workers: *jobs,
 		})
 		if err != nil {
 			fatal(err)
@@ -103,8 +105,9 @@ func main() {
 		fmt.Printf("# %d states, %d transitions, %d faces, %d dominance, %d disjunctive\n",
 			m.NumStates(), len(m.Trans), len(cs.Faces), len(cs.Dominances), len(cs.Disjunctives))
 		res, err := core.ExactEncode(cs, core.ExactOptions{
-			Prime: prime.Options{TimeLimit: *timeout},
-			Cover: cover.Options{TimeLimit: *timeout},
+			Prime:   prime.Options{TimeLimit: *timeout},
+			Cover:   cover.Options{TimeLimit: *timeout},
+			Workers: *jobs,
 		})
 		if err != nil {
 			fatal(err)

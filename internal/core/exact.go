@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/constraint"
 	"repro/internal/cover"
@@ -26,6 +30,27 @@ type ExactOptions struct {
 	// feasible for small symbol counts but globally optimal by
 	// construction. Used as ground truth in tests.
 	Exhaustive bool
+	// Workers, when positive, is copied into Prime.Workers and
+	// Cover.Workers unless those are themselves set, and caps the
+	// parallelism of the covering-matrix construction. Zero leaves each
+	// stage at its own default (runtime.GOMAXPROCS); every stage returns
+	// identical results for any worker count.
+	Workers int
+}
+
+// stageOptions resolves the per-stage worker counts: an explicit
+// ExactOptions.Workers flows into stages that did not set their own.
+func (o ExactOptions) stageOptions() (prime.Options, cover.Options) {
+	p, c := o.Prime, o.Cover
+	if o.Workers > 0 {
+		if p.Workers == 0 {
+			p.Workers = o.Workers
+		}
+		if c.Workers == 0 {
+			c.Workers = o.Workers
+		}
+	}
+	return p, c
 }
 
 // ExactResult is the output of ExactEncode.
@@ -59,6 +84,16 @@ type ExactResult struct {
 // when each piece is individually realizable, so retaining the pieces
 // guarantees a cover exists whenever CheckFeasible succeeds.
 func ExactEncode(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
+	return ExactEncodeCtx(context.Background(), cs, opts)
+}
+
+// ExactEncodeCtx is ExactEncode under a caller-supplied context, which is
+// threaded into prime generation (cooperative cancellation of the
+// exponential search) and the covering solve (anytime: cancellation yields
+// the incumbent with Optimal=false). Prime-generation cancellation aborts
+// the pipeline with the wrapped context error (or prime.ErrTimeout on a
+// missed deadline).
+func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 	if err := cs.Validate(); err != nil {
 		return nil, err
 	}
@@ -78,12 +113,13 @@ func ExactEncode(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 		}
 	}
 
+	primeOpts, coverOpts := opts.stageOptions()
 	var candidates []dichotomy.D
 	var err error
 	if opts.Exhaustive {
 		candidates = enumerateValidColumns(cs)
 	} else {
-		candidates, err = prime.Generate(raised, opts.Prime)
+		candidates, err = prime.GenerateCtx(ctx, raised, primeOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -94,13 +130,12 @@ func ExactEncode(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 		candidates = dedupe(append(candidates, raised...))
 	}
 
-	coverOpts := opts.Cover
 	if coverOpts.LowerBound == 0 {
 		// No encoding can use fewer than ceil(log2 n) columns: uniqueness
 		// rows force pairwise-distinct codes. Lets the search stop early.
 		coverOpts.LowerBound = hypercube.MinBits(n)
 	}
-	sol, err := coverSeeds(seeds, candidates, coverOpts)
+	sol, err := coverSeeds(ctx, seeds, candidates, coverOpts)
 	if err != nil {
 		if errors.Is(err, cover.ErrInfeasible) {
 			return nil, ErrInfeasible
@@ -125,18 +160,55 @@ func ExactEncode(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 }
 
 // coverSeeds builds and solves the unate covering of the canonical seed
-// rows by the candidate columns.
-func coverSeeds(seeds, candidates []dichotomy.D, opts cover.Options) (cover.Solution, error) {
+// rows by the candidate columns. The O(rows × candidates) incidence matrix
+// is built in parallel — one goroutine owns one row, so no locking is
+// needed and the matrix is identical for any worker count.
+func coverSeeds(ctx context.Context, seeds, candidates []dichotomy.D, opts cover.Options) (cover.Solution, error) {
 	rows := dichotomy.Rows(seeds)
 	p := cover.Problem{NumCols: len(candidates), RowCols: make([][]int, len(rows))}
-	for ri, r := range rows {
+	forEachIndex(len(rows), opts.Workers, func(ri int) {
 		for ci, c := range candidates {
-			if c.Covers(r) {
+			if c.Covers(rows[ri]) {
 				p.RowCols[ri] = append(p.RowCols[ri], ci)
 			}
 		}
+	})
+	return p.SolveExactCtx(ctx, opts)
+}
+
+// forEachIndex runs fn(i) for every i in [0, n) on up to `workers`
+// goroutines (0 means runtime.GOMAXPROCS via the cover default) pulling
+// indices from a shared atomic counter. fn must only write state owned by
+// index i.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return p.SolveExact(opts)
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // enumerateValidColumns returns every total encoding column over n symbols

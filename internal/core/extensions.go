@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -28,6 +29,13 @@ import (
 // Chain constraints are *not* lowered — the paper leaves them open
 // (Section 8.4); SolveWithChains provides a direct small-scale search.
 func ExactEncodeExtended(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
+	return ExactEncodeExtendedCtx(context.Background(), cs, opts)
+}
+
+// ExactEncodeExtendedCtx is ExactEncodeExtended under a caller-supplied
+// context; see ExactEncodeCtx for the cancellation contract. The binate
+// covering stage polls the context every 256 nodes.
+func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 	if err := cs.Validate(); err != nil {
 		return nil, err
 	}
@@ -51,12 +59,13 @@ func ExactEncodeExtended(cs *constraint.Set, opts ExactOptions) (*ExactResult, e
 			return nil, ErrInfeasible
 		}
 	}
+	primeOpts, coverOpts := opts.stageOptions()
 	var candidates []dichotomy.D
 	var err error
 	if opts.Exhaustive {
 		candidates = enumerateValidColumns(base)
 	} else {
-		candidates, err = prime.Generate(raised, opts.Prime)
+		candidates, err = prime.GenerateCtx(ctx, raised, primeOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +150,7 @@ func ExactEncodeExtended(cs *constraint.Set, opts ExactOptions) (*ExactResult, e
 	p.NumCols = len(candidates) + nAux
 	p.Cost = costs
 
-	sol, err := p.Solve(opts.Cover)
+	sol, err := p.SolveCtx(ctx, coverOpts)
 	if err != nil {
 		if errors.Is(err, cover.ErrBinateInfeasible) {
 			return nil, ErrInfeasible

@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"errors"
 	"sort"
 )
@@ -49,25 +50,41 @@ const (
 
 type binateSolver struct {
 	p        *BinateProblem
+	ctx      context.Context
 	assign   []int8
 	maxNodes int
 	nodes    int
 	bestCost int
 	best     []int8
 	found    bool
+	stopped  bool // node budget exhausted or context done
 }
 
 // Solve runs branch-and-bound minimization. Variables left unassigned in a
-// satisfying partial assignment default to false (cost 0).
+// satisfying partial assignment default to false (cost 0). Not parallelized:
+// the assignment trail makes the recursion inherently stateful, and every
+// binate instance the framework builds (Section-4 abstraction, Section-8
+// extensions) is small; Options.Workers is ignored.
 func (p *BinateProblem) Solve(opts Options) (BinateSolution, error) {
+	return p.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx is Solve under a caller-supplied context, polled every 256
+// nodes. Like the unate solver it is anytime: on expiry or cancellation the
+// best assignment found so far is returned with Optimal=false (or
+// ErrBinateInfeasible when none was found yet).
+func (p *BinateProblem) SolveCtx(ctx context.Context, opts Options) (BinateSolution, error) {
+	if opts.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
+	}
 	s := &binateSolver{
 		p:        p,
+		ctx:      ctx,
 		assign:   make([]int8, p.NumCols),
-		maxNodes: opts.MaxNodes,
+		maxNodes: opts.maxNodes(),
 		bestCost: 1 << 30,
-	}
-	if s.maxNodes <= 0 {
-		s.maxNodes = DefaultMaxNodes
 	}
 	s.search(0)
 	if !s.found {
@@ -82,7 +99,7 @@ func (p *BinateProblem) Solve(opts Options) (BinateSolution, error) {
 		}
 	}
 	sort.Ints(sel)
-	return BinateSolution{Selected: sel, Cost: cost, Optimal: s.nodes <= s.maxNodes}, nil
+	return BinateSolution{Selected: sel, Cost: cost, Optimal: !s.stopped}, nil
 }
 
 // clauseState classifies a clause under the current partial assignment.
@@ -161,7 +178,15 @@ func (s *binateSolver) currentCost() int {
 
 func (s *binateSolver) search(cost int) {
 	s.nodes++
-	if s.nodes > s.maxNodes || cost >= s.bestCost {
+	if s.stopped || s.nodes > s.maxNodes {
+		s.stopped = true
+		return
+	}
+	if s.nodes%256 == 1 && s.ctx.Err() != nil {
+		s.stopped = true
+		return
+	}
+	if cost >= s.bestCost {
 		return
 	}
 	ok, trail := s.propagate(&cost)

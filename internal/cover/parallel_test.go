@@ -1,0 +1,101 @@
+package cover
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomFeasible builds a feasible random unate covering instance, larger
+// than cover_test.go's randomProblem so the parallel frontier actually
+// fans out.
+func randomFeasible(rng *rand.Rand, unitCost bool) *Problem {
+	nRows := 8 + rng.Intn(18)
+	nCols := 10 + rng.Intn(20)
+	p := &Problem{NumCols: nCols, RowCols: make([][]int, nRows)}
+	for r := 0; r < nRows; r++ {
+		k := 1 + rng.Intn(5)
+		seen := map[int]bool{}
+		for len(p.RowCols[r]) < k {
+			c := rng.Intn(nCols)
+			if !seen[c] {
+				seen[c] = true
+				p.RowCols[r] = append(p.RowCols[r], c)
+			}
+		}
+	}
+	if !unitCost {
+		p.Cost = make([]int, nCols)
+		for c := range p.Cost {
+			p.Cost[c] = 1 + rng.Intn(4)
+		}
+	}
+	return p
+}
+
+// TestParallelExactMatchesSequential asserts the parallel exact solver
+// returns the identical Solution — same columns, cost and optimality — as
+// the sequential solver on randomized instances, unit and weighted, with
+// and without a LowerBound stop. Run under -race this also exercises the
+// prefix-bound publication protocol.
+func TestParallelExactMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		p := randomFeasible(rng, trial%2 == 0)
+		for _, lb := range []int{0, 2} {
+			base := Options{LowerBound: lb}
+			base.Workers = 1
+			seq, err := p.SolveExact(base)
+			if err != nil {
+				t.Fatalf("trial %d lb=%d: sequential: %v", trial, lb, err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				opts := base
+				opts.Workers = workers
+				par, err := p.SolveExact(opts)
+				if err != nil {
+					t.Fatalf("trial %d lb=%d workers=%d: parallel: %v", trial, lb, workers, err)
+				}
+				if !reflect.DeepEqual(par, seq) {
+					t.Fatalf("trial %d lb=%d workers=%d: parallel %+v != sequential %+v",
+						trial, lb, workers, par, seq)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelExactCanceled asserts a canceled context still yields the
+// greedy incumbent with Optimal=false on both code paths.
+func TestParallelExactCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := randomFeasible(rng, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		sol, err := p.SolveExactCtx(ctx, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sol.Optimal {
+			t.Fatalf("workers=%d: canceled solve claimed optimality", workers)
+		}
+		covered := map[int]bool{}
+		for _, c := range sol.Cols {
+			covered[c] = true
+		}
+		for r, cols := range p.RowCols {
+			ok := false
+			for _, c := range cols {
+				if covered[c] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("workers=%d: row %d uncovered in incumbent", workers, r)
+			}
+		}
+	}
+}

@@ -4,11 +4,34 @@
 // maximal-independent-set lower bound), a greedy heuristic, and a binate
 // covering solver used by the Section-4 abstraction and the Section-8
 // extension constraints.
+//
+// # Cancellation
+//
+// The exact solvers are anytime algorithms: SolveExactCtx and SolveCtx poll
+// the context between search nodes, and when it expires or is canceled they
+// return the best feasible solution found so far with Optimal=false —
+// exactly the behavior the TimeLimit option has always had, which is now
+// implemented as a context deadline layered under the caller's context.
+//
+// # Parallelism
+//
+// With Options.Workers > 1 the exact unate solver fans the branch-and-bound
+// tree out over a worker pool. The top of the tree is peeled off in
+// sequential visit order into an ordered task list; workers then drain the
+// tasks, sharing the pruning upper bound through completed earlier tasks
+// only. That discipline — plus a deterministic fold of the per-task results
+// in task order — makes the parallel solver return the exact solution the
+// sequential solver returns, byte for byte, for any worker count (budgeted,
+// Optimal=false runs excepted: when a node or time budget interrupts the
+// search, the incumbent depends on how far each worker got). See
+// parallel.go.
 package cover
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -17,6 +40,8 @@ import (
 
 // Problem is a unate covering problem: choose a minimum-cost subset of
 // columns such that every row has at least one chosen column.
+// A Problem is immutable during a solve and may be solved concurrently from
+// multiple goroutines.
 type Problem struct {
 	NumCols int
 	// Cost per column; nil means unit costs.
@@ -41,7 +66,9 @@ type Options struct {
 	// Optimal=false.
 	MaxNodes int
 	// TimeLimit bounds wall-clock search time; 0 means no limit. On
-	// expiry the best solution found is returned with Optimal=false.
+	// expiry the best solution found is returned with Optimal=false. It is
+	// applied as a context deadline, layered under whatever deadline the
+	// caller's context already carries.
 	TimeLimit time.Duration
 	// DominanceLimit bounds when the quadratic row/column dominance
 	// reductions run inside search nodes (they always run at the root);
@@ -51,6 +78,11 @@ type Options struct {
 	// solution of this cost is found (e.g. the information-theoretic
 	// ceil(log2 n) bound on code length).
 	LowerBound int
+	// Workers sets the degree of parallelism of the exact solver: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the sequential code path. The
+	// parallel engine returns the identical solution to the sequential one
+	// whenever the search completes within its budgets.
+	Workers int
 }
 
 // DefaultMaxNodes bounds exact search effort.
@@ -70,14 +102,64 @@ func (p *Problem) cost(c int) int {
 	return p.Cost[c]
 }
 
-type solver struct {
+func (o Options) maxNodes() int {
+	if o.MaxNodes <= 0 {
+		return DefaultMaxNodes
+	}
+	return o.MaxNodes
+}
+
+func (o Options) domLimit() int {
+	if o.DominanceLimit <= 0 {
+		return DefaultDominanceLimit
+	}
+	return o.DominanceLimit
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// matrix is the immutable view of a covering problem every search worker
+// shares: the problem itself and the row/column incidence bitsets. Nothing
+// in a matrix is written after construction, so its methods that take the
+// active rows/cols as arguments are safe for concurrent use.
+type matrix struct {
 	p        *Problem
 	rowSets  []bitset.Set // rowSets[r]: columns covering r
 	colSets  []bitset.Set // colSets[c]: rows covered by c
-	maxNodes int
 	domLimit int
-	deadline time.Time
-	hasDL    bool
+}
+
+// searchCtl is the mutable half of a branch-and-bound search: it owns the
+// node budget, the pruning bound and the incumbent. The sequential solver
+// and each parallel task provide their own implementation over the shared
+// read-only matrix.
+type searchCtl interface {
+	// enter counts one search node against the budgets; false halts the
+	// search at this node.
+	enter() bool
+	// halted reports whether the search should stop unwinding (budget
+	// exhausted, context done, or the LowerBound target reached).
+	halted() bool
+	// bound is the current strict pruning bound: subtrees that cannot beat
+	// it are cut.
+	bound() int
+	// record offers a complete cover. Implementations must copy sel.
+	record(sel []int, cost int)
+}
+
+// solver is the sequential searchCtl: a plain depth-first branch and bound
+// with a node counter, a context poll every 256 nodes and a single
+// incumbent. Not safe for concurrent use; the parallel engine builds one
+// taskCtl per subtree instead (see parallel.go).
+type solver struct {
+	m        *matrix
+	ctx      context.Context
+	maxNodes int
 	lb       int
 	nodes    int
 	bestCost int
@@ -87,45 +169,65 @@ type solver struct {
 	budget   bool // true when a budget (not LB) stopped the search
 }
 
+func (s *solver) enter() bool {
+	s.nodes++
+	return !s.expired()
+}
+
+func (s *solver) halted() bool { return s.expired() }
+
+func (s *solver) bound() int { return s.bestCost }
+
+func (s *solver) record(sel []int, cost int) {
+	if cost < s.bestCost || !s.found {
+		s.bestCost = cost
+		s.bestSel = append([]int(nil), sel...)
+		s.found = true
+		if s.lb > 0 && cost <= s.lb {
+			s.done = true
+		}
+	}
+}
+
+func (s *solver) expired() bool {
+	if s.done {
+		return true
+	}
+	if s.nodes > s.maxNodes {
+		s.done, s.budget = true, true
+		return true
+	}
+	// Poll the context at the first node (so a pre-canceled context stops
+	// the search before it starts) and every 256 nodes thereafter.
+	if s.nodes%256 == 1 && s.ctx.Err() != nil {
+		s.done, s.budget = true, true
+		return true
+	}
+	return false
+}
+
 // SolveExact solves the problem with branch and bound. If a budget is
 // exhausted, the best feasible solution found is returned with
 // Optimal=false. ErrInfeasible is returned when no cover exists.
 func (p *Problem) SolveExact(opts Options) (Solution, error) {
-	nRows := len(p.RowCols)
-	s := &solver{
-		p:        p,
-		maxNodes: opts.MaxNodes,
-		domLimit: opts.DominanceLimit,
-		lb:       opts.LowerBound,
-	}
-	if s.maxNodes <= 0 {
-		s.maxNodes = DefaultMaxNodes
-	}
-	if s.domLimit <= 0 {
-		s.domLimit = DefaultDominanceLimit
-	}
+	return p.SolveExactCtx(context.Background(), opts)
+}
+
+// SolveExactCtx is SolveExact under a caller-supplied context. The solver is
+// anytime: when ctx expires or is canceled mid-search, the best feasible
+// solution found so far is returned with Optimal=false and a nil error,
+// matching the TimeLimit semantics.
+func (p *Problem) SolveExactCtx(ctx context.Context, opts Options) (Solution, error) {
 	if opts.TimeLimit > 0 {
-		s.deadline = time.Now().Add(opts.TimeLimit)
-		s.hasDL = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
 	}
-	s.rowSets = make([]bitset.Set, nRows)
-	s.colSets = make([]bitset.Set, p.NumCols)
-	for c := 0; c < p.NumCols; c++ {
-		s.colSets[c] = bitset.New(nRows)
+	m, err := newMatrix(p, opts.domLimit())
+	if err != nil {
+		return Solution{}, err
 	}
-	for r, cols := range p.RowCols {
-		s.rowSets[r] = bitset.New(p.NumCols)
-		for _, c := range cols {
-			if c < 0 || c >= p.NumCols {
-				return Solution{}, fmt.Errorf("cover: row %d references column %d out of range", r, c)
-			}
-			s.rowSets[r].Add(c)
-			s.colSets[c].Add(r)
-		}
-		if len(cols) == 0 {
-			return Solution{}, ErrInfeasible
-		}
-	}
+	nRows := len(p.RowCols)
 
 	activeRows := bitset.New(nRows)
 	for r := 0; r < nRows; r++ {
@@ -138,37 +240,47 @@ func (p *Problem) SolveExact(opts Options) (Solution, error) {
 
 	// Root simplifications: drop duplicate columns (same row coverage) and
 	// empty columns before any search.
-	s.dedupeColumns(activeRows, activeCols)
+	m.dedupeColumns(activeRows, activeCols)
 
 	// Upper bound: several randomized-greedy runs plus a
 	// multiplicative-weights greedy loop, each cover cleaned by redundancy
 	// elimination; the incumbent drives branch-and-bound pruning.
-	best := -1
+	best, bestSel, found := -1, []int(nil), false
 	consider := func(g []int) {
 		if g == nil {
 			return
 		}
-		g = s.dropRedundant(activeRows, g)
-		if c := costOf(p, g); best < 0 || c < best {
-			best = c
-			s.bestSel = g
-			s.found = true
+		g = m.dropRedundant(activeRows, g)
+		if c := costOf(p, g); !found || c < best {
+			best, bestSel, found = c, g, true
 		}
 	}
 	for variant := 0; variant < 8; variant++ {
-		g := s.greedyVariant(activeRows, activeCols, variant)
+		g := m.greedyVariant(activeRows, activeCols, variant)
 		if g == nil && variant == 0 {
 			return Solution{}, ErrInfeasible
 		}
 		consider(g)
 	}
-	for _, g := range s.weightedGreedy(activeRows, activeCols, 24) {
+	for _, g := range m.weightedGreedy(activeRows, activeCols, 24) {
 		consider(g)
 	}
-	s.bestCost = best
 
+	s := &solver{
+		m:        m,
+		ctx:      ctx,
+		maxNodes: opts.maxNodes(),
+		lb:       opts.LowerBound,
+		bestCost: best,
+		bestSel:  bestSel,
+		found:    found,
+	}
 	if s.lb <= 0 || s.bestCost > s.lb {
-		s.branch(activeRows, activeCols, nil, 0, true)
+		if w := opts.workers(); w > 1 {
+			s.solveParallel(activeRows, activeCols, w)
+		} else {
+			m.branch(s, activeRows, activeCols, nil, 0, true)
+		}
 	}
 
 	if !s.found {
@@ -177,6 +289,32 @@ func (p *Problem) SolveExact(opts Options) (Solution, error) {
 	sel := append([]int(nil), s.bestSel...)
 	sort.Ints(sel)
 	return Solution{Cols: sel, Cost: s.bestCost, Optimal: !s.budget}, nil
+}
+
+// newMatrix builds the incidence bitsets, validating column indices and
+// rejecting rows that no column covers.
+func newMatrix(p *Problem, domLimit int) (*matrix, error) {
+	nRows := len(p.RowCols)
+	m := &matrix{p: p, domLimit: domLimit}
+	m.rowSets = make([]bitset.Set, nRows)
+	m.colSets = make([]bitset.Set, p.NumCols)
+	for c := 0; c < p.NumCols; c++ {
+		m.colSets[c] = bitset.New(nRows)
+	}
+	for r, cols := range p.RowCols {
+		m.rowSets[r] = bitset.New(p.NumCols)
+		for _, c := range cols {
+			if c < 0 || c >= p.NumCols {
+				return nil, fmt.Errorf("cover: row %d references column %d out of range", r, c)
+			}
+			m.rowSets[r].Add(c)
+			m.colSets[c].Add(r)
+		}
+		if len(cols) == 0 {
+			return nil, ErrInfeasible
+		}
+	}
+	return m, nil
 }
 
 func costOf(p *Problem, sel []int) int {
@@ -189,7 +327,7 @@ func costOf(p *Problem, sel []int) int {
 
 // dedupeColumns removes duplicate and empty columns by hashing their row
 // coverage, keeping the cheapest representative.
-func (s *solver) dedupeColumns(rows, cols bitset.Set) {
+func (m *matrix) dedupeColumns(rows, cols bitset.Set) {
 	type rep struct {
 		col  int
 		set  bitset.Set
@@ -197,7 +335,7 @@ func (s *solver) dedupeColumns(rows, cols bitset.Set) {
 	}
 	byHash := map[uint64][]rep{}
 	cols.ForEach(func(c int) bool {
-		cs := s.colSets[c]
+		cs := m.colSets[c]
 		if bitset.IntersectLenUpTo(cs, rows, 1) == 0 {
 			cols.Remove(c)
 			return true
@@ -205,7 +343,7 @@ func (s *solver) dedupeColumns(rows, cols bitset.Set) {
 		h := cs.Hash()
 		for _, r := range byHash[h] {
 			if r.set.Equal(cs) {
-				if s.p.cost(c) >= r.cost {
+				if m.p.cost(c) >= r.cost {
 					cols.Remove(c)
 				} else {
 					cols.Remove(r.col)
@@ -213,66 +351,55 @@ func (s *solver) dedupeColumns(rows, cols bitset.Set) {
 				return true
 			}
 		}
-		byHash[h] = append(byHash[h], rep{c, cs, s.p.cost(c)})
+		byHash[h] = append(byHash[h], rep{c, cs, m.p.cost(c)})
 		return true
 	})
 }
 
-func (s *solver) expired() bool {
-	if s.done {
-		return true
-	}
-	if s.nodes > s.maxNodes {
-		s.done, s.budget = true, true
-		return true
-	}
-	if s.hasDL && s.nodes%256 == 0 && time.Now().After(s.deadline) {
-		s.done, s.budget = true, true
-		return true
-	}
-	return false
-}
+// Outcomes of the per-node reduction loop.
+const (
+	coverPrune  = iota // subtree cannot beat the bound, or is infeasible
+	coverLeaf          // rows exhausted: selected is a complete cover
+	coverBranch        // reductions converged; branch on a row
+)
 
-// branch explores one node; rows and cols are owned by the callee (cloned
-// by the caller).
-func (s *solver) branch(rows, cols bitset.Set, selected []int, cost int, root bool) {
-	s.nodes++
-	if s.expired() {
-		return
-	}
-
-	// Reduction loop.
+// reduce runs the branch-and-bound reduction loop on one node, mutating
+// rows, cols and selected in place: essential-column selection, the
+// row/column dominance reductions (always at the root, bounded by domLimit
+// below it) and the independent-set lower bound. It returns the updated
+// selection and cost plus the verdict: prune the node, record selected as a
+// complete cover, or branch further.
+func (m *matrix) reduce(ctl searchCtl, rows, cols bitset.Set, selected []int, cost int, root bool) ([]int, int, int) {
 	for {
-		if cost >= s.bestCost {
-			return
+		if cost >= ctl.bound() {
+			return selected, cost, coverPrune
 		}
 		if rows.IsEmpty() {
-			s.record(selected, cost)
-			return
+			return selected, cost, coverLeaf
 		}
 
 		// Essential columns and infeasibility in one scan.
 		essential := -1
 		infeasible := false
 		rows.ForEach(func(r int) bool {
-			switch bitset.IntersectLenUpTo(s.rowSets[r], cols, 2) {
+			switch bitset.IntersectLenUpTo(m.rowSets[r], cols, 2) {
 			case 0:
 				infeasible = true
 				return false
 			case 1:
-				e, _ := bitset.FirstOfIntersection(s.rowSets[r], cols)
+				e, _ := bitset.FirstOfIntersection(m.rowSets[r], cols)
 				essential = e
 				return false
 			}
 			return true
 		})
 		if infeasible {
-			return
+			return selected, cost, coverPrune
 		}
 		if essential >= 0 {
 			selected = append(selected, essential)
-			cost += s.p.cost(essential)
-			rows.DifferenceWith(s.colSets[essential])
+			cost += m.p.cost(essential)
+			rows.DifferenceWith(m.colSets[essential])
 			cols.Remove(essential)
 			continue
 		}
@@ -281,11 +408,11 @@ func (s *solver) branch(rows, cols bitset.Set, selected []int, cost int, root bo
 		// cores.
 		nr, nc := rows.Len(), cols.Len()
 		changed := false
-		if root || nr <= s.domLimit {
-			changed = s.reduceRowDominance(rows, cols) || changed
+		if root || nr <= m.domLimit {
+			changed = m.reduceRowDominance(rows, cols) || changed
 		}
-		if root || nc <= s.domLimit {
-			changed = s.reduceColDominance(rows, cols) || changed
+		if root || nc <= m.domLimit {
+			changed = m.reduceColDominance(rows, cols) || changed
 		}
 		root = false
 		if !changed {
@@ -293,14 +420,19 @@ func (s *solver) branch(rows, cols bitset.Set, selected []int, cost int, root bo
 		}
 	}
 
-	if cost+s.lowerBound(rows, cols) >= s.bestCost {
-		return
+	if cost+m.lowerBound(rows, cols) >= ctl.bound() {
+		return selected, cost, coverPrune
 	}
+	return selected, cost, coverBranch
+}
 
-	// Branch on the columns of the hardest row (fewest candidates).
+// branchOrder returns the columns to branch on: the candidates of the
+// hardest (fewest-candidate) active row, widest coverage first, index
+// breaking ties. Deterministic for a given (rows, cols) state.
+func (m *matrix) branchOrder(rows, cols bitset.Set) []int {
 	bestRow, bestLen := -1, 1<<30
 	rows.ForEach(func(r int) bool {
-		l := bitset.IntersectLenUpTo(s.rowSets[r], cols, bestLen)
+		l := bitset.IntersectLenUpTo(m.rowSets[r], cols, bestLen)
 		if l < bestLen {
 			bestLen, bestRow = l, r
 		}
@@ -308,9 +440,9 @@ func (s *solver) branch(rows, cols bitset.Set, selected []int, cost int, root bo
 	})
 	type scored struct{ c, score int }
 	var order []scored
-	s.rowSets[bestRow].ForEach(func(c int) bool {
+	m.rowSets[bestRow].ForEach(func(c int) bool {
 		if cols.Has(c) {
-			order = append(order, scored{c, bitset.IntersectLen(s.colSets[c], rows)})
+			order = append(order, scored{c, bitset.IntersectLen(m.colSets[c], rows)})
 		}
 		return true
 	})
@@ -320,35 +452,47 @@ func (s *solver) branch(rows, cols bitset.Set, selected []int, cost int, root bo
 		}
 		return order[i].c < order[j].c
 	})
-	remCols := cols.Clone()
-	for _, o := range order {
-		if s.expired() {
-			return
-		}
-		c := o.c
-		newRows := bitset.Difference(rows, s.colSets[c])
-		newCols := remCols.Clone()
-		newCols.Remove(c)
-		s.branch(newRows, newCols, append(selected, c), cost+s.p.cost(c), false)
-		// Solutions containing c have been fully explored.
-		remCols.Remove(c)
+	out := make([]int, len(order))
+	for i, o := range order {
+		out[i] = o.c
 	}
+	return out
 }
 
-func (s *solver) record(selected []int, cost int) {
-	if cost < s.bestCost || !s.found {
-		s.bestCost = cost
-		s.bestSel = append([]int(nil), selected...)
-		s.found = true
-		if s.lb > 0 && cost <= s.lb {
-			s.done = true
+// branch explores one node; rows and cols are owned by the callee (cloned
+// by the caller). The same recursion serves the sequential solver and every
+// parallel task — only the searchCtl differs.
+func (m *matrix) branch(ctl searchCtl, rows, cols bitset.Set, selected []int, cost int, root bool) {
+	if !ctl.enter() {
+		return
+	}
+	selected, cost, verdict := m.reduce(ctl, rows, cols, selected, cost, root)
+	switch verdict {
+	case coverPrune:
+		return
+	case coverLeaf:
+		ctl.record(selected, cost)
+		return
+	}
+
+	// Branch on the columns of the hardest row; remCols excludes columns
+	// whose solutions have been fully explored by earlier siblings.
+	remCols := cols.Clone()
+	for _, c := range m.branchOrder(rows, cols) {
+		if ctl.halted() {
+			return
 		}
+		newRows := bitset.Difference(rows, m.colSets[c])
+		newCols := remCols.Clone()
+		newCols.Remove(c)
+		m.branch(ctl, newRows, newCols, append(selected, c), cost+m.p.cost(c), false)
+		remCols.Remove(c)
 	}
 }
 
 // reduceRowDominance removes rows whose candidate column set is a superset
 // of another row's (the superset row is easier to cover and thus implied).
-func (s *solver) reduceRowDominance(rows, cols bitset.Set) bool {
+func (m *matrix) reduceRowDominance(rows, cols bitset.Set) bool {
 	active := rows.Elems()
 	removed := false
 	for i := 0; i < len(active); i++ {
@@ -362,8 +506,8 @@ func (s *solver) reduceRowDominance(rows, cols bitset.Set) bool {
 				continue
 			}
 			// Row rj dominated by ri: cand(ri) ⊆ cand(rj).
-			if bitset.IntersectionSubsetOf(s.rowSets[ri], s.rowSets[rj], cols) {
-				if j < i && bitset.IntersectionSubsetOf(s.rowSets[rj], s.rowSets[ri], cols) {
+			if bitset.IntersectionSubsetOf(m.rowSets[ri], m.rowSets[rj], cols) {
+				if j < i && bitset.IntersectionSubsetOf(m.rowSets[rj], m.rowSets[ri], cols) {
 					continue // identical rows: keep the earlier
 				}
 				rows.Remove(rj)
@@ -376,7 +520,7 @@ func (s *solver) reduceRowDominance(rows, cols bitset.Set) bool {
 
 // reduceColDominance removes columns whose active coverage is contained in
 // a no-costlier column's.
-func (s *solver) reduceColDominance(rows, cols bitset.Set) bool {
+func (m *matrix) reduceColDominance(rows, cols bitset.Set) bool {
 	active := cols.Elems()
 	removed := false
 	for i := 0; i < len(active); i++ {
@@ -390,10 +534,10 @@ func (s *solver) reduceColDominance(rows, cols bitset.Set) bool {
 				continue
 			}
 			// ci dominated by cj.
-			if s.p.cost(cj) <= s.p.cost(ci) &&
-				bitset.IntersectionSubsetOf(s.colSets[ci], s.colSets[cj], rows) {
-				if j > i && s.p.cost(cj) == s.p.cost(ci) &&
-					bitset.IntersectionSubsetOf(s.colSets[cj], s.colSets[ci], rows) {
+			if m.p.cost(cj) <= m.p.cost(ci) &&
+				bitset.IntersectionSubsetOf(m.colSets[ci], m.colSets[cj], rows) {
+				if j > i && m.p.cost(cj) == m.p.cost(ci) &&
+					bitset.IntersectionSubsetOf(m.colSets[cj], m.colSets[ci], rows) {
 					continue // identical columns: keep the earlier
 				}
 				cols.Remove(ci)
@@ -407,23 +551,23 @@ func (s *solver) reduceColDominance(rows, cols bitset.Set) bool {
 
 // lowerBound: greedily pick pairwise column-disjoint rows; each needs a
 // distinct column of at least its cheapest candidate's cost.
-func (s *solver) lowerBound(rows, cols bitset.Set) int {
+func (m *matrix) lowerBound(rows, cols bitset.Set) int {
 	var used bitset.Set
 	lb := 0
-	unitCost := s.p.Cost == nil
+	unitCost := m.p.Cost == nil
 	rows.ForEach(func(r int) bool {
-		if bitset.IntersectionIntersects(s.rowSets[r], cols, used) {
+		if bitset.IntersectionIntersects(m.rowSets[r], cols, used) {
 			return true
 		}
-		used.UnionWithIntersection(s.rowSets[r], cols)
+		used.UnionWithIntersection(m.rowSets[r], cols)
 		if unitCost {
 			lb++
 			return true
 		}
 		minCost := 1 << 30
-		s.rowSets[r].ForEach(func(c int) bool {
-			if cols.Has(c) && s.p.cost(c) < minCost {
-				minCost = s.p.cost(c)
+		m.rowSets[r].ForEach(func(c int) bool {
+			if cols.Has(c) && m.p.cost(c) < minCost {
+				minCost = m.p.cost(c)
 			}
 			return true
 		})
@@ -435,14 +579,14 @@ func (s *solver) lowerBound(rows, cols bitset.Set) int {
 
 // greedy returns a feasible selection (nil when infeasible): repeatedly
 // pick the column covering the most uncovered rows per unit cost.
-func (s *solver) greedy(rows, cols bitset.Set) []int {
-	return s.greedyVariant(rows, cols, 0)
+func (m *matrix) greedy(rows, cols bitset.Set) []int {
+	return m.greedyVariant(rows, cols, 0)
 }
 
 // greedyVariant is greedy with deterministic tie-breaking diversity:
 // variant v picks the (v mod 3)-th best column on every (step+v)-th step,
 // giving the restart loop distinct feasible covers.
-func (s *solver) greedyVariant(rows, cols bitset.Set, variant int) []int {
+func (m *matrix) greedyVariant(rows, cols bitset.Set, variant int) []int {
 	remaining := rows.Clone()
 	sel := []int{} // non-nil: nil is the infeasibility sentinel
 	step := 0
@@ -454,11 +598,11 @@ func (s *solver) greedyVariant(rows, cols bitset.Set, variant int) []int {
 		}
 		top := [3]cand{{-1, -1}, {-1, -1}, {-1, -1}}
 		cols.ForEach(func(c int) bool {
-			k := bitset.IntersectLen(s.colSets[c], remaining)
+			k := bitset.IntersectLen(m.colSets[c], remaining)
 			if k == 0 {
 				return true
 			}
-			sc := float64(k) / float64(s.p.cost(c))
+			sc := float64(k) / float64(m.p.cost(c))
 			for i := 0; i < 3; i++ {
 				if sc > top[i].score {
 					copy(top[i+1:], top[i:2])
@@ -479,7 +623,7 @@ func (s *solver) greedyVariant(rows, cols bitset.Set, variant int) []int {
 			}
 		}
 		sel = append(sel, top[pick].c)
-		remaining.DifferenceWith(s.colSets[top[pick].c])
+		remaining.DifferenceWith(m.colSets[top[pick].c])
 		step++
 	}
 	return sel
@@ -489,8 +633,8 @@ func (s *solver) greedyVariant(rows, cols bitset.Set, variant int) []int {
 // keep ending up covered by a single selected column get their weight
 // bumped, steering subsequent greedy passes toward columns that cover the
 // chronically hard rows together. Returns every cover built.
-func (s *solver) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
-	nRows := len(s.rowSets)
+func (m *matrix) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
+	nRows := len(m.rowSets)
 	weights := make([]float64, nRows)
 	for r := range weights {
 		weights[r] = 1
@@ -503,14 +647,14 @@ func (s *solver) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
 			bestC, bestScore := -1, -1.0
 			cols.ForEach(func(c int) bool {
 				w := 0.0
-				bitset.Intersect(s.colSets[c], remaining).ForEach(func(r int) bool {
+				bitset.Intersect(m.colSets[c], remaining).ForEach(func(r int) bool {
 					w += weights[r]
 					return true
 				})
 				if w == 0 {
 					return true
 				}
-				score := w / float64(s.p.cost(c))
+				score := w / float64(m.p.cost(c))
 				if score > bestScore {
 					bestScore, bestC = score, c
 				}
@@ -520,13 +664,13 @@ func (s *solver) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
 				return covers
 			}
 			sel = append(sel, bestC)
-			remaining.DifferenceWith(s.colSets[bestC])
+			remaining.DifferenceWith(m.colSets[bestC])
 		}
 		covers = append(covers, sel)
 		// Bump rows covered exactly once by this cover.
 		counts := make([]int, nRows)
 		for _, c := range sel {
-			bitset.Intersect(s.colSets[c], rows).ForEach(func(r int) bool {
+			bitset.Intersect(m.colSets[c], rows).ForEach(func(r int) bool {
 				counts[r]++
 				return true
 			})
@@ -542,14 +686,14 @@ func (s *solver) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
 
 // dropRedundant removes selected columns whose rows are covered by the
 // remaining selection, most expensive and least-covering first.
-func (s *solver) dropRedundant(rows bitset.Set, sel []int) []int {
+func (m *matrix) dropRedundant(rows bitset.Set, sel []int) []int {
 	order := append([]int(nil), sel...)
 	sort.Slice(order, func(i, j int) bool {
 		ci, cj := order[i], order[j]
-		if s.p.cost(ci) != s.p.cost(cj) {
-			return s.p.cost(ci) > s.p.cost(cj)
+		if m.p.cost(ci) != m.p.cost(cj) {
+			return m.p.cost(ci) > m.p.cost(cj)
 		}
-		return bitset.IntersectLen(s.colSets[ci], rows) < bitset.IntersectLen(s.colSets[cj], rows)
+		return bitset.IntersectLen(m.colSets[ci], rows) < bitset.IntersectLen(m.colSets[cj], rows)
 	})
 	kept := map[int]bool{}
 	for _, c := range sel {
@@ -559,9 +703,9 @@ func (s *solver) dropRedundant(rows bitset.Set, sel []int) []int {
 		// Is every row of c covered by another kept column?
 		kept[c] = false
 		redundant := true
-		bitset.Intersect(s.colSets[c], rows).ForEach(func(r int) bool {
+		bitset.Intersect(m.colSets[c], rows).ForEach(func(r int) bool {
 			covered := false
-			s.rowSets[r].ForEach(func(c2 int) bool {
+			m.rowSets[r].ForEach(func(c2 int) bool {
 				if kept[c2] {
 					covered = true
 					return false
@@ -591,17 +735,17 @@ func (s *solver) dropRedundant(rows bitset.Set, sel []int) []int {
 // any branch and bound.
 func (p *Problem) SolveGreedy() (Solution, error) {
 	nRows := len(p.RowCols)
-	s := &solver{p: p}
-	s.colSets = make([]bitset.Set, p.NumCols)
-	for c := range s.colSets {
-		s.colSets[c] = bitset.New(nRows)
+	m := &matrix{p: p}
+	m.colSets = make([]bitset.Set, p.NumCols)
+	for c := range m.colSets {
+		m.colSets[c] = bitset.New(nRows)
 	}
 	for r, colsOfRow := range p.RowCols {
 		if len(colsOfRow) == 0 {
 			return Solution{}, ErrInfeasible
 		}
 		for _, c := range colsOfRow {
-			s.colSets[c].Add(r)
+			m.colSets[c].Add(r)
 		}
 	}
 	rows := bitset.New(nRows)
@@ -612,7 +756,7 @@ func (p *Problem) SolveGreedy() (Solution, error) {
 	for c := 0; c < p.NumCols; c++ {
 		cols.Add(c)
 	}
-	sel := s.greedy(rows, cols)
+	sel := m.greedy(rows, cols)
 	if sel == nil {
 		return Solution{}, ErrInfeasible
 	}

@@ -1,0 +1,101 @@
+package dichotomy
+
+import (
+	"sync"
+)
+
+// compatShardCount is the number of independently locked shards of a
+// CompatCache. A power of two so the shard index is a cheap mask; 64 shards
+// keep lock contention negligible for worker pools far larger than any
+// machine this code runs on.
+const compatShardCount = 64
+
+// defaultShardCap bounds the entries per shard (≈ 256k pairs total for the
+// default cache) so a pathological workload cannot grow the cache without
+// bound; a full shard is emptied wholesale, which keeps the common path a
+// single map insert.
+const defaultShardCap = 4096
+
+// CompatCache memoizes pairwise Compatible results between dichotomies
+// under a shard-locked map, safe for concurrent use by the parallel prime
+// engines. Compatibility is symmetric, so a pair is stored once under a
+// canonical key regardless of argument order.
+//
+// A cache only pays for itself when the same dichotomy pairs are checked
+// repeatedly — e.g. when both prime engines run over one seed set (the
+// DESIGN.md ablation), or across the repeated generation calls of a GPI
+// selection loop. For a single adjacency build the raw bitset test is
+// cheaper than the key lookup, which is why prime.Options leaves the cache
+// opt-in (nil disables it).
+type CompatCache struct {
+	shardCap int
+	shards   [compatShardCount]compatShard
+}
+
+type compatShard struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+// SharedCompatCache is the process-wide cache instance engines share when
+// the caller does not provide a dedicated one.
+var SharedCompatCache = NewCompatCache()
+
+// NewCompatCache returns an empty cache with the default per-shard bound.
+func NewCompatCache() *CompatCache {
+	return &CompatCache{shardCap: defaultShardCap}
+}
+
+// pairKey builds the canonical key of an unordered dichotomy pair:
+// Compatible is symmetric, so the lexicographically smaller Key comes
+// first.
+func pairKey(d, e D) string {
+	a, b := d.Key(), e.Key()
+	if b < a {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// shardOf hashes a key to its shard (FNV-1a, masked).
+func shardOf(k string) int {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return int(h & (compatShardCount - 1))
+}
+
+// Compatible returns d.Compatible(e), consulting and populating the cache.
+// Safe for concurrent use.
+func (c *CompatCache) Compatible(d, e D) bool {
+	k := pairKey(d, e)
+	sh := &c.shards[shardOf(k)]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = d.Compatible(e)
+	sh.mu.Lock()
+	if sh.m == nil || len(sh.m) >= c.shardCap {
+		sh.m = make(map[string]bool, c.shardCap/4)
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// Len reports the number of cached pairs, for tests and diagnostics.
+func (c *CompatCache) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		total += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return total
+}

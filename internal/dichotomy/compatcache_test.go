@@ -1,0 +1,93 @@
+package dichotomy
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomD builds a random dichotomy over [0, n) with disjoint blocks.
+func randomD(rng *rand.Rand, n int) D {
+	var d D
+	for s := 0; s < n; s++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.L.Add(s)
+		case 1:
+			d.R.Add(s)
+		}
+	}
+	return d
+}
+
+func TestCompatCacheMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cache := NewCompatCache()
+	ds := make([]D, 40)
+	for i := range ds {
+		ds[i] = randomD(rng, 17)
+	}
+	for i := range ds {
+		for j := range ds {
+			want := ds[i].Compatible(ds[j])
+			if got := cache.Compatible(ds[i], ds[j]); got != want {
+				t.Fatalf("cache disagrees with direct check on (%v, %v): got %v want %v",
+					ds[i], ds[j], got, want)
+			}
+			// Second lookup hits the cache and must agree too.
+			if got := cache.Compatible(ds[j], ds[i]); got != want {
+				t.Fatalf("cached symmetric lookup wrong on (%v, %v)", ds[j], ds[i])
+			}
+		}
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache stored nothing")
+	}
+}
+
+func TestCompatCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := make([]D, 60)
+	for i := range ds {
+		ds[i] = randomD(rng, 33)
+	}
+	want := make([][]bool, len(ds))
+	for i := range ds {
+		want[i] = make([]bool, len(ds))
+		for j := range ds {
+			want[i][j] = ds[i].Compatible(ds[j])
+		}
+	}
+	cache := NewCompatCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for k := 0; k < 2000; k++ {
+				i, j := r.Intn(len(ds)), r.Intn(len(ds))
+				if got := cache.Compatible(ds[i], ds[j]); got != want[i][j] {
+					t.Errorf("concurrent lookup (%d,%d): got %v want %v", i, j, got, want[i][j])
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestCompatCacheEviction(t *testing.T) {
+	cache := NewCompatCache()
+	cache.shardCap = 4 // force wholesale shard resets
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 500; k++ {
+		d, e := randomD(rng, 9), randomD(rng, 9)
+		if got, want := cache.Compatible(d, e), d.Compatible(e); got != want {
+			t.Fatalf("post-eviction lookup wrong: got %v want %v", got, want)
+		}
+	}
+	if cache.Len() > compatShardCount*4 {
+		t.Fatalf("cache exceeded bound: %d entries", cache.Len())
+	}
+}

@@ -5,10 +5,32 @@
 // partitioner, *merging* of the sub-solutions' restricted dichotomies by
 // cross product, and *selection* of the c best restricted dichotomies under
 // the chosen cost metric with a bounded enumeration.
+//
+// # Cancellation
+//
+// EncodeCtx polls its context at coarse grain: before each restart and
+// between polish passes. When the context is canceled after at least one
+// restart finished, the best encoding so far is polished (briefly) and
+// returned; when no restart finished, the wrapped context error is
+// returned. The context-free Encode wraps context.Background().
+//
+// # Parallelism
+//
+// With Options.Workers > 1 the independent restarts run concurrently, and
+// within each restart the exhaustive candidate-selection enumeration is
+// scored in parallel. Both fan-outs fold their results deterministically —
+// restarts by (cost, restart index), combinations by (cost, enumeration
+// index) — so the encoding returned is identical to the sequential one for
+// any worker count. Each scoring goroutine owns a private cost.Evaluator;
+// the evaluator type itself is not safe for concurrent use.
 package heuristic
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/constraint"
@@ -38,6 +60,17 @@ type Options struct {
 	// polish over the assembled encoding; 0 means DefaultPolishBudget,
 	// negative disables polishing.
 	PolishBudget int
+	// Workers sets the degree of parallelism: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the sequential code path. The result
+	// is identical for any value.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 // DefaultMaxEvaluations bounds the selection-phase search per subproblem.
@@ -48,6 +81,10 @@ const DefaultRestarts = 4
 
 // DefaultPolishBudget bounds the final swap-improvement evaluations.
 const DefaultPolishBudget = 6000
+
+// scoreChunk is how many selection combinations one worker scores per grab;
+// pools smaller than a few chunks are scored sequentially.
+const scoreChunk = 16
 
 // Result carries the heuristic encoding and its evaluated cost.
 type Result struct {
@@ -60,6 +97,12 @@ type Result struct {
 // are not handled by this algorithm (the paper presents it for input
 // constraints); they are ignored if present.
 func Encode(cs *constraint.Set, opts Options) (*Result, error) {
+	return EncodeCtx(context.Background(), cs, opts)
+}
+
+// EncodeCtx is Encode under a caller-supplied context; see the package
+// documentation for the (coarse-grained) cancellation contract.
+func EncodeCtx(ctx context.Context, cs *constraint.Set, opts Options) (*Result, error) {
 	if err := cs.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,31 +129,81 @@ func Encode(cs *constraint.Set, opts Options) (*Result, error) {
 	for i := 0; i < n; i++ {
 		all.Add(i)
 	}
-	evaluator := cost.NewEvaluator(cs)
-	metricOf := func(enc *core.Encoding) int {
-		return evaluator.Of(opts.Metric, cost.FullAssignment(enc.Bits, enc.Codes))
-	}
 
-	var best *core.Encoding
-	bestCost := 1 << 30
-	for r := 0; r < restarts; r++ {
-		e := &encoder{cs: cs, opts: opts, variant: r}
+	// Restarts are fully independent, so they fan out over the worker pool;
+	// each scores its encoding with a private evaluator. The fold below
+	// walks the results in restart order with strict improvement, which is
+	// exactly the sequential loop's incumbent rule, so the winner does not
+	// depend on the worker count.
+	type run struct {
+		enc *core.Encoding
+		v   int
+	}
+	runs := make([]*run, restarts)
+	forEachIndex(restarts, opts.workers(), func(r int) {
+		if ctx.Err() != nil {
+			return
+		}
+		e := &encoder{cs: cs, opts: opts, variant: r, workers: opts.workers()}
 		cols := e.solve(all, c)
 		enc := core.FromColumns(cs.Syms, cols)
 		ensureUnique(enc, c)
-		if v := metricOf(enc); v < bestCost {
-			bestCost, best = v, enc
+		ev := cost.NewEvaluator(cs)
+		runs[r] = &run{enc, ev.Of(opts.Metric, cost.FullAssignment(enc.Bits, enc.Codes))}
+	})
+
+	var best *core.Encoding
+	bestCost := 1 << 30
+	for _, r := range runs {
+		if r != nil && r.v < bestCost {
+			bestCost, best = r.v, r.enc
 		}
 	}
+	if best == nil {
+		return nil, fmt.Errorf("heuristic: encoding canceled: %w", context.Cause(ctx))
+	}
 
-	polish(cs, best, opts, evaluator)
+	polish(ctx, cs, best, opts, cost.NewEvaluator(cs))
 	a := cost.FullAssignment(best.Bits, best.Codes)
 	return &Result{Encoding: best, Cost: cost.Evaluate(cs, a)}, nil
 }
 
+// forEachIndex runs fn(i) for every i in [0, n) on up to `workers`
+// goroutines pulling from a shared atomic counter; workers <= 1 degrades to
+// a plain loop. fn must only write state owned by index i.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // polish improves the assembled encoding with pairwise code swaps and
-// moves to unused codes, accepting strict improvements of the metric.
-func polish(cs *constraint.Set, enc *core.Encoding, opts Options, evaluator *cost.Evaluator) {
+// moves to unused codes, accepting strict improvements of the metric. The
+// hill climb is order-dependent, so it stays sequential; ctx is polled
+// between passes.
+func polish(ctx context.Context, cs *constraint.Set, enc *core.Encoding, opts Options, evaluator *cost.Evaluator) {
 	budget := opts.PolishBudget
 	if budget == 0 {
 		budget = DefaultPolishBudget
@@ -129,7 +222,7 @@ func polish(cs *constraint.Set, enc *core.Encoding, opts Options, evaluator *cos
 	}
 	best := eval()
 	improved := true
-	for improved && budget > 0 {
+	for improved && budget > 0 && ctx.Err() == nil {
 		improved = false
 		for a := 0; a < n && budget > 0; a++ {
 			for b := a + 1; b < n && budget > 0; b++ {
@@ -197,10 +290,14 @@ func polish(cs *constraint.Set, enc *core.Encoding, opts Options, evaluator *cos
 	}
 }
 
+// encoder is the state of one restart of the split/merge/select recursion.
+// Each restart owns its encoder, so the struct needs no synchronization;
+// workers caps the fan-out of the selection-phase scoring.
 type encoder struct {
 	cs      *constraint.Set
 	opts    Options
 	variant int
+	workers int
 }
 
 // ensureUnique guarantees distinct codes within the fixed code length: any
@@ -308,17 +405,60 @@ func (e *encoder) selectBest(p bitset.Set, c int, cands []dichotomy.D) []dichoto
 		return evaluator.Of(e.opts.Metric, a), true
 	}
 
-	// Exhaustive when feasible within budget.
+	// Exhaustive when feasible within budget. The enumeration is scored in
+	// parallel; the winner is the minimum by (cost, enumeration index),
+	// which is exactly the sequential first-strict-improvement rule, so the
+	// chosen combination does not depend on the worker count. Each chunk is
+	// scored with a private evaluator (cost.Evaluator is not safe for
+	// concurrent use); the budget is untouched on this path, as a pool small
+	// enough to enumerate never exceeds MaxEvaluations by construction.
 	if combinations(len(cands), c) <= e.opts.MaxEvaluations {
-		best, bestCost := []int(nil), 1<<30
+		var combos [][]int
 		forEachCombination(len(cands), c, func(sel []int) {
-			if v, ok := evalSel(sel); ok && v < bestCost {
-				bestCost = v
-				best = append([]int(nil), sel...)
-			}
+			combos = append(combos, append([]int(nil), sel...))
 		})
-		if best != nil {
-			return pick(cands, best)
+		type scored struct {
+			idx int
+			v   int
+		}
+		workers := e.workers
+		if len(combos) < 4*scoreChunk {
+			workers = 1
+		}
+		wins := make([]scored, max(1, workers))
+		forEachIndex(max(1, workers), workers, func(w int) {
+			ev := evaluator
+			if workers > 1 {
+				ev = cost.NewEvaluator(restricted)
+			}
+			win := scored{-1, 1 << 30}
+			for start := w * scoreChunk; start < len(combos); start += workers * scoreChunk {
+				for i := start; i < start+scoreChunk && i < len(combos); i++ {
+					sel := combos[i]
+					if !uniqueCodes(p, cands, sel) {
+						continue
+					}
+					var v int
+					if e.opts.Metric == cost.Violations {
+						v = cost.CountViolations(restricted, e.assignment(p, cands, sel))
+					} else {
+						v = ev.Of(e.opts.Metric, e.assignment(p, cands, sel))
+					}
+					if v < win.v {
+						win = scored{i, v}
+					}
+				}
+			}
+			wins[w] = win
+		})
+		best := scored{-1, 1 << 30}
+		for _, win := range wins {
+			if win.idx >= 0 && (win.v < best.v || (win.v == best.v && win.idx < best.idx)) {
+				best = win
+			}
+		}
+		if best.idx >= 0 {
+			return pick(cands, combos[best.idx])
 		}
 	}
 

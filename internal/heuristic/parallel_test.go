@@ -1,0 +1,72 @@
+package heuristic
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/constraint"
+)
+
+// randomConstraints builds a random face-constraint set over n symbols.
+func randomConstraints(rng *rand.Rand, n int) *constraint.Set {
+	cs := constraint.NewSet(nil)
+	for i := 0; i < n; i++ {
+		cs.Syms.Intern(string(rune('a' + i)))
+	}
+	for k := 0; k < 3+rng.Intn(4); k++ {
+		var m bitset.Set
+		for s := 0; s < n; s++ {
+			if rng.Intn(3) == 0 {
+				m.Add(s)
+			}
+		}
+		if m.Len() >= 2 && m.Len() < n {
+			cs.Faces = append(cs.Faces, constraint.Face{Members: m})
+		}
+	}
+	return cs
+}
+
+// TestEncodeParallelMatchesSequential asserts the heuristic returns the
+// identical encoding and cost for any worker count: the restart fold and
+// the exhaustive-selection fold are both deterministic.
+func TestEncodeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		cs := randomConstraints(rng, 5+rng.Intn(8))
+		seq, err := Encode(cs, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := Encode(cs, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if !reflect.DeepEqual(par.Encoding.Codes, seq.Encoding.Codes) {
+				t.Fatalf("trial %d workers=%d: codes %v != sequential %v",
+					trial, workers, par.Encoding.Codes, seq.Encoding.Codes)
+			}
+			if par.Cost != seq.Cost {
+				t.Fatalf("trial %d workers=%d: cost %+v != sequential %+v",
+					trial, workers, par.Cost, seq.Cost)
+			}
+		}
+	}
+}
+
+// TestEncodeCanceled asserts a pre-canceled context surfaces as a wrapped
+// context.Canceled.
+func TestEncodeCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	cs := randomConstraints(rng, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EncodeCtx(ctx, cs, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want wrapped context.Canceled", err)
+	}
+}

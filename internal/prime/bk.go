@@ -1,0 +1,302 @@
+package prime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/dichotomy"
+)
+
+// forEachRow runs fn(i) for every i in [0, n) on up to `workers`
+// goroutines, pulling row indices from a shared atomic counter. fn must
+// only write state owned by row i.
+func forEachRow(n, workers int, fn func(i int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// bkCtxStride is how many recursion calls pass between context polls.
+const bkCtxStride = 256
+
+// bkState is one Bron–Kerbosch enumeration walker. The sequential engine
+// uses a single walker for the whole graph; the parallel engine gives each
+// task its own walker and they share `count` and `overflow`, so the
+// prime-count limit is enforced globally exactly as in the sequential run.
+type bkState struct {
+	ctx      context.Context
+	adj      []bitset.Set
+	limit    int64
+	count    *atomic.Int64 // cliques emitted across all walkers
+	overflow *atomic.Bool  // limit exceeded somewhere
+	calls    int
+	stopped  bool // ctx expired or overflow observed; unwind quietly
+	out      []bitset.Set
+}
+
+// rec is the classic pivoting recursion. Maximal cliques are appended to
+// s.out in DFS order; the candidate iteration order is determined entirely
+// by the pivot rule, so the order is deterministic.
+func (s *bkState) rec(r, p, x bitset.Set) {
+	if s.stopped {
+		return
+	}
+	s.calls++
+	if s.calls%bkCtxStride == 0 && (s.ctx.Err() != nil || s.overflow.Load()) {
+		s.stopped = true
+		return
+	}
+	if p.IsEmpty() && x.IsEmpty() {
+		if s.count.Add(1) > s.limit {
+			s.overflow.Store(true)
+			s.stopped = true
+			return
+		}
+		s.out = append(s.out, r.Clone())
+		return
+	}
+	pivot := bkPivot(p, x, s.adj)
+	cand := p.Clone()
+	if pivot >= 0 {
+		cand.DifferenceWith(s.adj[pivot])
+	}
+	cand.ForEach(func(v int) bool {
+		if s.stopped {
+			return false
+		}
+		r2 := r.Clone()
+		r2.Add(v)
+		s.rec(r2, bitset.Intersect(p, s.adj[v]), bitset.Intersect(x, s.adj[v]))
+		p.Remove(v)
+		x.Add(v)
+		return true
+	})
+}
+
+// bkPivot returns the vertex of P ∪ X with the most neighbours in P, or -1
+// when both sets are empty.
+func bkPivot(p, x bitset.Set, adj []bitset.Set) int {
+	pivot, best := -1, -1
+	consider := func(u int) bool {
+		d := bitset.IntersectLen(p, adj[u])
+		if d > best {
+			best, pivot = d, u
+		}
+		return true
+	}
+	p.ForEach(consider)
+	x.ForEach(consider)
+	return pivot
+}
+
+// bronKerbosch enumerates all maximal cliques of the compatibility graph
+// sequentially.
+func bronKerbosch(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
+	n := len(seeds)
+	if n == 0 {
+		return nil, nil
+	}
+	adj := compatibility(seeds, opts)
+	var count atomic.Int64
+	var overflow atomic.Bool
+	s := &bkState{
+		ctx:      ctx,
+		adj:      adj,
+		limit:    int64(opts.limit()),
+		count:    &count,
+		overflow: &overflow,
+	}
+	all := bitset.New(n)
+	for i := 0; i < n; i++ {
+		all.Add(i)
+	}
+	s.rec(bitset.New(n), all, bitset.New(n))
+	if overflow.Load() {
+		return nil, fmt.Errorf("%w (> %d)", ErrLimit, opts.limit())
+	}
+	if ctx.Err() != nil {
+		return nil, ctxErr(ctx)
+	}
+	return s.out, nil
+}
+
+// --- Parallel engine ---
+
+// bkTasksPerWorker controls expansion granularity: the search frontier is
+// peeled until about this many tasks per worker exist, so stragglers have
+// somewhere to steal work from.
+const bkTasksPerWorker = 8
+
+// bkItem is one entry of the ordered search frontier: either a clique
+// discovered during expansion (leaf) or a suspended subtree (task). The
+// frontier preserves the sequential DFS order, so concatenating the items'
+// cliques in frontier order reproduces the sequential output exactly.
+type bkItem struct {
+	leaf    bool
+	clique  bitset.Set   // when leaf
+	r, p, x bitset.Set   // when task
+	out     []bitset.Set // task result, written only by the executing worker
+}
+
+// bronKerboschParallel fans the clique enumeration out over a worker pool.
+// Expansion peels the leftmost unexpanded node off the frontier — exactly
+// the node the sequential recursion would enter next — until the frontier
+// holds enough independent subtrees; the pool then drains the subtrees,
+// stealing the next frontier task as each worker goes idle. One shared
+// atomic clique counter preserves the ErrLimit semantics of the sequential
+// engine: the error fires iff the total number of maximal compatibles
+// exceeds the limit, a condition independent of enumeration order.
+func bronKerboschParallel(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
+	n := len(seeds)
+	if n == 0 {
+		return nil, nil
+	}
+	adj := compatibility(seeds, opts)
+	limit := int64(opts.limit())
+	workers := opts.workers()
+	target := workers * bkTasksPerWorker
+
+	all := bitset.New(n)
+	for i := 0; i < n; i++ {
+		all.Add(i)
+	}
+	items := []*bkItem{{r: bitset.New(n), p: all, x: bitset.New(n)}}
+	tasks := 1
+
+	var count atomic.Int64
+	var overflow atomic.Bool
+
+	// Expansion: replace the first task — the node the sequential recursion
+	// would enter next — with its children until enough tasks exist.
+	// Splicing children in place keeps the frontier in DFS order. The step
+	// cap bounds the sequential prelude on skinny trees that keep yielding
+	// a single child.
+	first := 0 // index of the first task; everything before it is a leaf
+	for steps := 0; tasks > 0 && tasks < target && steps < 16*target; steps++ {
+		for items[first].leaf {
+			first++
+		}
+		if ctx.Err() != nil {
+			return nil, ctxErr(ctx)
+		}
+		it := items[first]
+		children, clique := expandBK(it, adj)
+		tasks--
+		switch {
+		case clique:
+			if count.Add(1) > limit {
+				return nil, fmt.Errorf("%w (> %d)", ErrLimit, opts.limit())
+			}
+			items[first] = &bkItem{leaf: true, clique: it.r}
+		case len(children) == 0: // dead end: P empty but X not — no clique here
+			items = append(items[:first], items[first+1:]...)
+		default:
+			items = append(items[:first], append(children, items[first+1:]...)...)
+			tasks += len(children)
+		}
+	}
+
+	// Drain the remaining tasks with the pool.
+	var taskIdx []int
+	for i, it := range items {
+		if !it.leaf {
+			taskIdx = append(taskIdx, i)
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers && w < len(taskIdx); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(taskIdx) || overflow.Load() || ctx.Err() != nil {
+					return
+				}
+				it := items[taskIdx[k]]
+				s := &bkState{
+					ctx:      ctx,
+					adj:      adj,
+					limit:    limit,
+					count:    &count,
+					overflow: &overflow,
+				}
+				s.rec(it.r, it.p, it.x)
+				it.out = s.out
+			}
+		}()
+	}
+	wg.Wait()
+
+	if overflow.Load() {
+		return nil, fmt.Errorf("%w (> %d)", ErrLimit, opts.limit())
+	}
+	if ctx.Err() != nil {
+		return nil, ctxErr(ctx)
+	}
+	out := make([]bitset.Set, 0, count.Load())
+	for _, it := range items {
+		if it.leaf {
+			out = append(out, it.clique)
+		} else {
+			out = append(out, it.out...)
+		}
+	}
+	return out, nil
+}
+
+// expandBK expands a task node one level, returning its children in the
+// order the sequential recursion would visit them, or clique=true when the
+// node is itself a maximal clique. A false clique with no children is a
+// dead end (P exhausted while X is not). Child k inherits the P and X sets
+// as mutated by its earlier siblings, mirroring the sequential loop.
+func expandBK(it *bkItem, adj []bitset.Set) (children []*bkItem, clique bool) {
+	if it.p.IsEmpty() && it.x.IsEmpty() {
+		return nil, true
+	}
+	pivot := bkPivot(it.p, it.x, adj)
+	cand := it.p.Clone()
+	if pivot >= 0 {
+		cand.DifferenceWith(adj[pivot])
+	}
+	p, x := it.p.Clone(), it.x.Clone()
+	cand.ForEach(func(v int) bool {
+		r2 := it.r.Clone()
+		r2.Add(v)
+		children = append(children, &bkItem{
+			r: r2,
+			p: bitset.Intersect(p, adj[v]),
+			x: bitset.Intersect(x, adj[v]),
+		})
+		p.Remove(v)
+		x.Add(v)
+		return true
+	})
+	return children, false
+}

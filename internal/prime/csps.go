@@ -1,9 +1,9 @@
 package prime
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/dichotomy"
@@ -18,8 +18,14 @@ import (
 // term of the final sum-of-products is a minimal vertex cover of the
 // incompatibility graph; the seeds *missing* from a term form a maximal
 // compatible.
-func csps(seeds []dichotomy.D, limit int, deadline time.Time) ([]bitset.Set, error) {
+//
+// The recursion polls ctx at every cs step, so cancellation aborts the
+// exponential product promptly. The engine is inherently sequential — the
+// cs/ps product is a chain of dependent multiplications — and ignores
+// Options.Workers.
+func csps(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
 	n := len(seeds)
+	limit := opts.limit()
 	if n == 0 {
 		return nil, nil
 	}
@@ -28,7 +34,7 @@ func csps(seeds []dichotomy.D, limit int, deadline time.Time) ([]bitset.Set, err
 	var clauses []clause
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if !seeds[i].Compatible(seeds[j]) {
+			if !opts.compatible(seeds[i], seeds[j]) {
 				clauses = append(clauses, clause{i, j})
 			}
 		}
@@ -37,8 +43,8 @@ func csps(seeds []dichotomy.D, limit int, deadline time.Time) ([]bitset.Set, err
 	// cs over a clause list. Terms are bitsets of variables present.
 	var cs func(cls []clause) ([]bitset.Set, error)
 	cs = func(cls []clause) ([]bitset.Set, error) {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return nil, ErrTimeout
+		if ctx.Err() != nil {
+			return nil, ctxErr(ctx)
 		}
 		if len(cls) == 0 {
 			return []bitset.Set{bitset.New(n)}, nil

@@ -1,0 +1,136 @@
+package prime
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dichotomy"
+)
+
+// randomSeeds builds a list of random seed dichotomies over n symbols.
+func randomSeeds(rng *rand.Rand, count, n int) []dichotomy.D {
+	seeds := make([]dichotomy.D, 0, count)
+	for len(seeds) < count {
+		var d dichotomy.D
+		for s := 0; s < n; s++ {
+			switch rng.Intn(3) {
+			case 0:
+				d.L.Add(s)
+			case 1:
+				d.R.Add(s)
+			}
+		}
+		if !d.L.IsEmpty() && !d.R.IsEmpty() {
+			seeds = append(seeds, d)
+		}
+	}
+	return seeds
+}
+
+// TestParallelMatchesSequential asserts that the parallel Bron–Kerbosch
+// engine returns exactly the sequential output — same primes, same order —
+// across randomized instances and worker counts. Run under -race this also
+// exercises the engine's synchronization.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		seeds := randomSeeds(rng, 8+rng.Intn(25), 6+rng.Intn(8))
+		seq, err := GenerateSets(seeds, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := GenerateSets(seeds, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: parallel: %v", trial, workers, err)
+			}
+			if len(par) != len(seq) {
+				t.Fatalf("trial %d workers=%d: %d primes, sequential has %d",
+					trial, workers, len(par), len(seq))
+			}
+			for i := range seq {
+				if !par[i].Equal(seq[i]) {
+					t.Fatalf("trial %d workers=%d: prime %d differs: %v vs %v",
+						trial, workers, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelLimit asserts ErrLimit fires in the parallel engine under the
+// same condition as the sequential one: total maximal compatibles > limit.
+func TestParallelLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seeds := randomSeeds(rng, 30, 10)
+	all, err := GenerateSets(seeds, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	if len(all) < 3 {
+		t.Skip("instance too small to exercise the limit")
+	}
+	for _, workers := range []int{1, 4} {
+		if _, err := GenerateSets(seeds, Options{Workers: workers, Limit: len(all) - 1}); !errors.Is(err, ErrLimit) {
+			t.Fatalf("workers=%d limit=%d: got %v, want ErrLimit", workers, len(all)-1, err)
+		}
+		if got, err := GenerateSets(seeds, Options{Workers: workers, Limit: len(all)}); err != nil || len(got) != len(all) {
+			t.Fatalf("workers=%d limit=%d: got %d primes, err %v", workers, len(all), len(got), err)
+		}
+	}
+}
+
+// TestCancellation asserts that an already-canceled context aborts both
+// engines with a wrapped context.Canceled, and that TimeLimit surfaces as
+// ErrTimeout wrapping context.DeadlineExceeded.
+func TestCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seeds := randomSeeds(rng, 40, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, engine := range []Engine{BronKerbosch, CSPS} {
+		_, err := GenerateSetsCtx(ctx, seeds, Options{Engine: engine})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("engine %d: canceled ctx: got %v, want context.Canceled", engine, err)
+		}
+	}
+	_, err := GenerateSets(seeds, Options{TimeLimit: time.Nanosecond})
+	if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TimeLimit: got %v", err)
+	}
+	if errors.Is(err, ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("ErrTimeout does not wrap context.DeadlineExceeded")
+	}
+}
+
+// TestCachedGenerationMatchesDirect runs both engines with a shared
+// CompatCache and checks the output is unchanged.
+func TestCachedGenerationMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	seeds := randomSeeds(rng, 20, 9)
+	cache := dichotomy.NewCompatCache()
+	for _, engine := range []Engine{BronKerbosch, CSPS} {
+		plain, err := GenerateSets(seeds, Options{Engine: engine, Workers: 1})
+		if err != nil {
+			t.Fatalf("engine %d: %v", engine, err)
+		}
+		cached, err := GenerateSets(seeds, Options{Engine: engine, Workers: 1, Cache: cache})
+		if err != nil {
+			t.Fatalf("engine %d cached: %v", engine, err)
+		}
+		if len(plain) != len(cached) {
+			t.Fatalf("engine %d: cached run returned %d primes, want %d", engine, len(cached), len(plain))
+		}
+		for i := range plain {
+			if !plain[i].Equal(cached[i]) {
+				t.Fatalf("engine %d: prime %d differs under cache", engine, i)
+			}
+		}
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache unused")
+	}
+}

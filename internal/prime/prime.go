@@ -10,11 +10,34 @@
 // directly; it produces the identical set of primes and scales to the large
 // benchmark instances. Both engines honor a configurable prime-count limit,
 // mirroring the paper's 50 000-prime abort on planet and vmecont.
+//
+// # Cancellation
+//
+// Generation is bounded cooperatively through context.Context: GenerateCtx
+// and GenerateSetsCtx poll ctx between recursion steps, so deadlines and
+// explicit cancellation abort the exponential search promptly. The
+// context-free entry points wrap context.Background() and derive a deadline
+// from Options.TimeLimit, preserving the original API. ErrTimeout wraps
+// context.DeadlineExceeded, so errors.Is(err, context.DeadlineExceeded)
+// works on either path.
+//
+// # Parallelism
+//
+// With Options.Workers > 1 the Bron–Kerbosch engine fans the search tree
+// out over a worker pool: the leftmost branches are peeled off sequentially
+// into an ordered task list and the tasks are then consumed by the pool,
+// with the prime-count limit enforced through one shared atomic counter so
+// ErrLimit fires under exactly the same condition as the sequential engine.
+// The parallel engine returns the primes in the identical order as the
+// sequential one, so results are byte-for-byte reproducible regardless of
+// worker count.
 package prime
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/bitset"
@@ -26,7 +49,7 @@ type Engine int
 
 const (
 	// BronKerbosch enumerates maximal cliques of the compatibility graph
-	// with pivoting. Default engine.
+	// with pivoting. Default engine; the only one that parallelizes.
 	BronKerbosch Engine = iota
 	// CSPS is the paper's Figure-2 cs/ps recursion over the 2-CNF of
 	// pairwise incompatibilities.
@@ -39,18 +62,31 @@ var ErrLimit = errors.New("prime: maximal compatible limit exceeded")
 
 // ErrTimeout is returned when generation exceeds the configured time
 // budget; like ErrLimit it marks an instance as too large, matching the
-// paper's starred Table-1 entries.
-var ErrTimeout = errors.New("prime: generation time limit exceeded")
+// paper's starred Table-1 entries. It wraps context.DeadlineExceeded, so
+// errors.Is(err, context.DeadlineExceeded) also reports true.
+var ErrTimeout = fmt.Errorf("prime: generation time limit exceeded: %w", context.DeadlineExceeded)
 
 // Options configures prime generation.
 type Options struct {
 	// Limit bounds the number of maximal compatibles generated; 0 means
 	// DefaultLimit.
 	Limit int
-	// TimeLimit bounds generation wall-clock time; 0 means unlimited.
+	// TimeLimit bounds generation wall-clock time; 0 means unlimited. It
+	// is applied as a context deadline, layered under whatever deadline
+	// the caller's context already carries.
 	TimeLimit time.Duration
 	// Engine selects the algorithm; default BronKerbosch.
 	Engine Engine
+	// Workers sets the degree of parallelism of the BronKerbosch engine:
+	// 0 means runtime.GOMAXPROCS(0), 1 forces the sequential code path.
+	// The CSPS engine is inherently sequential and ignores this knob.
+	Workers int
+	// Cache, when non-nil, memoizes pairwise compatibility checks in a
+	// shard-locked cache (see dichotomy.CompatCache). Profitable when the
+	// same seed pairs are re-checked across engine runs — e.g. the
+	// BronKerbosch-vs-CSPS ablation, or repeated generation in a GPI
+	// loop; for a one-shot run the direct bitset test is faster.
+	Cache *dichotomy.CompatCache
 }
 
 // DefaultLimit matches the paper's experimental cut-off.
@@ -63,11 +99,34 @@ func (o Options) limit() int {
 	return o.Limit
 }
 
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// compatible is the seed-pair compatibility test, routed through the
+// memoizing cache when one is configured.
+func (o Options) compatible(d, e dichotomy.D) bool {
+	if o.Cache != nil {
+		return o.Cache.Compatible(d, e)
+	}
+	return d.Compatible(e)
+}
+
 // Generate returns the prime encoding-dichotomies of seeds: the unions of
 // every maximal compatible subset. The seed order determines the output
 // order deterministically.
 func Generate(seeds []dichotomy.D, opts Options) ([]dichotomy.D, error) {
-	sets, err := GenerateSets(seeds, opts)
+	return GenerateCtx(context.Background(), seeds, opts)
+}
+
+// GenerateCtx is Generate under a caller-supplied context: generation stops
+// with ErrTimeout when the context deadline expires and with the context's
+// error when it is canceled.
+func GenerateCtx(ctx context.Context, seeds []dichotomy.D, opts Options) ([]dichotomy.D, error) {
+	sets, err := GenerateSetsCtx(ctx, seeds, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -81,18 +140,38 @@ func Generate(seeds []dichotomy.D, opts Options) ([]dichotomy.D, error) {
 // GenerateSets returns the maximal compatibles themselves, each as a set of
 // seed indices.
 func GenerateSets(seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
-	var deadline time.Time
+	return GenerateSetsCtx(context.Background(), seeds, opts)
+}
+
+// GenerateSetsCtx is GenerateSets under a caller-supplied context; see
+// GenerateCtx for the cancellation contract.
+func GenerateSetsCtx(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
 	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
 	}
 	switch opts.Engine {
 	case CSPS:
-		return csps(seeds, opts.limit(), deadline)
+		return csps(ctx, seeds, opts)
 	case BronKerbosch:
-		return bronKerbosch(seeds, opts.limit(), deadline)
+		if opts.workers() > 1 {
+			return bronKerboschParallel(ctx, seeds, opts)
+		}
+		return bronKerbosch(ctx, seeds, opts)
 	default:
 		return nil, fmt.Errorf("prime: unknown engine %d", opts.Engine)
 	}
+}
+
+// ctxErr translates a context failure into the package's error vocabulary:
+// a missed deadline becomes ErrTimeout (the paper's "too large" marker),
+// an explicit cancellation surfaces as a wrapped context.Canceled.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return fmt.Errorf("prime: generation canceled: %w", context.Cause(ctx))
 }
 
 func unionOf(seeds []dichotomy.D, members bitset.Set) dichotomy.D {
@@ -107,91 +186,32 @@ func unionOf(seeds []dichotomy.D, members bitset.Set) dichotomy.D {
 
 // compatibility builds the compatibility adjacency of the seeds:
 // adj[i] holds j ≠ i iff seeds i and j are compatible (Definition 3.2).
-func compatibility(seeds []dichotomy.D) []bitset.Set {
+// The quadratic pair sweep is spread over the worker pool; the result is
+// independent of the worker count.
+func compatibility(seeds []dichotomy.D, opts Options) []bitset.Set {
 	n := len(seeds)
-	adj := make([]bitset.Set, n)
-	for i := range adj {
-		adj[i] = bitset.New(n)
-	}
-	for i := 0; i < n; i++ {
+	workers := opts.workers()
+	// upper[i] holds the compatible j > i; each row has a single writer, so
+	// the first pass is embarrassingly parallel.
+	upper := make([]bitset.Set, n)
+	forEachRow(n, workers, func(i int) {
+		upper[i] = bitset.New(n)
 		for j := i + 1; j < n; j++ {
-			if seeds[i].Compatible(seeds[j]) {
+			if opts.compatible(seeds[i], seeds[j]) {
+				upper[i].Add(j)
+			}
+		}
+	})
+	// Symmetrize: adj[i] = upper[i] ∪ {j < i : i ∈ upper[j]}. Again one
+	// writer per row, reading only the now-frozen upper triangle.
+	adj := make([]bitset.Set, n)
+	forEachRow(n, workers, func(i int) {
+		adj[i] = upper[i]
+		for j := 0; j < i; j++ {
+			if upper[j].Has(i) {
 				adj[i].Add(j)
-				adj[j].Add(i)
 			}
 		}
-	}
+	})
 	return adj
-}
-
-// bronKerbosch enumerates all maximal cliques of the compatibility graph
-// with the classic pivoting recursion.
-func bronKerbosch(seeds []dichotomy.D, limit int, deadline time.Time) ([]bitset.Set, error) {
-	n := len(seeds)
-	if n == 0 {
-		return nil, nil
-	}
-	adj := compatibility(seeds)
-	var out []bitset.Set
-	var overflow, timedOut bool
-	calls := 0
-
-	var rec func(r, p, x bitset.Set)
-	rec = func(r, p, x bitset.Set) {
-		if overflow || timedOut {
-			return
-		}
-		calls++
-		if !deadline.IsZero() && calls%512 == 0 && time.Now().After(deadline) {
-			timedOut = true
-			return
-		}
-		if p.IsEmpty() && x.IsEmpty() {
-			if len(out) >= limit {
-				overflow = true
-				return
-			}
-			out = append(out, r.Clone())
-			return
-		}
-		// Pivot: vertex of P ∪ X with the most neighbours in P.
-		pivot, best := -1, -1
-		consider := func(u int) bool {
-			d := bitset.Intersect(p, adj[u]).Len()
-			if d > best {
-				best, pivot = d, u
-			}
-			return true
-		}
-		p.ForEach(consider)
-		x.ForEach(consider)
-		cand := p.Clone()
-		if pivot >= 0 {
-			cand.DifferenceWith(adj[pivot])
-		}
-		cand.ForEach(func(v int) bool {
-			if overflow {
-				return false
-			}
-			r2 := r.Clone()
-			r2.Add(v)
-			rec(r2, bitset.Intersect(p, adj[v]), bitset.Intersect(x, adj[v]))
-			p.Remove(v)
-			x.Add(v)
-			return true
-		})
-	}
-
-	all := bitset.New(n)
-	for i := 0; i < n; i++ {
-		all.Add(i)
-	}
-	rec(bitset.New(n), all, bitset.New(n))
-	if overflow {
-		return nil, fmt.Errorf("%w (> %d)", ErrLimit, limit)
-	}
-	if timedOut {
-		return nil, ErrTimeout
-	}
-	return out, nil
 }
