@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench ci
+.PHONY: all build vet test race bench-smoke bench bench-json bench-json-smoke ci
 
 all: build
 
@@ -25,4 +25,15 @@ bench-smoke:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-ci: vet build race bench-smoke
+# Allocation-tracking harness: run the hot-path kernel benchmarks across all
+# packages and record ns/op, B/op and allocs/op as JSON. BENCH_PR2.json is
+# the checked-in snapshot the README's before/after table cites.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Kernel' -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+
+# One iteration of each kernel benchmark through the JSON pipeline: proves
+# harness and parser still work without paying for a full measurement.
+bench-json-smoke:
+	$(GO) test -run '^$$' -bench 'Kernel' -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > /dev/null
+
+ci: vet build race bench-smoke bench-json-smoke

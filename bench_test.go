@@ -117,6 +117,7 @@ func BenchmarkFigure9CostEval(b *testing.B) {
 	codes := []hypercube.Code{0b1010, 0b0010, 0b0011, 0b1110, 0b0111, 0b1011, 0b1100}
 	a := cost.FullAssignment(4, codes)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := cost.Evaluate(cs, a)
 		if r.Cubes != 4 {
@@ -267,6 +268,7 @@ func BenchmarkRaiseDichotomy(b *testing.B) {
 	cs := bbsseConstraints(b)
 	seeds := dichotomy.Initial(cs)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d := seeds[i%len(seeds)]
 		dichotomy.Raise(d, cs)
@@ -276,6 +278,7 @@ func BenchmarkRaiseDichotomy(b *testing.B) {
 func BenchmarkInitialDichotomies(b *testing.B) {
 	cs := bbsseConstraints(b)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dichotomy.Initial(cs)
 	}
@@ -310,6 +313,7 @@ func BenchmarkUnateCover(b *testing.B) {
 	}
 	_ = res
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.ExactEncode(cs, core.ExactOptions{}); err != nil {
 			b.Fatal(err)
@@ -329,6 +333,7 @@ func BenchmarkBinateCover(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := tab.Solve(cover.Options{}); err != nil {
 			b.Fatal(err)
@@ -390,6 +395,7 @@ func BenchmarkParallelHeuristic(b *testing.B) {
 	}
 	cs := mv.InputConstraints(m)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for _, wc := range workerCounts {
 		b.Run(wc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -448,6 +454,7 @@ func BenchmarkPartitioner(b *testing.B) {
 	}
 	capSide := 1 << uint(hypercube.MinBits(cs.N())-1)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		partition.BipartitionVariant(h, nodes, capSide, capSide, i)
 	}
@@ -460,6 +467,7 @@ func BenchmarkHeuristicEncode(b *testing.B) {
 	}
 	cs := mv.InputConstraints(m)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes}); err != nil {
 			b.Fatal(err)
@@ -474,6 +482,7 @@ func BenchmarkNovaEncode(b *testing.B) {
 	}
 	cs := mv.InputConstraints(m)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := nova.Encode(cs, nova.Options{}); err != nil {
 			b.Fatal(err)
@@ -488,6 +497,7 @@ func BenchmarkAnnealEncode(b *testing.B) {
 	}
 	cs := mv.InputConstraintsDC(m)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := anneal.Encode(cs, anneal.Options{Metric: cost.Literals, Temps: 40, Seed: int64(i + 1)}); err != nil {
 			b.Fatal(err)
@@ -501,6 +511,7 @@ func BenchmarkSymbolicMinimization(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mv.InputConstraints(m)
 	}

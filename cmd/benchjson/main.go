@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one record per benchmark result line:
+//
+//	go test -run '^$' -bench Kernel -benchmem ./... | benchjson > bench.json
+//
+// Each record carries the benchmark name (GOMAXPROCS suffix stripped), the
+// iteration count and the ns/op, B/op and allocs/op readings; metrics the
+// run did not report are -1. Non-benchmark lines (PASS, ok, headers) are
+// ignored, so the whole `go test` stream can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	recs, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans `go test -bench` output. `pkg:` lines emitted by go test
+// ("pkg: repro/internal/bitset") attribute the benchmarks that follow.
+func parse(sc *bufio.Scanner) ([]Record, error) {
+	recs := []Record{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		r.Package = pkg
+		recs = append(recs, r)
+	}
+	return recs, sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-8  N  T ns/op  B B/op  A allocs/op"
+// result line; reports ok=false for lines that only look like one.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Record{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so records compare across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	r := Record{Name: name, Iterations: iters, NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	if r.NsPerOp < 0 {
+		return Record{}, false
+	}
+	return r, true
+}

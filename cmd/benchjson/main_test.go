@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: repro/internal/bitset
+cpu: Some CPU @ 2.0GHz
+BenchmarkIntersectKernel-8   	33677077	        35.63 ns/op	      64 B/op	       1 allocs/op
+BenchmarkIntersectIntoKernel 	41000000	        29.10 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/bitset	2.1s
+pkg: repro/internal/prime
+BenchmarkBronKerboschKernel-8 	    4279	    289270 ns/op	  117048 B/op	     139 allocs/op
+BenchmarkNoMem 	    1000	    1234 ns/op
+ok  	repro/internal/prime	1.0s
+`
+	recs, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("parsed %d records, want 4: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Name != "BenchmarkIntersectKernel" || r.Package != "repro/internal/bitset" ||
+		r.Iterations != 33677077 || r.NsPerOp != 35.63 || r.BytesPerOp != 64 || r.AllocsPerOp != 1 {
+		t.Fatalf("record 0 = %+v", r)
+	}
+	if recs[1].AllocsPerOp != 0 || recs[1].Name != "BenchmarkIntersectIntoKernel" {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[2].Package != "repro/internal/prime" || recs[2].AllocsPerOp != 139 {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+	// -benchmem absent: memory metrics report -1, ns/op still parsed.
+	if recs[3].NsPerOp != 1234 || recs[3].BytesPerOp != -1 || recs[3].AllocsPerOp != -1 {
+		t.Fatalf("record 3 = %+v", recs[3])
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo", // bare name, no fields
+		"Benchmarking something else entirely with words",
+		"BenchmarkBar-8 notanumber 10 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/heuristic"
 	"repro/internal/prime"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -32,6 +33,10 @@ func main() {
 	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
 	verbose := flag.Bool("v", false, "print pipeline details")
 	flag.Parse()
+	if err := profiling.Start(); err != nil {
+		fatal(err)
+	}
+	defer profiling.Stop()
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -124,6 +129,7 @@ func parseMetric(s string) (cost.Metric, bool) {
 }
 
 func fatal(err error) {
+	profiling.Stop() // flush any requested profiles before the error exit
 	fmt.Fprintln(os.Stderr, "encode:", err)
 	os.Exit(1)
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/kiss"
 	"repro/internal/mv"
 	"repro/internal/prime"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -37,6 +38,10 @@ func main() {
 	timeout := flag.Duration("timeout", time.Minute, "time budget for the exact search")
 	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
 	flag.Parse()
+	if err := profiling.Start(); err != nil {
+		fatal(err)
+	}
+	defer profiling.Stop()
 
 	var m *fsm.FSM
 	var err error
@@ -141,6 +146,7 @@ func main() {
 }
 
 func fatal(err error) {
+	profiling.Stop() // flush any requested profiles before the error exit
 	fmt.Fprintln(os.Stderr, "fsmenc:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,96 @@
+package bitset
+
+// Arena is a free-list of fixed-universe scratch sets for allocation-free
+// recursive kernels: a search walker Gets per-level scratch sets on the way
+// down and Puts them back while unwinding, so steady-state recursion
+// performs no heap allocation at all once the deepest level has been
+// visited.
+//
+// An Arena is NOT safe for concurrent use: give each worker goroutine its
+// own. Sets obtained from an arena follow the usual ownership rules — they
+// may be handed to the in-place kernels (IntersectInto, CopyFrom, …) and
+// mutated freely, but anything that outlives the Put must be Cloned first.
+type Arena struct {
+	width int // words per set: enough for the universe [0, n)
+	free  []Set
+}
+
+// NewArena returns an arena whose sets hold elements in [0, n) without
+// reallocation.
+func NewArena(n int) *Arena {
+	w := (n + wordBits - 1) / wordBits
+	if w == 0 {
+		w = 1
+	}
+	return &Arena{width: w}
+}
+
+// Get returns an empty set over the arena's universe, reusing a previously
+// Put set when one is available.
+func (a *Arena) Get() Set {
+	if k := len(a.free); k > 0 {
+		s := a.free[k-1]
+		a.free = a.free[:k-1]
+		w := s.words[:a.width]
+		for i := range w {
+			w[i] = 0
+		}
+		return Set{words: w}
+	}
+	return Set{words: make([]uint64, a.width)}
+}
+
+// Put returns s's storage to the free list. The caller must not use s (or
+// any alias of its backing array) afterwards. Sets whose backing array is
+// too small for the arena's universe — possible only if s did not come from
+// Get — are dropped rather than recycled.
+func (a *Arena) Put(s Set) {
+	if cap(s.words) < a.width {
+		return
+	}
+	a.free = append(a.free, s)
+}
+
+// Slab carves owned, fixed-width sets out of large shared blocks. Unlike
+// Arena sets, slab sets are permanent: they are handed out once and never
+// recycled, which makes Slab the right allocator for result sets built in a
+// hot loop (e.g. one clique per Bron–Kerbosch leaf). Each handed-out set is
+// sliced with a full-capacity bound, so growing one later copies it out
+// instead of clobbering its neighbors.
+//
+// A Slab is NOT safe for concurrent use: give each worker goroutine its
+// own. The blocks stay reachable as long as any handed-out set is.
+type Slab struct {
+	width int
+	block []uint64
+}
+
+// slabSetsPerBlock is how many sets one backing allocation serves.
+const slabSetsPerBlock = 64
+
+// NewSlab returns a slab allocator for sets over the universe [0, n).
+func NewSlab(n int) *Slab {
+	w := (n + wordBits - 1) / wordBits
+	if w == 0 {
+		w = 1
+	}
+	return &Slab{width: w}
+}
+
+// CloneInto returns an independent copy of t backed by slab storage. t must
+// fit the slab's universe.
+func (s *Slab) CloneInto(t Set) Set {
+	if len(t.words) > s.width {
+		return t.Clone() // oversized: fall back to a private allocation
+	}
+	if len(s.block) < s.width {
+		s.block = make([]uint64, s.width*slabSetsPerBlock)
+	}
+	w := s.block[:s.width:s.width]
+	s.block = s.block[s.width:]
+	n := copy(w, t.words)
+	for i := n; i < len(w); i++ {
+		w[i] = 0
+	}
+	return Set{words: w}
+}

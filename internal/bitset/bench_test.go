@@ -1,0 +1,54 @@
+package bitset
+
+import "testing"
+
+// BenchmarkFromSliceKernel tracks the construction allocation discipline:
+// a single preallocated word array versus word-by-word append growth.
+func BenchmarkFromSliceKernel(b *testing.B) {
+	elems := make([]int, 0, 128)
+	for e := 0; e < 512; e += 4 {
+		elems = append(elems, e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromSlice(elems)
+	}
+}
+
+// BenchmarkIntersectKernel is the allocating two-operand intersection the
+// hot paths used before the in-place kernels existed; kept as the
+// comparison point for IntersectInto.
+func BenchmarkIntersectKernel(b *testing.B) {
+	s, t := New(512), New(512)
+	for e := 0; e < 512; e += 3 {
+		s.Add(e)
+	}
+	for e := 0; e < 512; e += 5 {
+		t.Add(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersect(s, t)
+	}
+}
+
+// BenchmarkIntersectIntoKernel is the in-place counterpart of
+// BenchmarkIntersectKernel: same operands, reused receiver, zero
+// steady-state allocation.
+func BenchmarkIntersectIntoKernel(b *testing.B) {
+	s, t := New(512), New(512)
+	for e := 0; e < 512; e += 3 {
+		s.Add(e)
+	}
+	for e := 0; e < 512; e += 5 {
+		t.Add(e)
+	}
+	dst := New(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.IntersectInto(s, t)
+	}
+}

@@ -28,11 +28,25 @@ func New(n int) Set {
 	return Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
-// FromSlice returns a set containing exactly the given elements.
+// FromSlice returns a set containing exactly the given elements. The word
+// array is sized from the maximum element in one pass, so construction
+// performs a single allocation regardless of element count or order.
 func FromSlice(elems []int) Set {
-	var s Set
+	maxE := -1
 	for _, e := range elems {
-		s.Add(e)
+		if e < 0 {
+			panic("bitset: negative element " + strconv.Itoa(e))
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	if maxE < 0 {
+		return Set{}
+	}
+	s := New(maxE + 1)
+	for _, e := range elems {
+		s.words[e/wordBits] |= 1 << uint(e%wordBits)
 	}
 	return s
 }
@@ -106,6 +120,97 @@ func (s Set) Clone() Set {
 	copy(w, s.words)
 	return Set{words: w}
 }
+
+// CopyFrom makes s an exact copy of t, reusing s's backing array when it is
+// large enough. The receiver may alias t.
+func (s *Set) CopyFrom(t Set) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	}
+	s.words = s.words[:len(t.words)]
+	copy(s.words, t.words)
+}
+
+// IntersectInto sets s = a ∩ b without allocating (unless s's backing array
+// is too small). The receiver may alias either operand; operands of
+// different word counts are handled by truncating to the shorter.
+func (s *Set) IntersectInto(a, b Set) {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	}
+	s.words = s.words[:n]
+	for i := 0; i < n; i++ {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// UnionInto sets s = a ∪ b without allocating (unless s's backing array is
+// too small). The receiver may alias either operand: every word is read
+// from both operands before the same index is written.
+func (s *Set) UnionInto(a, b Set) {
+	n := len(a.words)
+	if len(b.words) > n {
+		n = len(b.words)
+	}
+	w := s.words
+	if cap(w) < n {
+		w = make([]uint64, n)
+	}
+	w = w[:n]
+	for i := 0; i < n; i++ {
+		var aw, bw uint64
+		if i < len(a.words) {
+			aw = a.words[i]
+		}
+		if i < len(b.words) {
+			bw = b.words[i]
+		}
+		w[i] = aw | bw
+	}
+	s.words = w
+}
+
+// DifferenceInto sets s = a \ b without allocating (unless s's backing
+// array is too small). The receiver may alias either operand.
+func (s *Set) DifferenceInto(a, b Set) {
+	n := len(a.words)
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	}
+	s.words = s.words[:n]
+	for i := 0; i < n; i++ {
+		var bw uint64
+		if i < len(b.words) {
+			bw = b.words[i]
+		}
+		s.words[i] = a.words[i] &^ bw
+	}
+}
+
+// Clear empties the set, keeping its backing array.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// WordCount returns the number of backing words; together with Word it
+// enables closure-free element iteration in hot loops:
+//
+//	for i, wc := 0, s.WordCount(); i < wc; i++ {
+//		for w := s.Word(i); w != 0; w &= w - 1 {
+//			e := i*64 + bits.TrailingZeros64(w)
+//			...
+//		}
+//	}
+func (s Set) WordCount() int { return len(s.words) }
+
+// Word returns the i-th backing word (64 elements starting at 64*i).
+func (s Set) Word(i int) uint64 { return s.words[i] }
 
 // UnionWith adds every element of t to s.
 func (s *Set) UnionWith(t Set) {
@@ -288,15 +393,37 @@ func (s Set) Equal(t Set) bool {
 
 // Elems returns the elements of the set in increasing order.
 func (s Set) Elems() []int {
-	out := make([]int, 0, s.Len())
+	return s.AppendTo(make([]int, 0, s.Len()))
+}
+
+// AppendTo appends the elements in increasing order to dst and returns the
+// extended slice; with a reused dst it is the non-allocating Elems.
+func (s Set) AppendTo(dst []int) []int {
 	for i, w := range s.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, i*wordBits+b)
+			dst = append(dst, i*wordBits+b)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
+}
+
+// IntersectForEach calls fn for each element of s ∩ t in increasing order
+// without materializing the intersection; it stops early if fn returns
+// false.
+func IntersectForEach(s, t Set, fn func(e int) bool) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		for w := s.words[i] & t.words[i]; w != 0; w &= w - 1 {
+			if !fn(i*wordBits + bits.TrailingZeros64(w)) {
+				return
+			}
+		}
+	}
 }
 
 // ForEach calls fn for each element in increasing order; it stops early if fn

@@ -1,0 +1,306 @@
+package bitset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomSetOver builds a random set over [0, n) with the given density, and
+// pads it with trailing zero words when pad > 0 so mixed word counts occur.
+func randomSetOver(rng *rand.Rand, n, pad int) Set {
+	s := New(n + pad*wordBits)
+	for e := 0; e < n; e++ {
+		if rng.Intn(3) == 0 {
+			s.Add(e)
+		}
+	}
+	return s
+}
+
+// TestInPlaceKernelsMixedUniverse cross-checks the in-place kernels against
+// the allocating operations over operands of deliberately different word
+// counts — the "tolerated but never required" mixed sizes of the package
+// doc — including fresh, undersized and oversized receivers.
+func TestInPlaceKernelsMixedUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		a := randomSetOver(rng, 5+rng.Intn(190), rng.Intn(3))
+		b := randomSetOver(rng, 5+rng.Intn(190), rng.Intn(3))
+		receivers := map[string]Set{
+			"zero":      {},
+			"small":     New(7),
+			"large":     New(1000),
+			"populated": randomSetOver(rng, 150, 1),
+		}
+		for name, recv := range receivers {
+			s := recv.Clone()
+			s.IntersectInto(a, b)
+			if want := Intersect(a, b); !s.Equal(want) {
+				t.Fatalf("trial %d recv %s: IntersectInto = %v, want %v", trial, name, s, want)
+			}
+			s = recv.Clone()
+			s.UnionInto(a, b)
+			if want := Union(a, b); !s.Equal(want) {
+				t.Fatalf("trial %d recv %s: UnionInto = %v, want %v", trial, name, s, want)
+			}
+			s = recv.Clone()
+			s.DifferenceInto(a, b)
+			if want := Difference(a, b); !s.Equal(want) {
+				t.Fatalf("trial %d recv %s: DifferenceInto = %v, want %v", trial, name, s, want)
+			}
+			s = recv.Clone()
+			s.CopyFrom(a)
+			if !s.Equal(a) {
+				t.Fatalf("trial %d recv %s: CopyFrom = %v, want %v", trial, name, s, a)
+			}
+			// The receiver must remain usable as a plain set afterwards.
+			s.Add(999)
+			if !s.Has(999) {
+				t.Fatalf("trial %d recv %s: receiver broken after kernel", trial, name)
+			}
+		}
+	}
+}
+
+// TestInPlaceKernelsAliased runs every kernel with the receiver aliasing
+// one (or both) operands: a.IntersectInto(a, b) and friends must behave as
+// if the operands had been snapshotted first.
+func TestInPlaceKernelsAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	type op struct {
+		name  string
+		apply func(s *Set, a, b Set)
+		want  func(a, b Set) Set
+	}
+	ops := []op{
+		{"IntersectInto", func(s *Set, a, b Set) { s.IntersectInto(a, b) }, Intersect},
+		{"UnionInto", func(s *Set, a, b Set) { s.UnionInto(a, b) }, Union},
+		{"DifferenceInto", func(s *Set, a, b Set) { s.DifferenceInto(a, b) }, Difference},
+	}
+	for trial := 0; trial < 500; trial++ {
+		a := randomSetOver(rng, 5+rng.Intn(190), rng.Intn(2))
+		b := randomSetOver(rng, 5+rng.Intn(190), rng.Intn(2))
+		for _, o := range ops {
+			// s aliases a.
+			s, bc := a.Clone(), b.Clone()
+			want := o.want(s, bc)
+			o.apply(&s, s, bc)
+			if !s.Equal(want) {
+				t.Fatalf("trial %d %s(s=a): got %v want %v", trial, o.name, s, want)
+			}
+			if !bc.Equal(b) {
+				t.Fatalf("trial %d %s(s=a): operand b mutated", trial, o.name)
+			}
+			// s aliases b.
+			ac, s2 := a.Clone(), b.Clone()
+			want = o.want(ac, s2)
+			o.apply(&s2, ac, s2)
+			if !s2.Equal(want) {
+				t.Fatalf("trial %d %s(s=b): got %v want %v", trial, o.name, s2, want)
+			}
+			if !ac.Equal(a) {
+				t.Fatalf("trial %d %s(s=b): operand a mutated", trial, o.name)
+			}
+			// s aliases both operands.
+			s3 := a.Clone()
+			want = o.want(s3, s3)
+			o.apply(&s3, s3, s3)
+			if !s3.Equal(want) {
+				t.Fatalf("trial %d %s(s=a=b): got %v want %v", trial, o.name, s3, want)
+			}
+		}
+		// CopyFrom with an aliased source must be the identity.
+		s := a.Clone()
+		s.CopyFrom(s)
+		if !s.Equal(a) {
+			t.Fatalf("trial %d CopyFrom(self): got %v want %v", trial, s, a)
+		}
+	}
+}
+
+func TestFromSliceMatchesAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		elems := make([]int, rng.Intn(40))
+		for i := range elems {
+			elems[i] = rng.Intn(500)
+		}
+		got := FromSlice(elems)
+		var want Set
+		for _, e := range elems {
+			want.Add(e)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("FromSlice(%v) = %v, want %v", elems, got, want)
+		}
+	}
+	if !FromSlice(nil).IsEmpty() {
+		t.Fatal("FromSlice(nil) not empty")
+	}
+}
+
+func TestFromSliceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with a negative element did not panic")
+		}
+	}()
+	FromSlice([]int{3, -1})
+}
+
+func TestAppendToAndWordAccess(t *testing.T) {
+	s := Of(1, 63, 64, 130, 300)
+	buf := make([]int, 0, 8)
+	buf = append(buf, -7) // pre-existing content must be preserved
+	buf = s.AppendTo(buf)
+	want := []int{-7, 1, 63, 64, 130, 300}
+	if len(buf) != len(want) {
+		t.Fatalf("AppendTo = %v, want %v", buf, want)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("AppendTo = %v, want %v", buf, want)
+		}
+	}
+	// Word/WordCount iteration must visit exactly the elements.
+	var elems []int
+	for i, wc := 0, s.WordCount(); i < wc; i++ {
+		for w := s.Word(i); w != 0; w &= w - 1 {
+			elems = append(elems, i*64+trailingZeros(w))
+		}
+	}
+	if len(elems) != 5 {
+		t.Fatalf("word iteration found %v", elems)
+	}
+	for i, e := range []int{1, 63, 64, 130, 300} {
+		if elems[i] != e {
+			t.Fatalf("word iteration = %v", elems)
+		}
+	}
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+func TestIntersectForEach(t *testing.T) {
+	a := Of(1, 5, 70, 128, 129)
+	b := Of(5, 70, 129, 400)
+	var got []int
+	IntersectForEach(a, b, func(e int) bool {
+		got = append(got, e)
+		return true
+	})
+	want := []int{5, 70, 129}
+	if len(got) != len(want) {
+		t.Fatalf("IntersectForEach = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IntersectForEach = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	IntersectForEach(a, b, func(int) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d elements", count)
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	ar := NewArena(130)
+	s := ar.Get()
+	s.Add(5)
+	s.Add(129)
+	ar.Put(s)
+	u := ar.Get()
+	if !u.IsEmpty() {
+		t.Fatalf("recycled arena set not cleared: %v", u)
+	}
+	if got := u.WordCount(); got != 3 {
+		t.Fatalf("arena set has %d words, want 3", got)
+	}
+	// A shrunken set (in-place intersect against a narrower operand) must
+	// come back at full width.
+	v := ar.Get()
+	v.IntersectInto(Of(1), Of(1))
+	ar.Put(v)
+	w := ar.Get()
+	if got := w.WordCount(); got != 3 {
+		t.Fatalf("recycled shrunken set has %d words, want 3", got)
+	}
+	// Foreign undersized sets are dropped, not recycled.
+	ar.Put(New(5))
+	x := ar.Get()
+	if got := x.WordCount(); got != 3 {
+		t.Fatalf("arena handed out an undersized set: %d words", got)
+	}
+}
+
+// TestArenaConcurrentPerWorker exercises the documented concurrency
+// contract — one arena per goroutine — under the race detector: workers
+// share read-only operand sets but never an arena.
+func TestArenaConcurrentPerWorker(t *testing.T) {
+	operands := make([]Set, 16)
+	rng := rand.New(rand.NewSource(4))
+	for i := range operands {
+		operands[i] = randomSetOver(rng, 200, 0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			ar := NewArena(200)
+			r := rand.New(rand.NewSource(seed))
+			for k := 0; k < 2000; k++ {
+				a, b := operands[r.Intn(len(operands))], operands[r.Intn(len(operands))]
+				s := ar.Get()
+				s.IntersectInto(a, b)
+				if want := IntersectLen(a, b); s.Len() != want {
+					t.Errorf("worker intersect len = %d, want %d", s.Len(), want)
+					return
+				}
+				ar.Put(s)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestSlabCloneInto(t *testing.T) {
+	sl := NewSlab(100)
+	a := Of(3, 64, 99)
+	clones := make([]Set, 200) // spans multiple blocks
+	for i := range clones {
+		clones[i] = sl.CloneInto(a)
+	}
+	for i, c := range clones {
+		if !c.Equal(a) {
+			t.Fatalf("clone %d = %v, want %v", i, c, a)
+		}
+	}
+	// Growing one slab set must not clobber its neighbors.
+	clones[0].Add(700)
+	if !clones[1].Equal(a) {
+		t.Fatal("growing a slab set clobbered its neighbor")
+	}
+	// Mutating within the width must stay private to the one set.
+	clones[2].Add(98)
+	if clones[3].Has(98) {
+		t.Fatal("slab sets share words")
+	}
+	// Oversized sources fall back to a private clone.
+	big := Of(5000)
+	c := sl.CloneInto(big)
+	if !c.Equal(big) {
+		t.Fatalf("oversized CloneInto = %v, want %v", c, big)
+	}
+}

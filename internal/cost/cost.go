@@ -12,6 +12,8 @@
 package cost
 
 import (
+	"math/bits"
+
 	"repro/internal/bitset"
 	"repro/internal/constraint"
 	"repro/internal/espresso"
@@ -69,36 +71,53 @@ func FullAssignment(bits int, codes []hypercube.Code) Assignment {
 func CountViolations(cs *constraint.Set, a Assignment) int {
 	violated := 0
 	for _, f := range cs.Faces {
-		members := bitset.Intersect(f.Members, a.Subset)
-		if members.Len() < 2 {
+		if bitset.IntersectLenUpTo(f.Members, a.Subset, 2) < 2 {
 			continue
 		}
-		if !faceSatisfied(f, members, cs.N(), a) {
+		if !faceSatisfied(f, a) {
 			violated++
 		}
 	}
 	return violated
 }
 
-func faceSatisfied(f constraint.Face, members bitset.Set, n int, a Assignment) bool {
-	var codes []hypercube.Code
-	members.ForEach(func(s int) bool {
-		codes = append(codes, a.Codes[s])
-		return true
-	})
-	face := hypercube.Span(a.Bits, codes...)
-	ok := true
-	a.Subset.ForEach(func(s int) bool {
-		if members.Has(s) || f.DontCare.Has(s) || f.Members.Has(s) {
-			return true
+// faceSatisfied reports whether the minimal face spanned by the encoded
+// member codes contains the code of no other encoded symbol. It never
+// materializes the member set or its code list: the span is folded
+// incrementally over f.Members ∩ a.Subset and the containment scan walks
+// a.Subset word by word, so the violation metric evaluates allocation-free.
+func faceSatisfied(f constraint.Face, a Assignment) bool {
+	first := true
+	var face hypercube.Face
+	n := f.Members.WordCount()
+	if sw := a.Subset.WordCount(); sw < n {
+		n = sw
+	}
+	for wi := 0; wi < n; wi++ {
+		for w := f.Members.Word(wi) & a.Subset.Word(wi); w != 0; w &= w - 1 {
+			c := a.Codes[wi*64+bits.TrailingZeros64(w)]
+			if first {
+				face = hypercube.Span(a.Bits, c)
+				first = false
+				continue
+			}
+			// Fold one more vertex into the span, mirroring hypercube.Span.
+			face.Mask &^= face.Value ^ c
+			face.Value &= face.Mask
 		}
-		if face.Contains(a.Codes[s]) {
-			ok = false
-			return false
+	}
+	for wi, wc := 0, a.Subset.WordCount(); wi < wc; wi++ {
+		for w := a.Subset.Word(wi); w != 0; w &= w - 1 {
+			s := wi*64 + bits.TrailingZeros64(w)
+			if f.Members.Has(s) || f.DontCare.Has(s) {
+				continue
+			}
+			if face.Contains(a.Codes[s]) {
+				return false
+			}
 		}
-		return true
-	})
-	return ok
+	}
+	return true
 }
 
 // Result carries the two-level costs of an assignment.

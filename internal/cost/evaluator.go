@@ -78,7 +78,7 @@ func (e *Evaluator) face(fi int, a Assignment) faceCost {
 	fc := faceCost{
 		cubes:     g.Size(),
 		literals:  g.Literals(),
-		satisfied: faceSatisfied(f, members, e.cs.N(), a),
+		satisfied: faceSatisfied(f, a),
 	}
 	e.memo[fi][key] = fc
 	return fc

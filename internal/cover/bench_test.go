@@ -1,0 +1,57 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// kernelProblem builds a deterministic pseudo-random unate covering
+// instance sized so branch and bound dominates the solve.
+func kernelProblem(rows, cols, perRow int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Problem{NumCols: cols, RowCols: make([][]int, rows)}
+	for r := 0; r < rows; r++ {
+		seen := map[int]bool{}
+		for len(seen) < perRow {
+			seen[rng.Intn(cols)] = true
+		}
+		for c := range seen {
+			p.RowCols[r] = append(p.RowCols[r], c)
+		}
+	}
+	return p
+}
+
+// BenchmarkUnateCoverKernel measures the exact branch-and-bound hot path:
+// allocations per op track the per-node row/col set cloning discipline.
+func BenchmarkUnateCoverKernel(b *testing.B) {
+	p := kernelProblem(48, 36, 4, 11)
+	opts := Options{Workers: 1}
+	if _, err := p.SolveExact(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveExact(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnateCoverParallelKernel is the same instance through the
+// parallel engine with all CPUs.
+func BenchmarkUnateCoverParallelKernel(b *testing.B) {
+	p := kernelProblem(48, 36, 4, 11)
+	opts := Options{Workers: 0}
+	if _, err := p.SolveExact(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveExact(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

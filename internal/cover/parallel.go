@@ -172,6 +172,7 @@ func (s *solver) solveParallel(rows, cols bitset.Set, workers int) {
 	items := []*coverItem{{rows: rows, cols: cols, root: true}}
 	tasks := 1
 	expBound := s.bestCost
+	esc := newScratch(m) // expansion runs sequentially: one scratch serves it
 	target := workers * coverTasksPerWorker
 	first := 0 // index of the first task; everything before it is a leaf
 	for steps := 0; tasks > 0 && tasks < target && steps < 16*target; steps++ {
@@ -183,7 +184,7 @@ func (s *solver) solveParallel(rows, cols bitset.Set, workers int) {
 			break
 		}
 		it := items[first]
-		sel, cost, verdict := m.reduce(fixedBound(expBound), it.rows, it.cols, it.sel, it.cost, it.root)
+		sel, cost, verdict := m.reduce(fixedBound(expBound), esc, it.rows, it.cols, it.sel, it.cost, it.root)
 		tasks--
 		switch verdict {
 		case coverPrune:
@@ -200,9 +201,10 @@ func (s *solver) solveParallel(rows, cols bitset.Set, workers int) {
 			}
 		default:
 			remCols := it.cols.Clone()
-			order := m.branchOrder(it.rows, it.cols)
+			order := m.branchOrder(esc, it.rows, it.cols)
 			children := make([]*coverItem, 0, len(order))
-			for _, c := range order {
+			for _, o := range order {
+				c := o.c
 				newRows := bitset.Difference(it.rows, m.colSets[c])
 				newCols := remCols.Clone()
 				newCols.Remove(c)
@@ -239,6 +241,10 @@ func (s *solver) solveParallel(rows, cols bitset.Set, workers int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker goroutine, reused across every task it
+			// drains; scratches are single-walker state and must not be
+			// shared.
+			sc := newScratch(m)
 			for {
 				t := int(next.Add(1)) - 1
 				if t >= len(taskIdx) || sh.budget.Load() {
@@ -251,7 +257,10 @@ func (s *solver) solveParallel(rows, cols bitset.Set, workers int) {
 				}
 				it := items[k]
 				ctl := &taskCtl{sh: sh, k: k, cached: sh.prefixBound(k)}
-				m.branch(ctl, it.rows, it.cols, it.sel, it.cost, it.root)
+				// Re-home the task's selection in a full-capacity buffer so
+				// the append chains below never reallocate.
+				sel := append(make([]int, 0, m.p.NumCols), it.sel...)
+				m.branch(ctl, sc, it.rows, it.cols, sel, it.cost, it.root)
 				sh.results[k] = ctl.local
 				sh.completed[k].Store(true)
 			}

@@ -31,7 +31,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
+	"slices"
 	"sort"
 	"time"
 
@@ -132,6 +134,42 @@ type matrix struct {
 	rowSets  []bitset.Set // rowSets[r]: columns covering r
 	colSets  []bitset.Set // colSets[c]: rows covered by c
 	domLimit int
+}
+
+// scratch is the reusable working memory of one branch-and-bound walker:
+// an arena for the per-node row/column sets, per-depth branch-order buffers
+// and flat buffers for the dominance scans and the lower bound. Exactly one
+// walker may use a scratch at a time — the sequential solver owns one, and
+// every parallel worker goroutine builds its own — so steady-state search
+// nodes allocate nothing.
+type scratch struct {
+	arena  *bitset.Arena
+	depth  int           // current branch recursion depth
+	orders [][]scoredCol // orders[depth]: branch-order buffer reused at that depth
+	active []int         // row/column id buffer for the dominance scans
+	used   bitset.Set    // lowerBound's column-accumulator set
+}
+
+// scoredCol is one branch candidate: a column and its active coverage.
+type scoredCol struct{ c, score int }
+
+// newScratch sizes a scratch for m: the arena universe spans both the row
+// and the column index spaces, so one free list serves every set the walker
+// needs.
+func newScratch(m *matrix) *scratch {
+	n := len(m.rowSets)
+	if m.p.NumCols > n {
+		n = m.p.NumCols
+	}
+	return &scratch{arena: bitset.NewArena(n)}
+}
+
+// orderBuf returns the (empty) branch-order buffer for the current depth.
+func (sc *scratch) orderBuf() []scoredCol {
+	for len(sc.orders) <= sc.depth {
+		sc.orders = append(sc.orders, nil)
+	}
+	return sc.orders[sc.depth][:0]
 }
 
 // searchCtl is the mutable half of a branch-and-bound search: it owns the
@@ -279,7 +317,9 @@ func (p *Problem) SolveExactCtx(ctx context.Context, opts Options) (Solution, er
 		if w := opts.workers(); w > 1 {
 			s.solveParallel(activeRows, activeCols, w)
 		} else {
-			m.branch(s, activeRows, activeCols, nil, 0, true)
+			// The selection buffer is pre-sized to the column count so the
+			// append chains down the search tree never reallocate.
+			m.branch(s, newScratch(m), activeRows, activeCols, make([]int, 0, p.NumCols), 0, true)
 		}
 	}
 
@@ -369,7 +409,7 @@ const (
 // below it) and the independent-set lower bound. It returns the updated
 // selection and cost plus the verdict: prune the node, record selected as a
 // complete cover, or branch further.
-func (m *matrix) reduce(ctl searchCtl, rows, cols bitset.Set, selected []int, cost int, root bool) ([]int, int, int) {
+func (m *matrix) reduce(ctl searchCtl, sc *scratch, rows, cols bitset.Set, selected []int, cost int, root bool) ([]int, int, int) {
 	for {
 		if cost >= ctl.bound() {
 			return selected, cost, coverPrune
@@ -378,21 +418,23 @@ func (m *matrix) reduce(ctl searchCtl, rows, cols bitset.Set, selected []int, co
 			return selected, cost, coverLeaf
 		}
 
-		// Essential columns and infeasibility in one scan.
+		// Essential columns and infeasibility in one closure-free scan.
 		essential := -1
 		infeasible := false
-		rows.ForEach(func(r int) bool {
-			switch bitset.IntersectLenUpTo(m.rowSets[r], cols, 2) {
-			case 0:
-				infeasible = true
-				return false
-			case 1:
-				e, _ := bitset.FirstOfIntersection(m.rowSets[r], cols)
-				essential = e
-				return false
+	scan:
+		for wi, wc := 0, rows.WordCount(); wi < wc; wi++ {
+			for w := rows.Word(wi); w != 0; w &= w - 1 {
+				r := wi*64 + bits.TrailingZeros64(w)
+				switch bitset.IntersectLenUpTo(m.rowSets[r], cols, 2) {
+				case 0:
+					infeasible = true
+					break scan
+				case 1:
+					essential, _ = bitset.FirstOfIntersection(m.rowSets[r], cols)
+					break scan
+				}
 			}
-			return true
-		})
+		}
 		if infeasible {
 			return selected, cost, coverPrune
 		}
@@ -409,10 +451,10 @@ func (m *matrix) reduce(ctl searchCtl, rows, cols bitset.Set, selected []int, co
 		nr, nc := rows.Len(), cols.Len()
 		changed := false
 		if root || nr <= m.domLimit {
-			changed = m.reduceRowDominance(rows, cols) || changed
+			changed = m.reduceRowDominance(sc, rows, cols) || changed
 		}
 		if root || nc <= m.domLimit {
-			changed = m.reduceColDominance(rows, cols) || changed
+			changed = m.reduceColDominance(sc, rows, cols) || changed
 		}
 		root = false
 		if !changed {
@@ -420,7 +462,7 @@ func (m *matrix) reduce(ctl searchCtl, rows, cols bitset.Set, selected []int, co
 		}
 	}
 
-	if cost+m.lowerBound(rows, cols) >= ctl.bound() {
+	if cost+m.lowerBound(sc, rows, cols) >= ctl.bound() {
 		return selected, cost, coverPrune
 	}
 	return selected, cost, coverBranch
@@ -428,45 +470,49 @@ func (m *matrix) reduce(ctl searchCtl, rows, cols bitset.Set, selected []int, co
 
 // branchOrder returns the columns to branch on: the candidates of the
 // hardest (fewest-candidate) active row, widest coverage first, index
-// breaking ties. Deterministic for a given (rows, cols) state.
-func (m *matrix) branchOrder(rows, cols bitset.Set) []int {
+// breaking ties. Deterministic for a given (rows, cols) state. The result
+// lives in sc's buffer for the current depth and is valid until the next
+// branchOrder call at the same depth.
+func (m *matrix) branchOrder(sc *scratch, rows, cols bitset.Set) []scoredCol {
 	bestRow, bestLen := -1, 1<<30
-	rows.ForEach(func(r int) bool {
-		l := bitset.IntersectLenUpTo(m.rowSets[r], cols, bestLen)
-		if l < bestLen {
-			bestLen, bestRow = l, r
+	for wi, wc := 0, rows.WordCount(); wi < wc; wi++ {
+		for w := rows.Word(wi); w != 0; w &= w - 1 {
+			r := wi*64 + bits.TrailingZeros64(w)
+			if l := bitset.IntersectLenUpTo(m.rowSets[r], cols, bestLen); l < bestLen {
+				bestLen, bestRow = l, r
+			}
 		}
-		return true
-	})
-	type scored struct{ c, score int }
-	var order []scored
-	m.rowSets[bestRow].ForEach(func(c int) bool {
-		if cols.Has(c) {
-			order = append(order, scored{c, bitset.IntersectLen(m.colSets[c], rows)})
-		}
-		return true
-	})
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].score != order[j].score {
-			return order[i].score > order[j].score
-		}
-		return order[i].c < order[j].c
-	})
-	out := make([]int, len(order))
-	for i, o := range order {
-		out[i] = o.c
 	}
-	return out
+	order := sc.orderBuf()
+	rs := m.rowSets[bestRow]
+	for wi, wc := 0, rs.WordCount(); wi < wc; wi++ {
+		for w := rs.Word(wi); w != 0; w &= w - 1 {
+			c := wi*64 + bits.TrailingZeros64(w)
+			if cols.Has(c) {
+				order = append(order, scoredCol{c, bitset.IntersectLen(m.colSets[c], rows)})
+			}
+		}
+	}
+	slices.SortFunc(order, func(a, b scoredCol) int {
+		if a.score != b.score {
+			return b.score - a.score
+		}
+		return a.c - b.c
+	})
+	sc.orders[sc.depth] = order
+	return order
 }
 
-// branch explores one node; rows and cols are owned by the callee (cloned
-// by the caller). The same recursion serves the sequential solver and every
-// parallel task — only the searchCtl differs.
-func (m *matrix) branch(ctl searchCtl, rows, cols bitset.Set, selected []int, cost int, root bool) {
+// branch explores one node. rows and cols are owned by the callee: reduce
+// mutates them in place, and the caller either discards them afterwards or
+// rebuilds them by overwrite (the child-loop below). The same recursion
+// serves the sequential solver and every parallel task — only the searchCtl
+// differs; the scratch must be private to the running walker.
+func (m *matrix) branch(ctl searchCtl, sc *scratch, rows, cols bitset.Set, selected []int, cost int, root bool) {
 	if !ctl.enter() {
 		return
 	}
-	selected, cost, verdict := m.reduce(ctl, rows, cols, selected, cost, root)
+	selected, cost, verdict := m.reduce(ctl, sc, rows, cols, selected, cost, root)
 	switch verdict {
 	case coverPrune:
 		return
@@ -476,24 +522,37 @@ func (m *matrix) branch(ctl searchCtl, rows, cols bitset.Set, selected []int, co
 	}
 
 	// Branch on the columns of the hardest row; remCols excludes columns
-	// whose solutions have been fully explored by earlier siblings.
-	remCols := cols.Clone()
-	for _, c := range m.branchOrder(rows, cols) {
+	// whose solutions have been fully explored by earlier siblings. The
+	// child row/col sets are arena scratch, fully overwritten per sibling,
+	// so a whole subtree costs zero steady-state allocations.
+	order := m.branchOrder(sc, rows, cols)
+	remCols := sc.arena.Get()
+	remCols.CopyFrom(cols)
+	newRows := sc.arena.Get()
+	newCols := sc.arena.Get()
+	sc.depth++
+	for i := range order {
 		if ctl.halted() {
-			return
+			break
 		}
-		newRows := bitset.Difference(rows, m.colSets[c])
-		newCols := remCols.Clone()
+		c := order[i].c
+		newRows.DifferenceInto(rows, m.colSets[c])
+		newCols.CopyFrom(remCols)
 		newCols.Remove(c)
-		m.branch(ctl, newRows, newCols, append(selected, c), cost+m.p.cost(c), false)
+		m.branch(ctl, sc, newRows, newCols, append(selected, c), cost+m.p.cost(c), false)
 		remCols.Remove(c)
 	}
+	sc.depth--
+	sc.arena.Put(newCols)
+	sc.arena.Put(newRows)
+	sc.arena.Put(remCols)
 }
 
 // reduceRowDominance removes rows whose candidate column set is a superset
 // of another row's (the superset row is easier to cover and thus implied).
-func (m *matrix) reduceRowDominance(rows, cols bitset.Set) bool {
-	active := rows.Elems()
+func (m *matrix) reduceRowDominance(sc *scratch, rows, cols bitset.Set) bool {
+	active := rows.AppendTo(sc.active[:0])
+	sc.active = active[:0]
 	removed := false
 	for i := 0; i < len(active); i++ {
 		ri := active[i]
@@ -520,8 +579,9 @@ func (m *matrix) reduceRowDominance(rows, cols bitset.Set) bool {
 
 // reduceColDominance removes columns whose active coverage is contained in
 // a no-costlier column's.
-func (m *matrix) reduceColDominance(rows, cols bitset.Set) bool {
-	active := cols.Elems()
+func (m *matrix) reduceColDominance(sc *scratch, rows, cols bitset.Set) bool {
+	active := cols.AppendTo(sc.active[:0])
+	sc.active = active[:0]
 	removed := false
 	for i := 0; i < len(active); i++ {
 		ci := active[i]
@@ -551,29 +611,35 @@ func (m *matrix) reduceColDominance(rows, cols bitset.Set) bool {
 
 // lowerBound: greedily pick pairwise column-disjoint rows; each needs a
 // distinct column of at least its cheapest candidate's cost.
-func (m *matrix) lowerBound(rows, cols bitset.Set) int {
-	var used bitset.Set
+func (m *matrix) lowerBound(sc *scratch, rows, cols bitset.Set) int {
+	if sc.used.WordCount() == 0 {
+		sc.used = sc.arena.Get()
+	}
+	used := sc.used
+	used.Clear()
 	lb := 0
 	unitCost := m.p.Cost == nil
-	rows.ForEach(func(r int) bool {
-		if bitset.IntersectionIntersects(m.rowSets[r], cols, used) {
-			return true
-		}
-		used.UnionWithIntersection(m.rowSets[r], cols)
-		if unitCost {
-			lb++
-			return true
-		}
-		minCost := 1 << 30
-		m.rowSets[r].ForEach(func(c int) bool {
-			if cols.Has(c) && m.p.cost(c) < minCost {
-				minCost = m.p.cost(c)
+	for wi, wc := 0, rows.WordCount(); wi < wc; wi++ {
+		for w := rows.Word(wi); w != 0; w &= w - 1 {
+			r := wi*64 + bits.TrailingZeros64(w)
+			if bitset.IntersectionIntersects(m.rowSets[r], cols, used) {
+				continue
 			}
-			return true
-		})
-		lb += minCost
-		return true
-	})
+			used.UnionWithIntersection(m.rowSets[r], cols)
+			if unitCost {
+				lb++
+				continue
+			}
+			minCost := 1 << 30
+			bitset.IntersectForEach(m.rowSets[r], cols, func(c int) bool {
+				if m.p.cost(c) < minCost {
+					minCost = m.p.cost(c)
+				}
+				return true
+			})
+			lb += minCost
+		}
+	}
 	return lb
 }
 
@@ -597,21 +663,23 @@ func (m *matrix) greedyVariant(rows, cols bitset.Set, variant int) []int {
 			score float64
 		}
 		top := [3]cand{{-1, -1}, {-1, -1}, {-1, -1}}
-		cols.ForEach(func(c int) bool {
-			k := bitset.IntersectLen(m.colSets[c], remaining)
-			if k == 0 {
-				return true
-			}
-			sc := float64(k) / float64(m.p.cost(c))
-			for i := 0; i < 3; i++ {
-				if sc > top[i].score {
-					copy(top[i+1:], top[i:2])
-					top[i] = cand{c, sc}
-					break
+		for wi, wc := 0, cols.WordCount(); wi < wc; wi++ {
+			for w := cols.Word(wi); w != 0; w &= w - 1 {
+				c := wi*64 + bits.TrailingZeros64(w)
+				k := bitset.IntersectLen(m.colSets[c], remaining)
+				if k == 0 {
+					continue
+				}
+				sc := float64(k) / float64(m.p.cost(c))
+				for i := 0; i < 3; i++ {
+					if sc > top[i].score {
+						copy(top[i+1:], top[i:2])
+						top[i] = cand{c, sc}
+						break
+					}
 				}
 			}
-			return true
-		})
+		}
 		if top[0].c < 0 {
 			return nil
 		}
@@ -645,21 +713,18 @@ func (m *matrix) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
 		var sel []int
 		for !remaining.IsEmpty() {
 			bestC, bestScore := -1, -1.0
-			cols.ForEach(func(c int) bool {
-				w := 0.0
-				bitset.Intersect(m.colSets[c], remaining).ForEach(func(r int) bool {
-					w += weights[r]
-					return true
-				})
-				if w == 0 {
-					return true
+			for wi, wc := 0, cols.WordCount(); wi < wc; wi++ {
+				for cw := cols.Word(wi); cw != 0; cw &= cw - 1 {
+					c := wi*64 + bits.TrailingZeros64(cw)
+					w := weightedCoverage(m.colSets[c], remaining, weights)
+					if w == 0 {
+						continue
+					}
+					if score := w / float64(m.p.cost(c)); score > bestScore {
+						bestScore, bestC = score, c
+					}
 				}
-				score := w / float64(m.p.cost(c))
-				if score > bestScore {
-					bestScore, bestC = score, c
-				}
-				return true
-			})
+			}
 			if bestC < 0 {
 				return covers
 			}
@@ -670,7 +735,7 @@ func (m *matrix) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
 		// Bump rows covered exactly once by this cover.
 		counts := make([]int, nRows)
 		for _, c := range sel {
-			bitset.Intersect(m.colSets[c], rows).ForEach(func(r int) bool {
+			bitset.IntersectForEach(m.colSets[c], rows, func(r int) bool {
 				counts[r]++
 				return true
 			})
@@ -684,18 +749,33 @@ func (m *matrix) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
 	return covers
 }
 
+// weightedCoverage sums the weights of the rows in colSet ∩ remaining
+// without materializing the intersection.
+func weightedCoverage(colSet, remaining bitset.Set, weights []float64) float64 {
+	n := colSet.WordCount()
+	if rw := remaining.WordCount(); rw < n {
+		n = rw
+	}
+	w := 0.0
+	for wi := 0; wi < n; wi++ {
+		for x := colSet.Word(wi) & remaining.Word(wi); x != 0; x &= x - 1 {
+			w += weights[wi*64+bits.TrailingZeros64(x)]
+		}
+	}
+	return w
+}
+
 // dropRedundant removes selected columns whose rows are covered by the
 // remaining selection, most expensive and least-covering first.
 func (m *matrix) dropRedundant(rows bitset.Set, sel []int) []int {
 	order := append([]int(nil), sel...)
-	sort.Slice(order, func(i, j int) bool {
-		ci, cj := order[i], order[j]
+	slices.SortFunc(order, func(ci, cj int) int {
 		if m.p.cost(ci) != m.p.cost(cj) {
-			return m.p.cost(ci) > m.p.cost(cj)
+			return m.p.cost(cj) - m.p.cost(ci)
 		}
-		return bitset.IntersectLen(m.colSets[ci], rows) < bitset.IntersectLen(m.colSets[cj], rows)
+		return bitset.IntersectLen(m.colSets[ci], rows) - bitset.IntersectLen(m.colSets[cj], rows)
 	})
-	kept := map[int]bool{}
+	kept := make([]bool, m.p.NumCols)
 	for _, c := range sel {
 		kept[c] = true
 	}
@@ -703,7 +783,7 @@ func (m *matrix) dropRedundant(rows bitset.Set, sel []int) []int {
 		// Is every row of c covered by another kept column?
 		kept[c] = false
 		redundant := true
-		bitset.Intersect(m.colSets[c], rows).ForEach(func(r int) bool {
+		bitset.IntersectForEach(m.colSets[c], rows, func(r int) bool {
 			covered := false
 			m.rowSets[r].ForEach(func(c2 int) bool {
 				if kept[c2] {

@@ -1,0 +1,31 @@
+package dichotomy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkCompatCacheKernel measures warm-cache lookups: after the first
+// pass every Compatible call is a pure cache hit, so allocs/op tracks the
+// key-construction discipline (string pair keys before, content hashes
+// after).
+func BenchmarkCompatCacheKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ds := make([]D, 64)
+	for i := range ds {
+		ds[i] = randomD(rng, 96)
+	}
+	cache := NewCompatCache()
+	for i := range ds {
+		for j := range ds {
+			cache.Compatible(ds[i], ds[j])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := ds[i%len(ds)]
+		e := ds[(i*7+3)%len(ds)]
+		cache.Compatible(d, e)
+	}
+}

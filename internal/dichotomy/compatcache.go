@@ -1,7 +1,11 @@
 package dichotomy
 
 import (
+	"math/bits"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
 )
 
 // compatShardCount is the number of independently locked shards of a
@@ -21,6 +25,17 @@ const defaultShardCap = 4096
 // engines. Compatibility is symmetric, so a pair is stored once under a
 // canonical key regardless of argument order.
 //
+// Keys are 128-bit content hashes computed directly from the L/R words — no
+// string materialization, so a warm lookup performs zero heap allocations.
+// Every cache (and every RunScope view) carries a distinct scope salt mixed
+// into the hash, so entries written through one scope are unreachable
+// through another even when the dichotomies have identical index sets; that
+// is what keeps unrelated problems sharing one cache instance from aliasing
+// each other's entries. Hash collisions within a scope are possible in
+// principle (the tests cross-check against direct evaluation on large
+// random corpora) but need ≈ 2^64 distinct pairs to become likely —
+// far beyond the shard capacity bound.
+//
 // A cache only pays for itself when the same dichotomy pairs are checked
 // repeatedly — e.g. when both prime engines run over one seed set (the
 // DESIGN.md ablation), or across the repeated generation calls of a GPI
@@ -29,48 +44,114 @@ const defaultShardCap = 4096
 // opt-in (nil disables it).
 type CompatCache struct {
 	shardCap int
-	shards   [compatShardCount]compatShard
+	scope    uint64
+	shards   *[compatShardCount]compatShard
 }
 
 type compatShard struct {
 	mu sync.RWMutex
-	m  map[string]bool
+	m  map[pairKey]bool
 }
 
-// SharedCompatCache is the process-wide cache instance engines share when
-// the caller does not provide a dedicated one.
+// pairKey is the canonical 128-bit key of an unordered dichotomy pair under
+// one cache scope.
+type pairKey struct {
+	hi, lo uint64
+}
+
+// nextScope issues process-unique scope salts.
+var nextScope atomic.Uint64
+
+// SharedCompatCache is the process-wide cache instance. Sharing it across
+// unrelated problems is an explicit opt-in: engines never reach for it on
+// their own, and callers that do share it across problem runs should take a
+// RunScope per run so entries from one problem can never be returned for
+// another.
 var SharedCompatCache = NewCompatCache()
 
-// NewCompatCache returns an empty cache with the default per-shard bound.
+// NewCompatCache returns an empty cache with the default per-shard bound
+// and a fresh scope. This is the default for one engine run (one problem):
+// a per-run cache cannot alias entries across problems by construction.
 func NewCompatCache() *CompatCache {
-	return &CompatCache{shardCap: defaultShardCap}
+	return &CompatCache{
+		shardCap: defaultShardCap,
+		scope:    nextScope.Add(1),
+		shards:   new([compatShardCount]compatShard),
+	}
 }
 
-// pairKey builds the canonical key of an unordered dichotomy pair:
-// Compatible is symmetric, so the lexicographically smaller Key comes
-// first.
-func pairKey(d, e D) string {
-	a, b := d.Key(), e.Key()
-	if b < a {
-		a, b = b, a
-	}
-	return a + "\x00" + b
+// RunScope returns a view of c with a fresh scope salt: lookups through the
+// view hit only entries stored through the same view, while the shard
+// storage and capacity bounds stay shared with c. Use it to scope a
+// long-lived shared cache (e.g. SharedCompatCache) to one problem run —
+// dichotomies from unrelated problems that happen to have identical index
+// sets then occupy distinct keys instead of aliasing.
+func (c *CompatCache) RunScope() *CompatCache {
+	return &CompatCache{shardCap: c.shardCap, scope: nextScope.Add(1), shards: c.shards}
 }
 
-// shardOf hashes a key to its shard (FNV-1a, masked).
-func shardOf(k string) int {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(k); i++ {
-		h ^= uint64(k[i])
-		h *= 1099511628211
+// mix64 is the SplitMix64 finalizer: a cheap full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// blockHash folds one block's words into the running 128-bit state.
+// Trailing zero words are skipped so padded and unpadded representations of
+// the same set hash identically; the effective word count (the universe
+// signature) is folded in afterwards so sets whose words merely shift
+// position cannot collide trivially.
+func blockHash(h1, h2 uint64, s bitset.Set) (uint64, uint64) {
+	end := s.WordCount()
+	for end > 0 && s.Word(end-1) == 0 {
+		end--
 	}
-	return int(h & (compatShardCount - 1))
+	for i := 0; i < end; i++ {
+		m := mix64(s.Word(i) + 0x9e3779b97f4a7c15*uint64(i+1))
+		h1 = mix64(h1 ^ m)
+		h2 = h2*0x100000001b3 + m
+	}
+	h1 = mix64(h1 ^ uint64(end))
+	h2 = mix64(h2 + uint64(end)*0x9e3779b97f4a7c15)
+	return h1, h2
+}
+
+// contentHash returns the 128-bit content hash of one dichotomy,
+// orientation sensitive.
+func contentHash(d D) (uint64, uint64) {
+	h1, h2 := blockHash(0x243f6a8885a308d3, 0x13198a2e03707344, d.L)
+	return blockHash(h1, h2, d.R)
+}
+
+// key builds the canonical scope-salted key of an unordered pair:
+// Compatible is symmetric, so the numerically smaller content hash comes
+// first before the two halves are combined.
+func (c *CompatCache) key(d, e D) pairKey {
+	a1, a2 := contentHash(d)
+	b1, b2 := contentHash(e)
+	if b1 < a1 || (b1 == a1 && b2 < a2) {
+		a1, a2, b1, b2 = b1, b2, a1, a2
+	}
+	salt := mix64(c.scope)
+	return pairKey{
+		hi: mix64(a1+bits.RotateLeft64(b1, 17)) ^ salt,
+		lo: mix64(a2 ^ bits.RotateLeft64(b2, 31) ^ salt),
+	}
+}
+
+// shardOf maps a key to its shard.
+func shardOf(k pairKey) int {
+	return int(k.lo & (compatShardCount - 1))
 }
 
 // Compatible returns d.Compatible(e), consulting and populating the cache.
-// Safe for concurrent use.
+// Safe for concurrent use; a warm lookup performs no heap allocation.
 func (c *CompatCache) Compatible(d, e D) bool {
-	k := pairKey(d, e)
+	k := c.key(d, e)
 	sh := &c.shards[shardOf(k)]
 	sh.mu.RLock()
 	v, ok := sh.m[k]
@@ -81,7 +162,7 @@ func (c *CompatCache) Compatible(d, e D) bool {
 	v = d.Compatible(e)
 	sh.mu.Lock()
 	if sh.m == nil || len(sh.m) >= c.shardCap {
-		sh.m = make(map[string]bool, c.shardCap/4)
+		sh.m = make(map[pairKey]bool, c.shardCap/4)
 	}
 	sh.m[k] = v
 	sh.mu.Unlock()

@@ -91,3 +91,107 @@ func TestCompatCacheEviction(t *testing.T) {
 		t.Fatalf("cache exceeded bound: %d entries", cache.Len())
 	}
 }
+
+// TestCompatCacheZeroAllocLookup pins the tentpole guarantee: a warm cache
+// lookup builds no string keys and performs zero heap allocations.
+func TestCompatCacheZeroAllocLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cache := NewCompatCache()
+	ds := make([]D, 32)
+	for i := range ds {
+		ds[i] = randomD(rng, 130)
+	}
+	for i := range ds {
+		for j := range ds {
+			cache.Compatible(ds[i], ds[j])
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		d, e := ds[i%len(ds)], ds[(i*7+3)%len(ds)]
+		i++
+		if got, want := cache.Compatible(d, e), d.Compatible(e); got != want {
+			t.Fatalf("warm lookup wrong on (%v, %v)", d, e)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Compatible lookup allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCompatKeyCollisions checks the 128-bit content keys on a large
+// corpus: distinct unordered pairs must map to distinct keys, and the key
+// must be invariant under argument order and trailing-zero-word padding.
+func TestCompatKeyCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cache := NewCompatCache()
+	var ds []D
+	for n := 3; n <= 200; n += 13 {
+		for i := 0; i < 40; i++ {
+			ds = append(ds, randomD(rng, n))
+		}
+	}
+	type pair struct{ i, j int }
+	seen := map[pairKey]pair{}
+	keyOf := map[pair]pairKey{}
+	for i := range ds {
+		for j := i; j < len(ds); j++ {
+			k := cache.key(ds[i], ds[j])
+			if k != cache.key(ds[j], ds[i]) {
+				t.Fatalf("key not symmetric for pair (%d, %d)", i, j)
+			}
+			if prev, dup := seen[k]; dup {
+				// Equal-content pairs may share a key; anything else is a
+				// genuine collision.
+				same := ds[prev.i].Equal(ds[i]) && ds[prev.j].Equal(ds[j]) ||
+					ds[prev.i].Equal(ds[j]) && ds[prev.j].Equal(ds[i])
+				if !same {
+					t.Fatalf("key collision: pairs (%d,%d) and (%d,%d)", prev.i, prev.j, i, j)
+				}
+			}
+			seen[k] = pair{i, j}
+			keyOf[pair{i, j}] = k
+		}
+	}
+	// Padding invariance: re-deriving a dichotomy over a wider universe
+	// (same elements, extra trailing zero words) must produce the same key.
+	wide := D{L: ds[0].L.Clone(), R: ds[0].R.Clone()}
+	wide.L.Add(1000)
+	wide.L.Remove(1000) // forces trailing zero words
+	if cache.key(ds[0], ds[1]) != cache.key(wide, ds[1]) {
+		t.Fatal("padding with trailing zero words changed the key")
+	}
+}
+
+// TestCompatCacheRunScopeIsolation is the cross-problem aliasing
+// regression: two problem runs sharing one cache, whose dichotomies have
+// identical index sets, must not see each other's entries — each RunScope
+// view is salted independently.
+func TestCompatCacheRunScopeIsolation(t *testing.T) {
+	shared := NewCompatCache()
+	runA := shared.RunScope()
+	runB := shared.RunScope()
+	d := Of([]int{0, 2}, []int{1})
+	e := Of([]int{1}, []int{0, 3})
+	runA.Compatible(d, e)
+	before := shared.Len()
+	runB.Compatible(d, e)
+	if got := shared.Len(); got != before+1 {
+		t.Fatalf("second run scope reused the first run's entry: %d entries, want %d", got, before+1)
+	}
+	// Same scope, same pair: must hit, not re-store.
+	runB.Compatible(e, d)
+	if got := shared.Len(); got != before+1 {
+		t.Fatalf("symmetric lookup within one scope re-stored: %d entries", got)
+	}
+	// Distinct caches are independently scoped out of the box.
+	c1, c2 := NewCompatCache(), NewCompatCache()
+	c1.Compatible(d, e)
+	if c2.Len() != 0 {
+		t.Fatal("fresh caches share storage")
+	}
+	c2.Compatible(d, e)
+	if c1.Len() != 1 || c2.Len() != 1 {
+		t.Fatalf("per-cache scoping broken: %d/%d entries", c1.Len(), c2.Len())
+	}
+}

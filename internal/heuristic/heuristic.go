@@ -28,7 +28,9 @@ package heuristic
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -217,8 +219,12 @@ func polish(ctx context.Context, cs *constraint.Set, enc *core.Encoding, opts Op
 	for _, c := range enc.Codes {
 		used[c] = true
 	}
+	// The assignment wraps enc.Codes by reference, so the in-place swap
+	// moves below are visible through it — one subset bitset for the whole
+	// climb instead of one per evaluation.
+	fa := cost.FullAssignment(enc.Bits, enc.Codes)
 	eval := func() int {
-		return evaluator.Of(opts.Metric, cost.FullAssignment(enc.Bits, enc.Codes))
+		return evaluator.Of(opts.Metric, fa)
 	}
 	best := eval()
 	improved := true
@@ -388,17 +394,18 @@ func (e *encoder) selectBest(p bitset.Set, c int, cands []dichotomy.D) []dichoto
 	}
 	restricted := e.cs.Restrict(p)
 	evaluator := cost.NewEvaluator(restricted)
+	sc := &scorer{}
 
 	evalBudget := e.opts.MaxEvaluations
 	evalSel := func(sel []int) (int, bool) {
-		if !uniqueCodes(p, cands, sel) {
+		if !sc.uniqueCodes(p, cands, sel) {
 			return 1 << 30, false
 		}
 		if evalBudget <= 0 {
 			return 1 << 30, false
 		}
 		evalBudget--
-		a := e.assignment(p, cands, sel)
+		a := sc.assignment(e.cs.N(), p, cands, sel)
 		if e.opts.Metric == cost.Violations {
 			return cost.CountViolations(restricted, a), true
 		}
@@ -412,37 +419,43 @@ func (e *encoder) selectBest(p bitset.Set, c int, cands []dichotomy.D) []dichoto
 	// scored with a private evaluator (cost.Evaluator is not safe for
 	// concurrent use); the budget is untouched on this path, as a pool small
 	// enough to enumerate never exceeds MaxEvaluations by construction.
-	if combinations(len(cands), c) <= e.opts.MaxEvaluations {
-		var combos [][]int
+	if nCombos := combinations(len(cands), c); nCombos <= e.opts.MaxEvaluations {
+		// All combinations are materialized into one flat backing array —
+		// one allocation for the whole enumeration; combination i is
+		// flat[i*c : (i+1)*c].
+		flat := make([]int, 0, nCombos*c)
 		forEachCombination(len(cands), c, func(sel []int) {
-			combos = append(combos, append([]int(nil), sel...))
+			flat = append(flat, sel...)
 		})
 		type scored struct {
 			idx int
 			v   int
 		}
 		workers := e.workers
-		if len(combos) < 4*scoreChunk {
+		if nCombos < 4*scoreChunk {
 			workers = 1
 		}
 		wins := make([]scored, max(1, workers))
 		forEachIndex(max(1, workers), workers, func(w int) {
-			ev := evaluator
+			ev, wsc := evaluator, sc
 			if workers > 1 {
+				// Private evaluator and scratch per goroutine: neither type
+				// is safe for concurrent use.
 				ev = cost.NewEvaluator(restricted)
+				wsc = &scorer{}
 			}
 			win := scored{-1, 1 << 30}
-			for start := w * scoreChunk; start < len(combos); start += workers * scoreChunk {
-				for i := start; i < start+scoreChunk && i < len(combos); i++ {
-					sel := combos[i]
-					if !uniqueCodes(p, cands, sel) {
+			for start := w * scoreChunk; start < nCombos; start += workers * scoreChunk {
+				for i := start; i < start+scoreChunk && i < nCombos; i++ {
+					sel := flat[i*c : i*c+c]
+					if !wsc.uniqueCodes(p, cands, sel) {
 						continue
 					}
 					var v int
 					if e.opts.Metric == cost.Violations {
-						v = cost.CountViolations(restricted, e.assignment(p, cands, sel))
+						v = cost.CountViolations(restricted, wsc.assignment(e.cs.N(), p, cands, sel))
 					} else {
-						v = ev.Of(e.opts.Metric, e.assignment(p, cands, sel))
+						v = ev.Of(e.opts.Metric, wsc.assignment(e.cs.N(), p, cands, sel))
 					}
 					if v < win.v {
 						win = scored{i, v}
@@ -458,7 +471,7 @@ func (e *encoder) selectBest(p bitset.Set, c int, cands []dichotomy.D) []dichoto
 			}
 		}
 		if best.idx >= 0 {
-			return pick(cands, combos[best.idx])
+			return pick(cands, flat[best.idx*c:best.idx*c+c])
 		}
 	}
 
@@ -499,42 +512,67 @@ func (e *encoder) selectBest(p bitset.Set, c int, cands []dichotomy.D) []dichoto
 	return pick(cands, sel)
 }
 
-// assignment derives the partial codes of subset p from the selected
-// candidate columns.
-func (e *encoder) assignment(p bitset.Set, cands []dichotomy.D, sel []int) cost.Assignment {
-	codes := make([]hypercube.Code, e.cs.N())
+// scorer is the reusable working memory of one scoring worker: a partial
+// code buffer for uniqueness checks and an assignment codes buffer handed
+// to the cost evaluators. The evaluators read the codes during the call and
+// never retain them, so reusing the buffer across evaluations is safe. A
+// scorer must not be shared between goroutines.
+type scorer struct {
+	codes []hypercube.Code
+	seen  []uint64
+}
+
+// partialCode computes symbol s's code under the selected columns.
+func partialCode(s int, cands []dichotomy.D, sel []int) hypercube.Code {
+	var code hypercube.Code
 	for j, ci := range sel {
-		col := cands[ci]
-		p.ForEach(func(s int) bool {
-			if col.R.Has(s) {
-				codes[s] |= 1 << uint(j)
-			}
-			return true
-		})
+		if cands[ci].R.Has(s) {
+			code |= 1 << uint(j)
+		}
+	}
+	return code
+}
+
+// assignment derives the partial codes of subset p from the selected
+// candidate columns into the scorer's reused buffer.
+func (sc *scorer) assignment(n int, p bitset.Set, cands []dichotomy.D, sel []int) cost.Assignment {
+	if cap(sc.codes) < n {
+		sc.codes = make([]hypercube.Code, n)
+	}
+	codes := sc.codes[:n]
+	for wi, wc := 0, p.WordCount(); wi < wc; wi++ {
+		for w := p.Word(wi); w != 0; w &= w - 1 {
+			s := wi*64 + bits.TrailingZeros64(w)
+			codes[s] = partialCode(s, cands, sel)
+		}
 	}
 	return cost.Assignment{Bits: len(sel), Subset: p, Codes: codes}
 }
 
 // uniqueCodes reports whether the selection assigns distinct codes to every
-// symbol of p.
-func uniqueCodes(p bitset.Set, cands []dichotomy.D, sel []int) bool {
-	seen := map[uint64]bool{}
-	ok := true
-	p.ForEach(func(s int) bool {
-		var code uint64
-		for j, ci := range sel {
-			if cands[ci].R.Has(s) {
-				code |= 1 << uint(j)
-			}
+// symbol of p: the codes are collected into the reused buffer, sorted and
+// scanned for an adjacent duplicate — no per-call map.
+func (sc *scorer) uniqueCodes(p bitset.Set, cands []dichotomy.D, sel []int) bool {
+	seen := sc.seen[:0]
+	for wi, wc := 0, p.WordCount(); wi < wc; wi++ {
+		for w := p.Word(wi); w != 0; w &= w - 1 {
+			seen = append(seen, uint64(partialCode(wi*64+bits.TrailingZeros64(w), cands, sel)))
 		}
-		if seen[code] {
-			ok = false
+	}
+	sc.seen = seen
+	slices.Sort(seen)
+	for i := 1; i < len(seen); i++ {
+		if seen[i] == seen[i-1] {
 			return false
 		}
-		seen[code] = true
-		return true
-	})
-	return ok
+	}
+	return true
+}
+
+// uniqueCodes is the scratch-free convenience wrapper for cold call sites.
+func uniqueCodes(p bitset.Set, cands []dichotomy.D, sel []int) bool {
+	var sc scorer
+	return sc.uniqueCodes(p, cands, sel)
 }
 
 // greedySeed builds an initial selection achieving distinct codes: start

@@ -1,0 +1,70 @@
+package prime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dichotomy"
+)
+
+// kernelSeeds builds a deterministic pseudo-random seed set over [0, n):
+// each seed assigns only a sparse sample of the symbols, which keeps the
+// pairwise conflict probability low and the compatibility graph dense
+// enough for a deep Bron–Kerbosch tree — the regime the paper's seed sets
+// (one initial dichotomy per symbol pair) live in.
+func kernelSeeds(count, n int, seed int64) []dichotomy.D {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make([]dichotomy.D, count)
+	for i := range ds {
+		var d dichotomy.D
+		for s := 0; s < n; s++ {
+			switch rng.Intn(12) {
+			case 0:
+				d.L.Add(s)
+			case 1:
+				d.R.Add(s)
+			}
+		}
+		if d.L.IsEmpty() {
+			d.L.Add(i % n)
+			d.R.Remove(i % n)
+		}
+		ds[i] = d
+	}
+	return ds
+}
+
+// BenchmarkBronKerboschKernel measures the sequential clique-enumeration
+// hot path: allocations here are per recursion node, so allocs/op tracks
+// the cloning discipline of bkState.rec directly.
+func BenchmarkBronKerboschKernel(b *testing.B) {
+	seeds := kernelSeeds(48, 32, 7)
+	opts := Options{Workers: 1, Limit: 1 << 30}
+	if _, err := GenerateSets(seeds, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateSets(seeds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBronKerboschParallelKernel is the same instance through the
+// frontier-peeling parallel engine with all CPUs.
+func BenchmarkBronKerboschParallelKernel(b *testing.B) {
+	seeds := kernelSeeds(48, 32, 7)
+	opts := Options{Workers: 0, Limit: 1 << 30}
+	if _, err := GenerateSets(seeds, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateSets(seeds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

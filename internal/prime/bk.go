@@ -3,6 +3,7 @@ package prime
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -48,6 +49,14 @@ const bkCtxStride = 256
 // uses a single walker for the whole graph; the parallel engine gives each
 // task its own walker and they share `count` and `overflow`, so the
 // prime-count limit is enforced globally exactly as in the sequential run.
+//
+// A walker recurses allocation-free in steady state: the growing clique R
+// is one mutable set maintained with an add/undo discipline, per-level
+// candidate/P/X scratch sets come from a per-walker arena and are returned
+// while unwinding, and emitted cliques are carved out of a slab instead of
+// individually cloned. Neither the arena nor the slab is safe for
+// concurrent use, so the parallel engine keeps one of each per worker
+// goroutine, reused across the tasks that worker drains.
 type bkState struct {
 	ctx      context.Context
 	adj      []bitset.Set
@@ -55,14 +64,21 @@ type bkState struct {
 	count    *atomic.Int64 // cliques emitted across all walkers
 	overflow *atomic.Bool  // limit exceeded somewhere
 	calls    int
-	stopped  bool // ctx expired or overflow observed; unwind quietly
+	stopped  bool       // ctx expired or overflow observed; unwind quietly
+	r        bitset.Set // current clique; rec adds before descending, removes after
+	arena    *bitset.Arena
+	slab     *bitset.Slab
 	out      []bitset.Set
 }
 
-// rec is the classic pivoting recursion. Maximal cliques are appended to
-// s.out in DFS order; the candidate iteration order is determined entirely
-// by the pivot rule, so the order is deterministic.
-func (s *bkState) rec(r, p, x bitset.Set) {
+// rec is the classic pivoting recursion over the walker's current clique
+// s.r. Maximal cliques are appended to s.out in DFS order; the candidate
+// iteration order is determined entirely by the pivot rule, so the order is
+// deterministic. rec may mutate p and x freely (the caller's copies are
+// rebuilt by overwrite before its next descent) and must leave s.r exactly
+// as it found it — every Add is undone after the child returns, even when
+// the walker is stopping, because parallel workers reuse the task's R set.
+func (s *bkState) rec(p, x bitset.Set) {
 	if s.stopped {
 		return
 	}
@@ -77,41 +93,63 @@ func (s *bkState) rec(r, p, x bitset.Set) {
 			s.stopped = true
 			return
 		}
-		s.out = append(s.out, r.Clone())
+		s.out = append(s.out, s.slab.CloneInto(s.r))
 		return
 	}
 	pivot := bkPivot(p, x, s.adj)
-	cand := p.Clone()
+	cand := s.arena.Get()
 	if pivot >= 0 {
-		cand.DifferenceWith(s.adj[pivot])
+		cand.DifferenceInto(p, s.adj[pivot])
+	} else {
+		cand.CopyFrom(p)
 	}
-	cand.ForEach(func(v int) bool {
-		if s.stopped {
-			return false
+	p2 := s.arena.Get()
+	x2 := s.arena.Get()
+loop:
+	for wi, wc := 0, cand.WordCount(); wi < wc; wi++ {
+		for w := cand.Word(wi); w != 0; w &= w - 1 {
+			v := wi*wordBits + bits.TrailingZeros64(w)
+			// p2/x2 are fully overwritten, so whatever the previous child
+			// left in them is irrelevant.
+			p2.IntersectInto(p, s.adj[v])
+			x2.IntersectInto(x, s.adj[v])
+			s.r.Add(v)
+			s.rec(p2, x2)
+			s.r.Remove(v)
+			if s.stopped {
+				break loop
+			}
+			p.Remove(v)
+			x.Add(v)
 		}
-		r2 := r.Clone()
-		r2.Add(v)
-		s.rec(r2, bitset.Intersect(p, s.adj[v]), bitset.Intersect(x, s.adj[v]))
-		p.Remove(v)
-		x.Add(v)
-		return true
-	})
+	}
+	s.arena.Put(x2)
+	s.arena.Put(p2)
+	s.arena.Put(cand)
 }
+
+// wordBits mirrors the bitset word width for closure-free iteration.
+const wordBits = 64
 
 // bkPivot returns the vertex of P ∪ X with the most neighbours in P, or -1
 // when both sets are empty.
 func bkPivot(p, x bitset.Set, adj []bitset.Set) int {
-	pivot, best := -1, -1
-	consider := func(u int) bool {
-		d := bitset.IntersectLen(p, adj[u])
-		if d > best {
-			best, pivot = d, u
-		}
-		return true
-	}
-	p.ForEach(consider)
-	x.ForEach(consider)
+	pivot, best := bkPivotScan(p, p, adj, -1, -1)
+	pivot, _ = bkPivotScan(x, p, adj, pivot, best)
 	return pivot
+}
+
+// bkPivotScan folds the pivot-degree maximum over one vertex set.
+func bkPivotScan(s, p bitset.Set, adj []bitset.Set, pivot, best int) (int, int) {
+	for wi, wc := 0, s.WordCount(); wi < wc; wi++ {
+		for w := s.Word(wi); w != 0; w &= w - 1 {
+			u := wi*wordBits + bits.TrailingZeros64(w)
+			if d := bitset.IntersectLen(p, adj[u]); d > best {
+				best, pivot = d, u
+			}
+		}
+	}
+	return pivot, best
 }
 
 // bronKerbosch enumerates all maximal cliques of the compatibility graph
@@ -130,12 +168,15 @@ func bronKerbosch(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bit
 		limit:    int64(opts.limit()),
 		count:    &count,
 		overflow: &overflow,
+		r:        bitset.New(n),
+		arena:    bitset.NewArena(n),
+		slab:     bitset.NewSlab(n),
 	}
 	all := bitset.New(n)
 	for i := 0; i < n; i++ {
 		all.Add(i)
 	}
-	s.rec(bitset.New(n), all, bitset.New(n))
+	s.rec(all, bitset.New(n))
 	if overflow.Load() {
 		return nil, fmt.Errorf("%w (> %d)", ErrLimit, opts.limit())
 	}
@@ -234,6 +275,12 @@ func bronKerboschParallel(ctx context.Context, seeds []dichotomy.D, opts Options
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Scratch arena and result slab are per-goroutine (neither is
+			// concurrency-safe) and reused across every task this worker
+			// drains; rec's add/undo discipline leaves each task's R set
+			// unchanged, so tasks cannot leak state into one another.
+			arena := bitset.NewArena(n)
+			slab := bitset.NewSlab(n)
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= len(taskIdx) || overflow.Load() || ctx.Err() != nil {
@@ -246,8 +293,11 @@ func bronKerboschParallel(ctx context.Context, seeds []dichotomy.D, opts Options
 					limit:    limit,
 					count:    &count,
 					overflow: &overflow,
+					r:        it.r,
+					arena:    arena,
+					slab:     slab,
 				}
-				s.rec(it.r, it.p, it.x)
+				s.rec(it.p, it.x)
 				it.out = s.out
 			}
 		}()

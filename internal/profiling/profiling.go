@@ -1,0 +1,67 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile flags
+// into the command-line tools. Both flags are registered on the standard
+// flag set at init, so any main that imports this package and calls
+// flag.Parse gets them for free:
+//
+//	encode -cpuprofile cpu.out -bits 4 big.con
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+	cpuFile *os.File
+)
+
+// Start begins CPU profiling when -cpuprofile was given. Call it after
+// flag.Parse; it returns an error instead of exiting so the caller's fatal
+// path stays in control.
+func Start() error {
+	if *cpuprofile == "" {
+		return nil
+	}
+	f, err := os.Create(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	cpuFile = f
+	return nil
+}
+
+// Stop flushes the requested profiles. It is idempotent and safe to call
+// when profiling never started; commands invoke it both on the normal exit
+// path (deferred) and from their fatal helpers, so profiles are written
+// even on error exits.
+func Stop() {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		cpuFile = nil
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // get up-to-date live-object statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+		*memprofile = ""
+	}
+}
