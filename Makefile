@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json bench-json-smoke ci
+.PHONY: all build vet test race test-server serve bench-smoke bench bench-json bench-json-smoke ci
 
 all: build
 
@@ -15,6 +15,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The encoding service and its facade under the race detector: the
+# coalescing, backpressure and graceful-shutdown tests are concurrency
+# tests first and foremost.
+test-server:
+	$(GO) test -race -count=1 ./internal/server/ ./encodingapi/
+
+# Run the encoding service locally (POST /v1/encode, GET /v1/stats).
+serve:
+	$(GO) run ./cmd/served -addr :8080
 
 # One iteration of the figure and parallel-engine benchmarks: enough to
 # prove the benchmark harness itself still runs, cheap enough for CI.
@@ -36,4 +46,4 @@ bench-json:
 bench-json-smoke:
 	$(GO) test -run '^$$' -bench 'Kernel' -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > /dev/null
 
-ci: vet build race bench-smoke bench-json-smoke
+ci: vet build race test-server bench-smoke bench-json-smoke

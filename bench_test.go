@@ -28,6 +28,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/mv"
 	"repro/internal/nova"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/prime"
 )
@@ -362,7 +363,7 @@ func BenchmarkParallelPrime(b *testing.B) {
 	for _, wc := range workerCounts {
 		b.Run(wc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := prime.Generate(seeds, prime.Options{Workers: wc.workers}); err != nil {
+				if _, err := prime.Generate(seeds, prime.Options{Parallelism: par.Workers(wc.workers)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -378,7 +379,7 @@ func BenchmarkParallelExact(b *testing.B) {
 	for _, wc := range workerCounts {
 		b.Run(wc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.ExactEncode(cs, core.ExactOptions{Workers: wc.workers}); err != nil {
+				if _, err := core.ExactEncode(cs, core.ExactOptions{Parallelism: par.Workers(wc.workers)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -399,7 +400,7 @@ func BenchmarkParallelHeuristic(b *testing.B) {
 	for _, wc := range workerCounts {
 		b.Run(wc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes, Workers: wc.workers}); err != nil {
+				if _, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes, Parallelism: par.Workers(wc.workers)}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,17 +9,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/cost"
-	"repro/internal/cover"
 	"repro/internal/heuristic"
+	"repro/internal/par"
 	"repro/internal/prime"
 	"repro/internal/profiling"
 )
@@ -37,6 +39,9 @@ func main() {
 		fatal(err)
 	}
 	defer profiling.Stop()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -70,7 +75,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown metric %q", *metric))
 		}
-		res, err := heuristic.Encode(cs, heuristic.Options{Bits: *bits, Metric: m, Workers: *jobs})
+		res, err := heuristic.EncodeCtx(ctx, cs, heuristic.Options{Bits: *bits, Metric: m, Parallelism: par.Workers(*jobs)})
 		if err != nil {
 			fatal(err)
 		}
@@ -82,9 +87,8 @@ func main() {
 	}
 
 	exactOpts := core.ExactOptions{
-		Prime:   prime.Options{Limit: *primeLimit, TimeLimit: *timeout},
-		Cover:   cover.Options{TimeLimit: *timeout},
-		Workers: *jobs,
+		Prime:       prime.Options{Limit: *primeLimit},
+		Parallelism: par.Parallelism{Workers: *jobs, TimeLimit: *timeout},
 	}
 	var res *core.ExactResult
 	switch {
@@ -96,12 +100,12 @@ func main() {
 		res = &core.ExactResult{Encoding: enc}
 	case cs.HasExtensionConstraints():
 		var err error
-		if res, err = core.ExactEncodeExtended(cs, exactOpts); err != nil {
+		if res, err = core.ExactEncodeExtendedCtx(ctx, cs, exactOpts); err != nil {
 			fatal(err)
 		}
 	default:
 		var err error
-		if res, err = core.ExactEncode(cs, exactOpts); err != nil {
+		if res, err = core.ExactEncodeCtx(ctx, cs, exactOpts); err != nil {
 			fatal(err)
 		}
 	}

@@ -10,20 +10,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/blif"
 	"repro/internal/core"
 	"repro/internal/cost"
-	"repro/internal/cover"
 	"repro/internal/fsm"
 	"repro/internal/heuristic"
 	"repro/internal/kiss"
 	"repro/internal/mv"
-	"repro/internal/prime"
+	"repro/internal/par"
 	"repro/internal/profiling"
 )
 
@@ -42,6 +43,9 @@ func main() {
 		fatal(err)
 	}
 	defer profiling.Stop()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var m *fsm.FSM
 	var err error
@@ -84,7 +88,7 @@ func main() {
 		cs := mv.InputConstraints(m)
 		fmt.Printf("# %d states, %d transitions, %d face constraints\n",
 			m.NumStates(), len(m.Trans), len(cs.Faces))
-		res, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes, Workers: *jobs})
+		res, err := heuristic.EncodeCtx(ctx, cs, heuristic.Options{Metric: cost.Cubes, Parallelism: par.Workers(*jobs)})
 		if err != nil {
 			fatal(err)
 		}
@@ -95,10 +99,8 @@ func main() {
 		cs := mv.InputConstraints(m)
 		fmt.Printf("# %d states, %d transitions, %d face constraints\n",
 			m.NumStates(), len(m.Trans), len(cs.Faces))
-		res, err := core.ExactEncode(cs, core.ExactOptions{
-			Prime:   prime.Options{TimeLimit: *timeout},
-			Cover:   cover.Options{TimeLimit: *timeout},
-			Workers: *jobs,
+		res, err := core.ExactEncodeCtx(ctx, cs, core.ExactOptions{
+			Parallelism: par.Parallelism{Workers: *jobs, TimeLimit: *timeout},
 		})
 		if err != nil {
 			fatal(err)
@@ -109,10 +111,8 @@ func main() {
 		cs := mv.GenerateConstraints(m, mv.OutputOptions{})
 		fmt.Printf("# %d states, %d transitions, %d faces, %d dominance, %d disjunctive\n",
 			m.NumStates(), len(m.Trans), len(cs.Faces), len(cs.Dominances), len(cs.Disjunctives))
-		res, err := core.ExactEncode(cs, core.ExactOptions{
-			Prime:   prime.Options{TimeLimit: *timeout},
-			Cover:   cover.Options{TimeLimit: *timeout},
-			Workers: *jobs,
+		res, err := core.ExactEncodeCtx(ctx, cs, core.ExactOptions{
+			Parallelism: par.Parallelism{Workers: *jobs, TimeLimit: *timeout},
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,83 @@
+// Command served runs the encoding service: an HTTP/JSON API over the
+// P-1/P-2/P-3 solvers with bounded concurrency, request coalescing, a
+// result cache and graceful shutdown.
+//
+//	served -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/encode   solve a constraint set (modes: feasible, exact, heuristic)
+//	GET  /v1/healthz  liveness (503 while draining)
+//	GET  /v1/stats    service metrics as JSON
+//	GET  /debug/vars  expvar, including encoding_server_stats
+//
+// On SIGINT/SIGTERM the server stops intake, drains in-flight solves for
+// -drain, then cancels whatever is still running and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "pool workers: concurrent solves (0 = all CPUs)")
+	solveWorkers := flag.Int("solve-workers", 1, "engine workers per solve (0 = all CPUs); results are identical for any value")
+	queue := flag.Int("queue", server.DefaultQueueDepth, "pending-solve queue depth before shedding load with 429")
+	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "result-cache entries (0 disables caching)")
+	timeout := flag.Duration("timeout", server.DefaultTimeout, "default solve budget per request")
+	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "ceiling on client-requested solve budgets")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		SolveWorkers:   *solveWorkers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	srv.PublishExpvar()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "served: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "served: draining (up to %s)\n", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "served: shutdown complete")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "served:", err)
+	os.Exit(1)
+}

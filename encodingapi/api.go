@@ -1,0 +1,199 @@
+// Package encodingapi is the public facade of the encoding-constraint
+// framework: it re-exports the types and entry points of the internal
+// constraint, core, heuristic and cost packages so external importers (and
+// the request server in internal/server) depend on one stable surface
+// instead of the internal/ layout.
+//
+// The three problems of the paper map onto three entry points:
+//
+//   - P-1, feasibility: CheckFeasible / Feasible decide in polynomial time
+//     whether a mixed input/output constraint set admits any encoding
+//     (Theorem 6.1).
+//   - P-2, exact minimum-length encoding: ExactEncode (and
+//     ExactEncodeExtended for the Section-8 distance-2/non-face
+//     extensions, SolveWithChains for chains) runs the Figure-7 pipeline —
+//     initial dichotomies, maximal raising, prime generation, exact unate
+//     covering.
+//   - P-3, bounded-length encoding: HeuristicEncode runs the Section-7.1
+//     split/merge/select heuristic under a chosen cost metric.
+//
+// All solver entry points here are context-first — cancellation and
+// deadlines are part of the canonical signatures, matching the *Ctx forms
+// of the internal packages — and deterministic under parallelism: for any
+// Parallelism.Workers value they return identical results.
+//
+// A minimal use:
+//
+//	cs, err := encodingapi.ParseString("face a b\nface b c\ndom a > c\n")
+//	if err != nil { ... }
+//	res, err := encodingapi.ExactEncode(context.Background(), cs, encodingapi.ExactOptions{})
+//	if err != nil { ... }
+//	fmt.Print(res.Encoding) // "a = 01\n..." etc.
+package encodingapi
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cover"
+	"repro/internal/heuristic"
+	"repro/internal/par"
+	"repro/internal/prime"
+	"repro/internal/sym"
+)
+
+// Re-exported types. These are aliases, not copies: values flow freely
+// between this package and code (tests, benchmarks) using the internal
+// packages directly.
+type (
+	// Table is the symbol table: a bijection between symbol names and
+	// dense indices shared by constraint sets and encodings.
+	Table = sym.Table
+
+	// Set is a collection of encoding constraints over a shared symbol
+	// table. Build one with NewSet + Add* methods, or parse the textual
+	// constraint language with Parse/ParseString.
+	Set = constraint.Set
+
+	// Face is a face-embedding (input) constraint.
+	Face = constraint.Face
+	// Dominance is the output constraint code(Big) ⊇ code(Small).
+	Dominance = constraint.Dominance
+	// Disjunctive is the output constraint parent = OR of children.
+	Disjunctive = constraint.Disjunctive
+	// ExtDisjunctive is the Section-6.2 disjunction-of-conjunctions form.
+	ExtDisjunctive = constraint.ExtDisjunctive
+	// Distance2 requires two codes to differ in at least two bits.
+	Distance2 = constraint.Distance2
+	// NonFace requires an outside code inside the members' minimal face.
+	NonFace = constraint.NonFace
+	// Chain requires consecutive symbols to take consecutive codes.
+	Chain = constraint.Chain
+
+	// Encoding assigns a binary code to every symbol.
+	Encoding = core.Encoding
+	// Violation describes one failed constraint found by Verify.
+	Violation = core.Violation
+	// Feasibility is the P-1 outcome with its intermediate artifacts.
+	Feasibility = core.Feasibility
+	// ExactResult is the P-2 output: the encoding plus pipeline stages.
+	ExactResult = core.ExactResult
+	// ExactOptions tunes the exact encoder.
+	ExactOptions = core.ExactOptions
+	// PrimeOptions tunes maximal-compatible generation inside
+	// ExactOptions.
+	PrimeOptions = prime.Options
+	// CoverOptions tunes the covering solvers inside ExactOptions.
+	CoverOptions = cover.Options
+
+	// HeuristicOptions tunes the P-3 bounded-length encoder.
+	HeuristicOptions = heuristic.Options
+	// HeuristicResult is the P-3 output: encoding plus evaluated cost.
+	HeuristicResult = heuristic.Result
+
+	// Metric selects the P-3 objective.
+	Metric = cost.Metric
+	// Cost bundles the evaluated violation/cube/literal counts.
+	Cost = cost.Result
+
+	// Parallelism is the Workers/TimeLimit pair embedded in every
+	// Options type.
+	Parallelism = par.Parallelism
+
+	// Hash128 is the canonical 128-bit content hash of a constraint set.
+	Hash128 = core.Hash128
+)
+
+// P-3 cost metrics.
+const (
+	// Violations counts unsatisfied face constraints.
+	Violations = cost.Violations
+	// Cubes counts product terms of the encoded constraints.
+	Cubes = cost.Cubes
+	// Literals counts SOP literals of the encoded constraints.
+	Literals = cost.Literals
+)
+
+// ErrInfeasible is returned by ExactEncode and ExactEncodeExtended when the
+// constraints admit no encoding.
+var ErrInfeasible = core.ErrInfeasible
+
+// NewTable returns an empty symbol table.
+func NewTable() *Table { return sym.NewTable() }
+
+// NewSet returns an empty constraint set over the given symbol table; a nil
+// table is replaced by a fresh one.
+func NewSet(t *Table) *Set { return constraint.NewSet(t) }
+
+// Parse reads a constraint set from the textual constraint language (see
+// the constraint package documentation for the grammar).
+func Parse(r io.Reader) (*Set, error) { return constraint.Parse(r) }
+
+// ParseString is Parse over a string.
+func ParseString(text string) (*Set, error) { return constraint.ParseString(text) }
+
+// MustParse parses text and panics on error; intended for tests and
+// examples.
+func MustParse(text string) *Set { return constraint.MustParse(text) }
+
+// ParseMetric resolves a metric name ("violations", "cubes", "literals") to
+// its Metric, reporting whether the name is known.
+func ParseMetric(name string) (Metric, bool) {
+	switch name {
+	case "violations":
+		return Violations, true
+	case "cubes":
+		return Cubes, true
+	case "literals":
+		return Literals, true
+	}
+	return 0, false
+}
+
+// CheckFeasible decides P-1: whether the input and output constraints admit
+// any encoding, in time polynomial in the number of symbols and
+// constraints.
+func CheckFeasible(cs *Set) Feasibility { return core.CheckFeasible(cs) }
+
+// Feasible is CheckFeasible reduced to its verdict.
+func Feasible(cs *Set) bool { return core.CheckFeasible(cs).Feasible }
+
+// ExactEncode solves P-2: minimum-length codes satisfying all input and
+// output constraints, or ErrInfeasible. The context cancels the exponential
+// stages cooperatively; see core.ExactEncodeCtx for the exact contract.
+func ExactEncode(ctx context.Context, cs *Set, opts ExactOptions) (*ExactResult, error) {
+	return core.ExactEncodeCtx(ctx, cs, opts)
+}
+
+// ExactEncodeExtended solves P-2 in the presence of the Section-8
+// distance-2 and non-face extension constraints.
+func ExactEncodeExtended(ctx context.Context, cs *Set, opts ExactOptions) (*ExactResult, error) {
+	return core.ExactEncodeExtendedCtx(ctx, cs, opts)
+}
+
+// SolveWithChains searches directly for codes satisfying a set that
+// includes chain constraints; exponential, limited to small symbol counts
+// (the paper's Section-8.4 open problem).
+func SolveWithChains(cs *Set, maxBits int) (*Encoding, error) {
+	return core.SolveWithChains(cs, maxBits)
+}
+
+// HeuristicEncode solves P-3: a bounded-length encoding minimizing the
+// chosen cost metric via the split/merge/select heuristic. Output
+// constraints are ignored (the paper presents the algorithm for input
+// constraints).
+func HeuristicEncode(ctx context.Context, cs *Set, opts HeuristicOptions) (*HeuristicResult, error) {
+	return heuristic.EncodeCtx(ctx, cs, opts)
+}
+
+// Verify independently checks an encoding against a constraint set and
+// returns every violation found (nil means fully satisfied, including code
+// uniqueness).
+func Verify(cs *Set, e *Encoding) []Violation { return core.Verify(cs, e) }
+
+// HashSet returns the canonical 128-bit content hash of a constraint set;
+// see core.HashSet for what "canonical" covers.
+func HashSet(cs *Set) Hash128 { return core.HashSet(cs) }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -30,7 +31,7 @@ func main() {
 
 	// Heuristic encoder at minimum length, literal cost.
 	t0 := time.Now()
-	res, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Literals})
+	res, err := heuristic.EncodeCtx(context.Background(), cs, heuristic.Options{Metric: cost.Literals})
 	if err != nil {
 		log.Fatal(err)
 	}

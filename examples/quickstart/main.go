@@ -12,15 +12,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/constraint"
-	"repro/internal/core"
+	"repro/encodingapi"
 )
 
 func main() {
-	cs, err := constraint.ParseString(`
+	cs, err := encodingapi.ParseString(`
 		symbols a b c d
 		face b c
 		face c d
@@ -35,13 +35,13 @@ func main() {
 	}
 
 	// P-1: is the set satisfiable at all? (Polynomial check, Theorem 6.1.)
-	if f := core.CheckFeasible(cs); !f.Feasible {
+	if !encodingapi.Feasible(cs) {
 		log.Fatal("constraints are unsatisfiable")
 	}
 	fmt.Println("constraints are satisfiable")
 
 	// P-2: minimum-length codes (Figure 7 pipeline).
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := encodingapi.ExactEncode(context.Background(), cs, encodingapi.ExactOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func main() {
 
 	// Independently verify: faces geometrically, output constraints
 	// bit-wise.
-	if v := core.Verify(cs, res.Encoding); len(v) != 0 {
+	if v := encodingapi.Verify(cs, res.Encoding); len(v) != 0 {
 		log.Fatalf("verification failed: %v", v)
 	}
 	fmt.Println("verified: all constraints hold")

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 		len(cs.Faces), len(cs.Dominances), len(cs.Disjunctives))
 	fmt.Print(cs)
 
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := core.ExactEncodeExtended(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeExtendedCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

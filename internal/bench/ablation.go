@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -43,14 +44,14 @@ func Ablation() (string, error) {
 		cache := dichotomy.NewCompatCache()
 
 		t0 := time.Now()
-		bk, err := prime.Generate(seeds, prime.Options{Engine: prime.BronKerbosch, Cache: cache})
+		bk, err := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.BronKerbosch, Cache: cache})
 		if err != nil {
 			return "", err
 		}
 		tBK := time.Since(t0)
 
 		t0 = time.Now()
-		cp, err := prime.Generate(seeds, prime.Options{Engine: prime.CSPS, Cache: cache})
+		cp, err := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.CSPS, Cache: cache})
 		if err != nil {
 			return "", err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -63,7 +64,7 @@ func Figure3() (string, error) {
 	}
 
 	// Both engines must agree; report the cs/ps result per the paper.
-	primesCSPS, err := prime.Generate(seeds, prime.Options{Engine: prime.CSPS})
+	primesCSPS, err := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.CSPS})
 	if err != nil {
 		return "", err
 	}
@@ -72,7 +73,7 @@ func Figure3() (string, error) {
 		fmt.Fprintf(&b, "  %s\n", d.Format(cs.Syms))
 	}
 
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		return "", err
 	}
@@ -133,7 +134,7 @@ func Figure8() (string, error) {
 		dom s1 > s2
 		disj s0 = s1 | s3
 	`)
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		return "", err
 	}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/fsm"
 	"repro/internal/mv"
+	"repro/internal/par"
 	"repro/internal/prime"
 )
 
@@ -97,9 +99,9 @@ func RunTable1(opts Table1Options) []Table1Row {
 		}
 		start := time.Now()
 		cs := mv.GenerateConstraints(m, cfg.Out)
-		res, err := core.ExactEncode(cs, core.ExactOptions{
-			Prime: prime.Options{Limit: opts.PrimeLimit, TimeLimit: opts.PrimeTimeout},
-			Cover: cover.Options{TimeLimit: opts.CoverTimeout},
+		res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{
+			Prime: prime.Options{Limit: opts.PrimeLimit, Parallelism: par.Budget(opts.PrimeTimeout)},
+			Cover: cover.Options{Parallelism: par.Budget(opts.CoverTimeout)},
 		})
 		row := Table1Row{Name: cfg.Name, States: m.NumStates(), Time: time.Since(start)}
 		switch {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,7 +68,7 @@ func RunTable2(opts Table2Options) []Table2Row {
 		row.NovaSat = len(cs.Faces) - novaCost.Violations
 		row.NovaCubes = novaCost.Cubes
 
-		encRes, err := heuristic.Encode(cs, heuristic.Options{
+		encRes, err := heuristic.EncodeCtx(context.Background(), cs, heuristic.Options{
 			Metric:         cost.Cubes,
 			MaxEvaluations: opts.MaxEvaluations,
 			Restarts:       6,

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -112,7 +113,7 @@ func RunTable3(opts Table3Options) []Table3Row {
 		encStart := time.Now()
 		var encLits int
 		for call := 0; call < 6; call++ {
-			res, err := heuristic.Encode(cs, heuristic.Options{
+			res, err := heuristic.EncodeCtx(context.Background(), cs, heuristic.Options{
 				Metric:       cost.Literals,
 				Restarts:     6,
 				PolishBudget: 15000,

@@ -110,6 +110,9 @@ func dichotomyOfPattern(pat uint64, n int) dichotomy.D {
 
 // Solve finds a minimum set of encoding columns satisfying the table via
 // the binate covering solver; the selected column patterns are returned.
+//
+// Deprecated: use SolveCtx, the canonical context-first form; Solve remains
+// as a thin wrapper over context.Background().
 func (t *BinateTable) Solve(opts cover.Options) ([]uint64, error) {
 	return t.SolveCtx(context.Background(), opts)
 }

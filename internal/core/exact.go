@@ -12,6 +12,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/dichotomy"
 	"repro/internal/hypercube"
+	"repro/internal/par"
 	"repro/internal/prime"
 )
 
@@ -21,6 +22,12 @@ var ErrInfeasible = errors.New("core: constraints are infeasible")
 
 // ExactOptions tunes the exact encoder.
 type ExactOptions struct {
+	// Parallelism is the pipeline-wide Workers/TimeLimit default: it
+	// flows into every stage (prime generation, covering-matrix
+	// construction, covering solve) that did not set its own. Every stage
+	// returns identical results for any worker count; TimeLimit bounds
+	// each stage's wall clock individually.
+	par.Parallelism
 	// Prime configures maximal-compatible generation (engine, limit).
 	Prime prime.Options
 	// Cover configures the final unate covering solve.
@@ -30,26 +37,15 @@ type ExactOptions struct {
 	// feasible for small symbol counts but globally optimal by
 	// construction. Used as ground truth in tests.
 	Exhaustive bool
-	// Workers, when positive, is copied into Prime.Workers and
-	// Cover.Workers unless those are themselves set, and caps the
-	// parallelism of the covering-matrix construction. Zero leaves each
-	// stage at its own default (runtime.GOMAXPROCS); every stage returns
-	// identical results for any worker count.
-	Workers int
 }
 
-// stageOptions resolves the per-stage worker counts: an explicit
-// ExactOptions.Workers flows into stages that did not set their own.
+// stageOptions resolves the per-stage parallelism configs: the
+// pipeline-wide ExactOptions.Parallelism flows into stages that did not set
+// their own fields.
 func (o ExactOptions) stageOptions() (prime.Options, cover.Options) {
 	p, c := o.Prime, o.Cover
-	if o.Workers > 0 {
-		if p.Workers == 0 {
-			p.Workers = o.Workers
-		}
-		if c.Workers == 0 {
-			c.Workers = o.Workers
-		}
-	}
+	p.Parallelism = p.Parallelism.FillFrom(o.Parallelism)
+	c.Parallelism = c.Parallelism.FillFrom(o.Parallelism)
 	return p, c
 }
 
@@ -83,6 +79,9 @@ type ExactResult struct {
 // dichotomies and a union can be invalidated by constraint interaction even
 // when each piece is individually realizable, so retaining the pieces
 // guarantees a cover exists whenever CheckFeasible succeeds.
+//
+// Deprecated: use ExactEncodeCtx, the canonical context-first form;
+// ExactEncode remains as a thin wrapper over context.Background().
 func ExactEncode(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 	return ExactEncodeCtx(context.Background(), cs, opts)
 }

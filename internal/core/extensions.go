@@ -28,6 +28,9 @@ import (
 //
 // Chain constraints are *not* lowered — the paper leaves them open
 // (Section 8.4); SolveWithChains provides a direct small-scale search.
+//
+// Deprecated: use ExactEncodeExtendedCtx, the canonical context-first form;
+// ExactEncodeExtended remains as a thin wrapper over context.Background().
 func ExactEncodeExtended(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 	return ExactEncodeExtendedCtx(context.Background(), cs, opts)
 }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/constraint"
+)
+
+// Hash128 is a 128-bit content hash of a constraint set, used by the
+// request server's coalescing and result-cache layers to key problems
+// without retaining them. It follows the CompatCache hashing discipline
+// (bitset.HashWords: dual SplitMix/FNV streams over the raw set words), so
+// a collision requires agreement in both 64-bit halves — possible in
+// principle, but needing on the order of 2^64 distinct sets to become
+// likely, far beyond any cache bound this repository configures.
+type Hash128 struct {
+	Hi, Lo uint64
+}
+
+// String renders the hash as 32 hex digits.
+func (h Hash128) String() string { return fmt.Sprintf("%016x%016x", h.Hi, h.Lo) }
+
+// IsZero reports whether h is the zero hash (no HashSet output is ever
+// zero-valued in practice; the zero value marks "unset").
+func (h Hash128) IsZero() bool { return h == Hash128{} }
+
+// Per-section tags folded into the stream before each constraint kind, so
+// that, e.g., a dominance pair can never collide with a distance-2 pair
+// over the same symbols.
+const (
+	tagSymbols  = 0x53594d42 // "SYMB"
+	tagFace     = 0x46414345 // "FACE"
+	tagDom      = 0x444f4d49 // "DOMI"
+	tagDisj     = 0x44495349 // "DISI"
+	tagExtDisj  = 0x45585444 // "EXTD"
+	tagDistance = 0x44495354 // "DIST"
+	tagNonFace  = 0x4e464143 // "NFAC"
+	tagChain    = 0x4348414e // "CHAN"
+)
+
+// setHasher folds values into a running 128-bit state.
+type setHasher struct {
+	h1, h2 uint64
+}
+
+func (h *setHasher) word(v uint64) {
+	h.h1, h.h2 = bitset.MixWord(h.h1, h.h2, v)
+}
+
+func (h *setHasher) bits(s bitset.Set) {
+	h.h1, h.h2 = bitset.HashWords(h.h1, h.h2, s)
+}
+
+func (h *setHasher) str(s string) {
+	h.word(uint64(len(s)))
+	// Fold eight bytes at a time; the length word above keeps "ab","c"
+	// and "a","bc" apart.
+	var w uint64
+	n := 0
+	for i := 0; i < len(s); i++ {
+		w = w<<8 | uint64(s[i])
+		if n++; n == 8 {
+			h.word(w)
+			w, n = 0, 0
+		}
+	}
+	if n > 0 {
+		h.word(w)
+	}
+}
+
+// HashSet returns the canonical 128-bit content hash of a constraint set.
+//
+// Two sets hash identically exactly when they are structurally identical:
+// same symbol names in the same index order and the same constraints in the
+// same order with the same members. The hash is canonical over
+// representation details that cannot affect any solver's output — bitset
+// word padding (trailing zero words are skipped) and source-text formatting
+// (comments, whitespace, token gluing) vanish at parse time. Constraint
+// *order* is deliberately significant: the exact pipeline's seed order, and
+// therefore which of several equally optimal encodings it returns, depends
+// on it, and a coalescing layer keyed by this hash must never serve one
+// ordering's result for another's request.
+func HashSet(cs *constraint.Set) Hash128 {
+	h := &setHasher{h1: 0x9216d5d98979fb1b, h2: 0xd1310ba698dfb5ac}
+
+	h.word(tagSymbols)
+	h.word(uint64(cs.N()))
+	for i := 0; i < cs.N(); i++ {
+		h.str(cs.Syms.Name(i))
+	}
+
+	h.word(tagFace)
+	h.word(uint64(len(cs.Faces)))
+	for _, f := range cs.Faces {
+		h.bits(f.Members)
+		h.bits(f.DontCare)
+	}
+
+	h.word(tagDom)
+	h.word(uint64(len(cs.Dominances)))
+	for _, d := range cs.Dominances {
+		h.word(uint64(d.Big))
+		h.word(uint64(d.Small))
+	}
+
+	h.word(tagDisj)
+	h.word(uint64(len(cs.Disjunctives)))
+	for _, d := range cs.Disjunctives {
+		h.word(uint64(d.Parent))
+		h.word(uint64(len(d.Children)))
+		for _, c := range d.Children {
+			h.word(uint64(c))
+		}
+	}
+
+	h.word(tagExtDisj)
+	h.word(uint64(len(cs.ExtDisjunctives)))
+	for _, e := range cs.ExtDisjunctives {
+		h.word(uint64(e.Parent))
+		h.word(uint64(len(e.Conjunctions)))
+		for _, conj := range e.Conjunctions {
+			h.word(uint64(len(conj)))
+			for _, c := range conj {
+				h.word(uint64(c))
+			}
+		}
+	}
+
+	h.word(tagDistance)
+	h.word(uint64(len(cs.Distance2s)))
+	for _, d := range cs.Distance2s {
+		h.word(uint64(d.A))
+		h.word(uint64(d.B))
+	}
+
+	h.word(tagNonFace)
+	h.word(uint64(len(cs.NonFaces)))
+	for _, nf := range cs.NonFaces {
+		h.bits(nf.Members)
+	}
+
+	h.word(tagChain)
+	h.word(uint64(len(cs.Chains)))
+	for _, ch := range cs.Chains {
+		h.word(uint64(len(ch.Seq)))
+		for _, s := range ch.Seq {
+			h.word(uint64(s))
+		}
+	}
+
+	return Hash128{Hi: bitset.Mix64(h.h1 ^ h.h2), Lo: bitset.Mix64(h.h2 + 0x9e3779b97f4a7c15*h.h1)}
+}

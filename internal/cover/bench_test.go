@@ -3,6 +3,8 @@ package cover
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/par"
 )
 
 // kernelProblem builds a deterministic pseudo-random unate covering
@@ -26,7 +28,7 @@ func kernelProblem(rows, cols, perRow int, seed int64) *Problem {
 // allocations per op track the per-node row/col set cloning discipline.
 func BenchmarkUnateCoverKernel(b *testing.B) {
 	p := kernelProblem(48, 36, 4, 11)
-	opts := Options{Workers: 1}
+	opts := Options{Parallelism: par.Workers(1)}
 	if _, err := p.SolveExact(opts); err != nil {
 		b.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func BenchmarkUnateCoverKernel(b *testing.B) {
 // parallel engine with all CPUs.
 func BenchmarkUnateCoverParallelKernel(b *testing.B) {
 	p := kernelProblem(48, 36, 4, 11)
-	opts := Options{Workers: 0}
+	opts := Options{Parallelism: par.Workers(0)}
 	if _, err := p.SolveExact(opts); err != nil {
 		b.Fatal(err)
 	}

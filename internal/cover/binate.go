@@ -65,6 +65,9 @@ type binateSolver struct {
 // the assignment trail makes the recursion inherently stateful, and every
 // binate instance the framework builds (Section-4 abstraction, Section-8
 // extensions) is small; Options.Workers is ignored.
+//
+// Deprecated: use SolveCtx, the canonical context-first form; Solve remains
+// as a thin wrapper over context.Background().
 func (p *BinateProblem) Solve(opts Options) (BinateSolution, error) {
 	return p.SolveCtx(context.Background(), opts)
 }
@@ -74,11 +77,8 @@ func (p *BinateProblem) Solve(opts Options) (BinateSolution, error) {
 // best assignment found so far is returned with Optimal=false (or
 // ErrBinateInfeasible when none was found yet).
 func (p *BinateProblem) SolveCtx(ctx context.Context, opts Options) (BinateSolution, error) {
-	if opts.TimeLimit > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
-		defer cancel()
-	}
+	ctx, cancel := opts.Context(ctx)
+	defer cancel()
 	s := &binateSolver{
 		p:        p,
 		ctx:      ctx,

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"repro/internal/par"
 )
 
 func bruteMinCover(p *Problem) (int, bool) {
@@ -158,7 +160,7 @@ func TestNodeBudgetReturnsFeasible(t *testing.T) {
 
 func TestTimeLimitReturnsFeasible(t *testing.T) {
 	p := &Problem{NumCols: 3, RowCols: [][]int{{0, 1}, {1, 2}}}
-	sol, err := p.SolveExact(Options{TimeLimit: time.Hour})
+	sol, err := p.SolveExact(Options{Parallelism: par.Budget(time.Hour)})
 	if err != nil || sol.Cost != 1 {
 		t.Fatalf("sol=%+v err=%v (column 1 covers both rows)", sol, err)
 	}

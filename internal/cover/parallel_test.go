@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"repro/internal/par"
 )
 
 // randomFeasible builds a feasible random unate covering instance, larger
@@ -74,7 +76,7 @@ func TestParallelExactCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, workers := range []int{1, 4} {
-		sol, err := p.SolveExactCtx(ctx, Options{Workers: workers})
+		sol, err := p.SolveExactCtx(ctx, Options{Parallelism: par.Workers(workers)})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

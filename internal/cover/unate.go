@@ -32,12 +32,11 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"runtime"
 	"slices"
 	"sort"
-	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/par"
 )
 
 // Problem is a unate covering problem: choose a minimum-cost subset of
@@ -63,15 +62,17 @@ type Solution struct {
 
 // Options tunes the exact solver.
 type Options struct {
+	// Parallelism supplies the Workers/TimeLimit pair shared by all
+	// solver stages. Workers fans the exact branch and bound out over a
+	// pool (the parallel engine returns the identical solution to the
+	// sequential one whenever the search completes within its budgets);
+	// TimeLimit bounds wall-clock search time, and on expiry the best
+	// solution found so far is returned with Optimal=false.
+	par.Parallelism
 	// MaxNodes bounds branch-and-bound nodes; 0 means DefaultMaxNodes.
 	// When exceeded the best solution found so far is returned with
 	// Optimal=false.
 	MaxNodes int
-	// TimeLimit bounds wall-clock search time; 0 means no limit. On
-	// expiry the best solution found is returned with Optimal=false. It is
-	// applied as a context deadline, layered under whatever deadline the
-	// caller's context already carries.
-	TimeLimit time.Duration
 	// DominanceLimit bounds when the quadratic row/column dominance
 	// reductions run inside search nodes (they always run at the root);
 	// 0 means DefaultDominanceLimit.
@@ -80,11 +81,6 @@ type Options struct {
 	// solution of this cost is found (e.g. the information-theoretic
 	// ceil(log2 n) bound on code length).
 	LowerBound int
-	// Workers sets the degree of parallelism of the exact solver: 0 means
-	// runtime.GOMAXPROCS(0), 1 forces the sequential code path. The
-	// parallel engine returns the identical solution to the sequential one
-	// whenever the search completes within its budgets.
-	Workers int
 }
 
 // DefaultMaxNodes bounds exact search effort.
@@ -119,10 +115,7 @@ func (o Options) domLimit() int {
 }
 
 func (o Options) workers() int {
-	if o.Workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return o.Workers
+	return o.WorkerCount()
 }
 
 // matrix is the immutable view of a covering problem every search worker
@@ -247,6 +240,9 @@ func (s *solver) expired() bool {
 // SolveExact solves the problem with branch and bound. If a budget is
 // exhausted, the best feasible solution found is returned with
 // Optimal=false. ErrInfeasible is returned when no cover exists.
+//
+// Deprecated: use SolveExactCtx, the canonical context-first form;
+// SolveExact remains as a thin wrapper over context.Background().
 func (p *Problem) SolveExact(opts Options) (Solution, error) {
 	return p.SolveExactCtx(context.Background(), opts)
 }
@@ -256,11 +252,8 @@ func (p *Problem) SolveExact(opts Options) (Solution, error) {
 // solution found so far is returned with Optimal=false and a nil error,
 // matching the TimeLimit semantics.
 func (p *Problem) SolveExactCtx(ctx context.Context, opts Options) (Solution, error) {
-	if opts.TimeLimit > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
-		defer cancel()
-	}
+	ctx, cancel := opts.Context(ctx)
+	defer cancel()
 	m, err := newMatrix(p, opts.domLimit())
 	if err != nil {
 		return Solution{}, err

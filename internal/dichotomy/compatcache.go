@@ -90,41 +90,13 @@ func (c *CompatCache) RunScope() *CompatCache {
 	return &CompatCache{shardCap: c.shardCap, scope: nextScope.Add(1), shards: c.shards}
 }
 
-// mix64 is the SplitMix64 finalizer: a cheap full-avalanche 64-bit mixer.
-func mix64(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
-}
-
-// blockHash folds one block's words into the running 128-bit state.
-// Trailing zero words are skipped so padded and unpadded representations of
-// the same set hash identically; the effective word count (the universe
-// signature) is folded in afterwards so sets whose words merely shift
-// position cannot collide trivially.
-func blockHash(h1, h2 uint64, s bitset.Set) (uint64, uint64) {
-	end := s.WordCount()
-	for end > 0 && s.Word(end-1) == 0 {
-		end--
-	}
-	for i := 0; i < end; i++ {
-		m := mix64(s.Word(i) + 0x9e3779b97f4a7c15*uint64(i+1))
-		h1 = mix64(h1 ^ m)
-		h2 = h2*0x100000001b3 + m
-	}
-	h1 = mix64(h1 ^ uint64(end))
-	h2 = mix64(h2 + uint64(end)*0x9e3779b97f4a7c15)
-	return h1, h2
-}
-
 // contentHash returns the 128-bit content hash of one dichotomy,
-// orientation sensitive.
+// orientation sensitive. The fold itself (trailing-zero skipping, dual
+// SplitMix/FNV streams) lives in bitset.HashWords so core.HashSet shares
+// the same discipline.
 func contentHash(d D) (uint64, uint64) {
-	h1, h2 := blockHash(0x243f6a8885a308d3, 0x13198a2e03707344, d.L)
-	return blockHash(h1, h2, d.R)
+	h1, h2 := bitset.HashWords(0x243f6a8885a308d3, 0x13198a2e03707344, d.L)
+	return bitset.HashWords(h1, h2, d.R)
 }
 
 // key builds the canonical scope-salted key of an unordered pair:
@@ -136,10 +108,10 @@ func (c *CompatCache) key(d, e D) pairKey {
 	if b1 < a1 || (b1 == a1 && b2 < a2) {
 		a1, a2, b1, b2 = b1, b2, a1, a2
 	}
-	salt := mix64(c.scope)
+	salt := bitset.Mix64(c.scope)
 	return pairKey{
-		hi: mix64(a1+bits.RotateLeft64(b1, 17)) ^ salt,
-		lo: mix64(a2 ^ bits.RotateLeft64(b2, 31) ^ salt),
+		hi: bitset.Mix64(a1+bits.RotateLeft64(b1, 17)) ^ salt,
+		lo: bitset.Mix64(a2 ^ bits.RotateLeft64(b2, 31) ^ salt),
 	}
 }
 

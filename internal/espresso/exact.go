@@ -1,6 +1,7 @@
 package espresso
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -118,7 +119,7 @@ func MinimizeExact(f, dc *Cover, opts cover.Options) (*Cover, error) {
 			}
 		}
 	}
-	sol, err := p.SolveExact(opts)
+	sol, err := p.SolveExactCtx(context.Background(), opts)
 	if err != nil {
 		return nil, err
 	}

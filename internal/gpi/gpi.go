@@ -15,6 +15,7 @@
 package gpi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -220,7 +221,7 @@ func SelectCover(f *Function, gpis []GPI, opts cover.Options) ([]int, error) {
 			}
 		}
 	}
-	sol, err := p.SolveExact(opts)
+	sol, err := p.SolveExactCtx(context.Background(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +253,7 @@ func SelectEncodableCover(f *Function, gpis []GPI, opts cover.Options) ([]int, *
 				}
 			}
 		}
-		sol, err := p.SolveExact(opts)
+		sol, err := p.SolveExactCtx(context.Background(), opts)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/cost"
 	"repro/internal/dichotomy"
+	"repro/internal/par"
 )
 
 // kernelSelection builds the inputs of one selection-phase scoring pass: a
@@ -70,7 +71,7 @@ func BenchmarkHeuristicScoringKernel(b *testing.B) {
 // BenchmarkHeuristicEncodeKernel runs one full sequential restart pipeline.
 func BenchmarkHeuristicEncodeKernel(b *testing.B) {
 	cs, _, _ := kernelSelection(10, 12, 5)
-	opts := Options{Metric: cost.Violations, Workers: 1, Restarts: 1}
+	opts := Options{Metric: cost.Violations, Parallelism: par.Workers(1), Restarts: 1}
 	if _, err := Encode(cs, opts); err != nil {
 		b.Fatal(err)
 	}

@@ -29,7 +29,6 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
-	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -40,11 +39,18 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dichotomy"
 	"repro/internal/hypercube"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
 // Options configures the heuristic encoder.
 type Options struct {
+	// Parallelism supplies the Workers/TimeLimit pair shared by all
+	// solver stages. Workers fans the independent restarts (and the
+	// selection-phase scoring) out over a pool — the result is identical
+	// for any value; TimeLimit bounds wall-clock time, applied as a
+	// context deadline with the anytime semantics EncodeCtx documents.
+	par.Parallelism
 	// Metric is the P-3 cost function; default Violations.
 	Metric cost.Metric
 	// Bits fixes the code length; 0 means the minimum length
@@ -62,17 +68,10 @@ type Options struct {
 	// polish over the assembled encoding; 0 means DefaultPolishBudget,
 	// negative disables polishing.
 	PolishBudget int
-	// Workers sets the degree of parallelism: 0 means
-	// runtime.GOMAXPROCS(0), 1 forces the sequential code path. The result
-	// is identical for any value.
-	Workers int
 }
 
 func (o Options) workers() int {
-	if o.Workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return o.Workers
+	return o.WorkerCount()
 }
 
 // DefaultMaxEvaluations bounds the selection-phase search per subproblem.
@@ -98,13 +97,19 @@ type Result struct {
 // cs and returns an encoding of the requested length. Output constraints
 // are not handled by this algorithm (the paper presents it for input
 // constraints); they are ignored if present.
+//
+// Deprecated: use EncodeCtx, the canonical context-first form; Encode
+// remains as a thin wrapper over context.Background().
 func Encode(cs *constraint.Set, opts Options) (*Result, error) {
 	return EncodeCtx(context.Background(), cs, opts)
 }
 
 // EncodeCtx is Encode under a caller-supplied context; see the package
 // documentation for the (coarse-grained) cancellation contract.
+// Options.TimeLimit, when set, is layered under ctx as a deadline.
 func EncodeCtx(ctx context.Context, cs *constraint.Set, opts Options) (*Result, error) {
+	ctx, cancel := opts.Parallelism.Context(ctx)
+	defer cancel()
 	if err := cs.Validate(); err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/constraint"
+	"repro/internal/par"
 )
 
 // randomConstraints builds a random face-constraint set over n symbols.
@@ -38,12 +39,12 @@ func TestEncodeParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 10; trial++ {
 		cs := randomConstraints(rng, 5+rng.Intn(8))
-		seq, err := Encode(cs, Options{Workers: 1})
+		seq, err := Encode(cs, Options{Parallelism: par.Workers(1)})
 		if err != nil {
 			t.Fatalf("trial %d: sequential: %v", trial, err)
 		}
 		for _, workers := range []int{2, 4} {
-			par, err := Encode(cs, Options{Workers: workers})
+			par, err := Encode(cs, Options{Parallelism: par.Workers(workers)})
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
 			}

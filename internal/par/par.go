@@ -1,0 +1,69 @@
+// Package par holds the parallelism and time-budget configuration shared by
+// every solver stage. Each stage's Options type (prime.Options,
+// cover.Options, heuristic.Options, core.ExactOptions) embeds a Parallelism,
+// so the two knobs are spelled — and behave — identically everywhere, and a
+// pipeline-level default can flow into stages with FillFrom instead of
+// hand-copied field assignments.
+package par
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// Parallelism is the worker-count/deadline pair accepted by every parallel
+// solver stage.
+//
+// All engines in this repository are deterministic under parallelism:
+// results are identical for any Workers value. TimeLimit, by contrast, can
+// change results (anytime solvers return the incumbent on expiry), exactly
+// as a caller-supplied context deadline would.
+type Parallelism struct {
+	// Workers sets the degree of parallelism: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the sequential code path. Every
+	// stage returns identical results for any value.
+	Workers int
+	// TimeLimit bounds wall-clock time; 0 means unlimited. It is applied
+	// as a context deadline, layered under whatever deadline the caller's
+	// context already carries.
+	TimeLimit time.Duration
+}
+
+// Workers returns a Parallelism with the given worker count, for concise
+// option literals: Options{Parallelism: par.Workers(4)}.
+func Workers(n int) Parallelism { return Parallelism{Workers: n} }
+
+// Budget returns a Parallelism with the given time limit.
+func Budget(d time.Duration) Parallelism { return Parallelism{TimeLimit: d} }
+
+// WorkerCount resolves the effective worker count: Workers when positive,
+// runtime.GOMAXPROCS(0) otherwise.
+func (p Parallelism) WorkerCount() int {
+	if p.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// FillFrom returns p with zero-valued fields filled from def: an explicit
+// per-stage setting always wins over the inherited pipeline default.
+func (p Parallelism) FillFrom(def Parallelism) Parallelism {
+	if p.Workers == 0 {
+		p.Workers = def.Workers
+	}
+	if p.TimeLimit == 0 {
+		p.TimeLimit = def.TimeLimit
+	}
+	return p
+}
+
+// Context layers TimeLimit (when set) under ctx as a deadline. The returned
+// cancel function must always be called; with no TimeLimit it is a no-op and
+// ctx is returned unchanged.
+func (p Parallelism) Context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.TimeLimit > 0 {
+		return context.WithTimeout(ctx, p.TimeLimit)
+	}
+	return ctx, func() {}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dichotomy"
+	"repro/internal/par"
 )
 
 // kernelSeeds builds a deterministic pseudo-random seed set over [0, n):
@@ -39,7 +40,7 @@ func kernelSeeds(count, n int, seed int64) []dichotomy.D {
 // the cloning discipline of bkState.rec directly.
 func BenchmarkBronKerboschKernel(b *testing.B) {
 	seeds := kernelSeeds(48, 32, 7)
-	opts := Options{Workers: 1, Limit: 1 << 30}
+	opts := Options{Parallelism: par.Workers(1), Limit: 1 << 30}
 	if _, err := GenerateSets(seeds, opts); err != nil {
 		b.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func BenchmarkBronKerboschKernel(b *testing.B) {
 // frontier-peeling parallel engine with all CPUs.
 func BenchmarkBronKerboschParallelKernel(b *testing.B) {
 	seeds := kernelSeeds(48, 32, 7)
-	opts := Options{Workers: 0, Limit: 1 << 30}
+	opts := Options{Parallelism: par.Workers(0), Limit: 1 << 30}
 	if _, err := GenerateSets(seeds, opts); err != nil {
 		b.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dichotomy"
+	"repro/internal/par"
 )
 
 // randomSeeds builds a list of random seed dichotomies over n symbols.
@@ -38,12 +39,12 @@ func TestParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 25; trial++ {
 		seeds := randomSeeds(rng, 8+rng.Intn(25), 6+rng.Intn(8))
-		seq, err := GenerateSets(seeds, Options{Workers: 1})
+		seq, err := GenerateSets(seeds, Options{Parallelism: par.Workers(1)})
 		if err != nil {
 			t.Fatalf("trial %d: sequential: %v", trial, err)
 		}
 		for _, workers := range []int{2, 3, 8} {
-			par, err := GenerateSets(seeds, Options{Workers: workers})
+			par, err := GenerateSets(seeds, Options{Parallelism: par.Workers(workers)})
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: parallel: %v", trial, workers, err)
 			}
@@ -66,7 +67,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 func TestParallelLimit(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	seeds := randomSeeds(rng, 30, 10)
-	all, err := GenerateSets(seeds, Options{Workers: 1})
+	all, err := GenerateSets(seeds, Options{Parallelism: par.Workers(1)})
 	if err != nil {
 		t.Fatalf("sequential: %v", err)
 	}
@@ -74,10 +75,10 @@ func TestParallelLimit(t *testing.T) {
 		t.Skip("instance too small to exercise the limit")
 	}
 	for _, workers := range []int{1, 4} {
-		if _, err := GenerateSets(seeds, Options{Workers: workers, Limit: len(all) - 1}); !errors.Is(err, ErrLimit) {
+		if _, err := GenerateSets(seeds, Options{Parallelism: par.Workers(workers), Limit: len(all) - 1}); !errors.Is(err, ErrLimit) {
 			t.Fatalf("workers=%d limit=%d: got %v, want ErrLimit", workers, len(all)-1, err)
 		}
-		if got, err := GenerateSets(seeds, Options{Workers: workers, Limit: len(all)}); err != nil || len(got) != len(all) {
+		if got, err := GenerateSets(seeds, Options{Parallelism: par.Workers(workers), Limit: len(all)}); err != nil || len(got) != len(all) {
 			t.Fatalf("workers=%d limit=%d: got %d primes, err %v", workers, len(all), len(got), err)
 		}
 	}
@@ -97,7 +98,7 @@ func TestCancellation(t *testing.T) {
 			t.Fatalf("engine %d: canceled ctx: got %v, want context.Canceled", engine, err)
 		}
 	}
-	_, err := GenerateSets(seeds, Options{TimeLimit: time.Nanosecond})
+	_, err := GenerateSets(seeds, Options{Parallelism: par.Budget(time.Nanosecond)})
 	if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("TimeLimit: got %v", err)
 	}
@@ -113,11 +114,11 @@ func TestCachedGenerationMatchesDirect(t *testing.T) {
 	seeds := randomSeeds(rng, 20, 9)
 	cache := dichotomy.NewCompatCache()
 	for _, engine := range []Engine{BronKerbosch, CSPS} {
-		plain, err := GenerateSets(seeds, Options{Engine: engine, Workers: 1})
+		plain, err := GenerateSets(seeds, Options{Engine: engine, Parallelism: par.Workers(1)})
 		if err != nil {
 			t.Fatalf("engine %d: %v", engine, err)
 		}
-		cached, err := GenerateSets(seeds, Options{Engine: engine, Workers: 1, Cache: cache})
+		cached, err := GenerateSets(seeds, Options{Engine: engine, Parallelism: par.Workers(1), Cache: cache})
 		if err != nil {
 			t.Fatalf("engine %d cached: %v", engine, err)
 		}

@@ -37,11 +37,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/dichotomy"
+	"repro/internal/par"
 )
 
 // Engine selects the maximal-compatible generation algorithm.
@@ -68,19 +67,17 @@ var ErrTimeout = fmt.Errorf("prime: generation time limit exceeded: %w", context
 
 // Options configures prime generation.
 type Options struct {
+	// Parallelism supplies the Workers/TimeLimit pair shared by all
+	// solver stages. Workers drives the BronKerbosch engine only (CSPS is
+	// inherently sequential and ignores it); TimeLimit bounds generation
+	// wall-clock time, applied as a context deadline layered under
+	// whatever deadline the caller's context already carries.
+	par.Parallelism
 	// Limit bounds the number of maximal compatibles generated; 0 means
 	// DefaultLimit.
 	Limit int
-	// TimeLimit bounds generation wall-clock time; 0 means unlimited. It
-	// is applied as a context deadline, layered under whatever deadline
-	// the caller's context already carries.
-	TimeLimit time.Duration
 	// Engine selects the algorithm; default BronKerbosch.
 	Engine Engine
-	// Workers sets the degree of parallelism of the BronKerbosch engine:
-	// 0 means runtime.GOMAXPROCS(0), 1 forces the sequential code path.
-	// The CSPS engine is inherently sequential and ignores this knob.
-	Workers int
 	// Cache, when non-nil, memoizes pairwise compatibility checks in a
 	// shard-locked cache (see dichotomy.CompatCache). Profitable when the
 	// same seed pairs are re-checked across engine runs — e.g. the
@@ -100,10 +97,7 @@ func (o Options) limit() int {
 }
 
 func (o Options) workers() int {
-	if o.Workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return o.Workers
+	return o.WorkerCount()
 }
 
 // compatible is the seed-pair compatibility test, routed through the
@@ -118,6 +112,9 @@ func (o Options) compatible(d, e dichotomy.D) bool {
 // Generate returns the prime encoding-dichotomies of seeds: the unions of
 // every maximal compatible subset. The seed order determines the output
 // order deterministically.
+//
+// Deprecated: use GenerateCtx, the canonical context-first form; Generate
+// remains as a thin wrapper over context.Background().
 func Generate(seeds []dichotomy.D, opts Options) ([]dichotomy.D, error) {
 	return GenerateCtx(context.Background(), seeds, opts)
 }
@@ -139,6 +136,8 @@ func GenerateCtx(ctx context.Context, seeds []dichotomy.D, opts Options) ([]dich
 
 // GenerateSets returns the maximal compatibles themselves, each as a set of
 // seed indices.
+//
+// Deprecated: use GenerateSetsCtx, the canonical context-first form.
 func GenerateSets(seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
 	return GenerateSetsCtx(context.Background(), seeds, opts)
 }
@@ -146,11 +145,8 @@ func GenerateSets(seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
 // GenerateSetsCtx is GenerateSets under a caller-supplied context; see
 // GenerateCtx for the cancellation contract.
 func GenerateSetsCtx(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
-	if opts.TimeLimit > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
-		defer cancel()
-	}
+	ctx, cancel := opts.Context(ctx)
+	defer cancel()
 	switch opts.Engine {
 	case CSPS:
 		return csps(ctx, seeds, opts)

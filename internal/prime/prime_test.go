@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dichotomy"
+	"repro/internal/par"
 )
 
 // figure3Seeds builds the paper's nine initial encoding-dichotomies for the
@@ -226,7 +227,7 @@ func TestTimeLimit(t *testing.T) {
 		seeds = append(seeds, dichotomy.Of([]int{2 * i}, []int{2*i + 1}))
 		seeds = append(seeds, dichotomy.Of([]int{2*i + 1}, []int{2 * i}))
 	}
-	_, err := Generate(seeds, Options{Limit: 1 << 30, TimeLimit: time.Nanosecond})
+	_, err := Generate(seeds, Options{Limit: 1 << 30, Parallelism: par.Budget(time.Nanosecond)})
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}

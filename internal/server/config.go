@@ -1,0 +1,89 @@
+package server
+
+import "time"
+
+// Config tunes the encoding service. The zero value is a sensible
+// single-machine deployment; Normalize fills defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe; defaults to
+	// ":8080". Handlers obtained via Handler ignore it.
+	Addr string
+
+	// Workers is the size of the solver pool: how many encoding problems
+	// run concurrently. 0 means runtime.GOMAXPROCS(0). Each solve itself
+	// runs with SolveWorkers-way engine parallelism, so total CPU demand
+	// is roughly Workers × SolveWorkers.
+	Workers int
+
+	// SolveWorkers is the per-solve engine parallelism handed to the
+	// prime/cover/heuristic stages. 0 means 1: with a busy pool,
+	// one-goroutine solves maximize throughput, and every engine returns
+	// identical results for any value, so this is purely a latency knob.
+	SolveWorkers int
+
+	// QueueDepth bounds how many accepted requests may wait for a pool
+	// slot beyond the ones already running. A request arriving with the
+	// queue full is rejected with 429 and a Retry-After header. 0 means
+	// DefaultQueueDepth, negative means no queue (a request is shed
+	// unless a worker is free).
+	QueueDepth int
+
+	// CacheEntries bounds the LRU result cache; 0 means
+	// DefaultCacheEntries, negative disables caching.
+	CacheEntries int
+
+	// DefaultTimeout is the per-request solve budget applied when the
+	// request carries none; 0 means 30s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps client-requested budgets; 0 means 2m.
+	MaxTimeout time.Duration
+
+	// MaxBodyBytes bounds the request body; 0 means 1 MiB.
+	MaxBodyBytes int64
+
+	// RetryAfter is the hint returned with 429 responses; 0 means 1s.
+	RetryAfter time.Duration
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultQueueDepth   = 64
+	DefaultCacheEntries = 256
+	DefaultTimeout      = 30 * time.Second
+	DefaultMaxTimeout   = 2 * time.Minute
+	DefaultMaxBodyBytes = 1 << 20
+	DefaultRetryAfter   = time.Second
+)
+
+// Normalize returns cfg with zero fields replaced by defaults.
+func (cfg Config) Normalize() Config {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.SolveWorkers <= 0 {
+		cfg.SolveWorkers = 1
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.DefaultTimeout > cfg.MaxTimeout {
+		cfg.DefaultTimeout = cfg.MaxTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	return cfg
+}

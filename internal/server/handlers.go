@@ -1,0 +1,412 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/encodingapi"
+	"repro/internal/core"
+)
+
+// Request modes.
+const (
+	modeFeasible  = "feasible"
+	modeExact     = "exact"
+	modeHeuristic = "heuristic"
+)
+
+// encodeRequest is the JSON body of POST /v1/encode.
+type encodeRequest struct {
+	// Constraints is the textual constraint language (same grammar as the
+	// encode CLI input files).
+	Constraints string `json:"constraints"`
+	// Mode selects the problem: "feasible" (P-1), "exact" (P-2, default)
+	// or "heuristic" (P-3).
+	Mode string `json:"mode"`
+	// Bits is the code length for heuristic mode (required there,
+	// rejected elsewhere).
+	Bits int `json:"bits"`
+	// Metric is the heuristic cost metric: "violations" (default),
+	// "cubes" or "literals".
+	Metric string `json:"metric"`
+	// PrimeLimit caps maximal-compatible generation in exact mode;
+	// 0 means the engine default.
+	PrimeLimit int `json:"prime_limit"`
+	// TimeoutMS is the solve budget in milliseconds; 0 means the server
+	// default, and values above the server maximum are clamped.
+	TimeoutMS int `json:"timeout_ms"`
+	// Workers sets the engine worker count (0 = all CPUs). Results are
+	// identical for any value, so this never affects caching.
+	Workers int `json:"workers"`
+}
+
+// requestKey canonically identifies a solve. The constraint set contributes
+// its 128-bit content hash; the remaining fields are the knobs that can
+// change the answer. Workers and timeout are deliberately absent: results
+// are worker-invariant, and only successful (budget-independent) results
+// are ever cached or coalesced into.
+type requestKey struct {
+	set        core.Hash128
+	mode       string
+	bits       int
+	metric     string
+	primeLimit int
+}
+
+// solveRequest is a validated, parsed request ready for the pool.
+type solveRequest struct {
+	mode       string
+	cs         *encodingapi.Set
+	bits       int
+	metric     encodingapi.Metric
+	metricName string
+	primeLimit int
+	workers    int
+}
+
+func (r *solveRequest) key() requestKey {
+	return requestKey{
+		set:        encodingapi.HashSet(r.cs),
+		mode:       r.mode,
+		bits:       r.bits,
+		metric:     r.metricName,
+		primeLimit: r.primeLimit,
+	}
+}
+
+// costBreakdown mirrors encodingapi.Cost for the JSON response.
+type costBreakdown struct {
+	Violations int `json:"violations"`
+	Cubes      int `json:"cubes"`
+	Literals   int `json:"literals"`
+}
+
+// solveResult is the mode-independent solve outcome: the cacheable part of
+// an encode response.
+type solveResult struct {
+	Mode     string `json:"mode"`
+	Feasible bool   `json:"feasible"`
+	Bits     int    `json:"bits"`
+	// Codes maps each symbol to its binary code string (empty in
+	// feasible mode). encoding/json emits map keys sorted, so the
+	// serialized form is deterministic.
+	Codes map[string]string `json:"codes,omitempty"`
+	// Text is the canonical "sym = code" rendering, byte-identical to
+	// what the library's Encoding.String returns.
+	Text string `json:"text,omitempty"`
+	// Optimal reports whether exact mode proved minimality (false when
+	// the budget truncated the covering search to its incumbent).
+	Optimal bool `json:"optimal,omitempty"`
+	// Cost is the heuristic mode's evaluated metric breakdown.
+	Cost *costBreakdown `json:"cost,omitempty"`
+	// Uncovered lists the unsatisfiable initial dichotomies in feasible
+	// mode when the verdict is negative.
+	Uncovered []string `json:"uncovered,omitempty"`
+}
+
+// encodeResponse is solveResult plus per-request delivery metadata. The
+// result is embedded by value: encoding/json refuses to allocate an
+// embedded pointer to an unexported type when decoding, and clients (and
+// the tests) decode this shape.
+type encodeResponse struct {
+	solveResult
+	// Cached reports the result came from the LRU without solving.
+	Cached bool `json:"cached"`
+	// Coalesced reports this request attached to an identical in-flight
+	// solve rather than running its own.
+	Coalesced bool    `json:"coalesced"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	switch {
+	case status == http.StatusTooManyRequests:
+		s.metrics.Overloads.Add(1)
+	case status == http.StatusServiceUnavailable:
+		s.metrics.Rejected.Add(1)
+	case status == http.StatusGatewayTimeout:
+		s.metrics.Timeouts.Add(1)
+	case status >= 500:
+		s.metrics.ServerError.Add(1)
+	default:
+		s.metrics.ClientError.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// parseRequest validates the decoded body into a solveRequest. Errors are
+// client errors (400).
+func (s *Server) parseRequest(req *encodeRequest) (*solveRequest, error) {
+	mode := req.Mode
+	if mode == "" {
+		mode = modeExact
+	}
+	switch mode {
+	case modeFeasible, modeExact, modeHeuristic:
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want %q, %q or %q)", req.Mode, modeFeasible, modeExact, modeHeuristic)
+	}
+	if req.Constraints == "" {
+		return nil, errors.New("missing constraints")
+	}
+	cs, err := encodingapi.ParseString(req.Constraints)
+	if err != nil {
+		return nil, fmt.Errorf("parsing constraints: %w", err)
+	}
+	sr := &solveRequest{
+		mode:       mode,
+		cs:         cs,
+		primeLimit: req.PrimeLimit,
+		workers:    req.Workers,
+	}
+	if sr.primeLimit < 0 {
+		return nil, errors.New("prime_limit must be non-negative")
+	}
+	if sr.workers < 0 {
+		return nil, errors.New("workers must be non-negative")
+	}
+	if sr.workers > runtime.GOMAXPROCS(0) {
+		sr.workers = runtime.GOMAXPROCS(0)
+	}
+	if mode == modeHeuristic {
+		if req.Bits <= 0 {
+			return nil, errors.New("heuristic mode requires bits > 0")
+		}
+		sr.bits = req.Bits
+		name := req.Metric
+		if name == "" {
+			name = "violations"
+		}
+		m, ok := encodingapi.ParseMetric(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown metric %q (want violations, cubes or literals)", req.Metric)
+		}
+		sr.metric = m
+		sr.metricName = name
+	} else {
+		if req.Bits != 0 {
+			return nil, fmt.Errorf("bits is only valid in heuristic mode")
+		}
+		if req.Metric != "" {
+			return nil, fmt.Errorf("metric is only valid in heuristic mode")
+		}
+	}
+	return sr, nil
+}
+
+// solveLibrary runs req against the real engines; it is the default solveFn
+// and the single place where the service calls into the encoding library.
+func (s *Server) solveLibrary(ctx context.Context, req *solveRequest) (*solveResult, error) {
+	switch req.mode {
+	case modeFeasible:
+		f := encodingapi.CheckFeasible(req.cs)
+		res := &solveResult{Mode: modeFeasible, Feasible: f.Feasible}
+		for _, d := range f.Uncovered {
+			res.Uncovered = append(res.Uncovered, d.Format(req.cs.Syms))
+		}
+		return res, nil
+
+	case modeExact:
+		opts := encodingapi.ExactOptions{
+			Prime:       encodingapi.PrimeOptions{Limit: req.primeLimit},
+			Parallelism: encodingapi.Parallelism{Workers: req.workers},
+		}
+		var (
+			enc     *encodingapi.Encoding
+			optimal bool
+		)
+		switch {
+		case len(req.cs.Chains) > 0:
+			e, err := encodingapi.SolveWithChains(req.cs, req.cs.N())
+			if err != nil {
+				return nil, err
+			}
+			enc, optimal = e, true
+		case req.cs.HasExtensionConstraints():
+			r, err := encodingapi.ExactEncodeExtended(ctx, req.cs, opts)
+			if err != nil {
+				return nil, err
+			}
+			enc, optimal = r.Encoding, r.Optimal
+		default:
+			r, err := encodingapi.ExactEncode(ctx, req.cs, opts)
+			if err != nil {
+				return nil, err
+			}
+			enc, optimal = r.Encoding, r.Optimal
+		}
+		if v := encodingapi.Verify(req.cs, enc); len(v) != 0 {
+			return nil, fmt.Errorf("internal error: encoding failed verification: %s: %s", v[0].Kind, v[0].Detail)
+		}
+		res := &solveResult{Mode: modeExact, Feasible: true, Optimal: optimal}
+		fillEncoding(res, enc)
+		return res, nil
+
+	case modeHeuristic:
+		r, err := encodingapi.HeuristicEncode(ctx, req.cs, encodingapi.HeuristicOptions{
+			Bits:        req.bits,
+			Metric:      req.metric,
+			Parallelism: encodingapi.Parallelism{Workers: req.workers},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := &solveResult{
+			Mode:     modeHeuristic,
+			Feasible: true,
+			Cost: &costBreakdown{
+				Violations: r.Cost.Violations,
+				Cubes:      r.Cost.Cubes,
+				Literals:   r.Cost.Literals,
+			},
+		}
+		fillEncoding(res, r.Encoding)
+		return res, nil
+	}
+	return nil, fmt.Errorf("internal error: unknown mode %q", req.mode)
+}
+
+func fillEncoding(res *solveResult, enc *encodingapi.Encoding) {
+	res.Bits = enc.Bits
+	res.Text = enc.String()
+	res.Codes = make(map[string]string, enc.Syms.Len())
+	for i := 0; i < enc.Syms.Len(); i++ {
+		res.Codes[enc.Syms.Name(i)] = enc.CodeString(i)
+	}
+}
+
+// cacheable reports whether res may enter the LRU: only complete,
+// budget-independent answers qualify. An exact result truncated to its
+// incumbent (Optimal=false) depends on the timeout that cut it short, so a
+// later request with a larger budget must not be served the stale
+// truncation.
+func cacheable(res *solveResult) bool {
+	return res != nil && (res.Mode != modeExact || res.Optimal)
+}
+
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	s.reqWG.Add(1)
+	defer s.reqWG.Done()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	start := time.Now()
+	defer func() { s.metrics.observeLatency(time.Since(start)) }()
+
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.metrics.Requests.Add(1)
+
+	var body encodeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if body.TimeoutMS < 0 {
+		s.writeError(w, http.StatusBadRequest, "timeout_ms must be non-negative")
+		return
+	}
+	sreq, err := s.parseRequest(&body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := sreq.key()
+
+	if res, ok := s.cache.get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		s.metrics.OK.Add(1)
+		writeJSON(w, http.StatusOK, encodeResponse{
+			solveResult: *res,
+			Cached:      true,
+			ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		})
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	// The solve runs under the server's base context, not the client
+	// connection: a leader's disconnect must not abort a solve that
+	// coalesced followers are waiting on. The client connection is only
+	// consulted while a follower waits (inside flightGroup.do's select).
+	budget := s.budget(time.Duration(body.TimeoutMS) * time.Millisecond)
+	ctx, cancel := context.WithTimeout(s.baseCtx, budget)
+	defer cancel()
+
+	res, err, leader := s.flights.do(ctx, key,
+		func() { s.metrics.Coalesced.Add(1) },
+		func() (*solveResult, error) { return s.runSolve(ctx, sreq) },
+	)
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	if leader && cacheable(res) {
+		s.cache.add(key, res)
+	}
+	s.metrics.OK.Add(1)
+	writeJSON(w, http.StatusOK, encodeResponse{
+		solveResult: *res,
+		Coalesced:   !leader,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// writeSolveError maps solve-path errors to HTTP statuses: infeasibility is
+// the client's problem (422), a full queue is load shedding (429 with
+// Retry-After), an expired budget is 504, shutdown cancellation is 503, and
+// anything else (including recovered panics) is 500.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, encodingapi.ErrInfeasible):
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	case errors.Is(err, errPoolClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout, "solve budget exceeded")
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, http.StatusServiceUnavailable, "solve canceled by shutdown")
+	default:
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

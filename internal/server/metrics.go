@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (inclusive, milliseconds) of the
+// request-latency histogram; the final implicit bucket is +Inf.
+var latencyBuckets = [...]int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Metrics is the service's observability core: monotonic counters, queue
+// gauges and a fixed-bucket latency histogram, all lock-free atomics so the
+// request path never serializes on instrumentation. Snapshot renders a
+// consistent-enough JSON view for /v1/stats and expvar.
+type Metrics struct {
+	// Request outcomes.
+	Requests    atomic.Int64 // POST /v1/encode requests accepted for processing
+	OK          atomic.Int64 // 200 responses
+	ClientError atomic.Int64 // 4xx responses other than 429 (bad JSON, bad constraints, infeasible)
+	ServerError atomic.Int64 // 5xx responses (panics, internal failures)
+	Timeouts    atomic.Int64 // 504 responses (budget expired mid-solve)
+	Overloads   atomic.Int64 // 429 responses (queue full)
+	Rejected    atomic.Int64 // 503 responses (draining)
+
+	// Work accounting.
+	Solves      atomic.Int64 // solver executions actually started (post-coalesce, post-cache)
+	SolvePanics atomic.Int64 // solver panics recovered
+	Coalesced   atomic.Int64 // requests that attached to an identical in-flight solve
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+
+	// Gauges.
+	InFlight atomic.Int64 // requests currently inside the handler
+	Queued   atomic.Int64 // solves waiting for a pool slot
+
+	latency [len(latencyBuckets) + 1]atomic.Int64
+	started time.Time
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{started: time.Now()}
+}
+
+// observeLatency records one request duration into the histogram.
+func (m *Metrics) observeLatency(d time.Duration) {
+	ms := d.Milliseconds()
+	for i, ub := range latencyBuckets {
+		if ms <= ub {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[len(latencyBuckets)].Add(1)
+}
+
+// LatencyBucket is one histogram cell of Stats.
+type LatencyBucket struct {
+	// LEMillis is the bucket's inclusive upper bound in milliseconds;
+	// -1 marks the +Inf bucket.
+	LEMillis int64 `json:"le_ms"`
+	Count    int64 `json:"count"`
+}
+
+// Stats is the JSON document served on /v1/stats and published via expvar.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	ClientError int64 `json:"client_errors"`
+	ServerError int64 `json:"server_errors"`
+	Timeouts    int64 `json:"timeouts"`
+	Overloads   int64 `json:"overloads"`
+	Rejected    int64 `json:"rejected"`
+
+	Solves      int64 `json:"solves"`
+	SolvePanics int64 `json:"solve_panics"`
+	Coalesced   int64 `json:"coalesced"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheHitRatio is hits/(hits+misses), 0 when no lookups happened.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	CacheEntries  int     `json:"cache_entries"`
+
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+
+	Latency []LatencyBucket `json:"latency_ms"`
+}
+
+// snapshot renders the current counter values. cacheLen is injected by the
+// server (the cache is not the metrics' to own).
+func (m *Metrics) snapshot(cacheLen int) Stats {
+	s := Stats{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Requests:      m.Requests.Load(),
+		OK:            m.OK.Load(),
+		ClientError:   m.ClientError.Load(),
+		ServerError:   m.ServerError.Load(),
+		Timeouts:      m.Timeouts.Load(),
+		Overloads:     m.Overloads.Load(),
+		Rejected:      m.Rejected.Load(),
+		Solves:        m.Solves.Load(),
+		SolvePanics:   m.SolvePanics.Load(),
+		Coalesced:     m.Coalesced.Load(),
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		CacheEntries:  cacheLen,
+		InFlight:      m.InFlight.Load(),
+		Queued:        m.Queued.Load(),
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRatio = float64(s.CacheHits) / float64(lookups)
+	}
+	s.Latency = make([]LatencyBucket, 0, len(m.latency))
+	for i, ub := range latencyBuckets {
+		s.Latency = append(s.Latency, LatencyBucket{LEMillis: ub, Count: m.latency[i].Load()})
+	}
+	s.Latency = append(s.Latency, LatencyBucket{LEMillis: -1, Count: m.latency[len(latencyBuckets)].Load()})
+	return s
+}

@@ -1,0 +1,233 @@
+// Package server turns the encoding library into a long-running service:
+// an HTTP/JSON API over the P-1/P-2/P-3 solvers with bounded concurrency,
+// load shedding, request coalescing, result caching and first-class
+// observability.
+//
+// # Request lifecycle
+//
+//	POST /v1/encode
+//	  → decode + validate + parse constraints
+//	  → canonical 128-bit request key (core.HashSet + mode/bits/metric/limits)
+//	  → LRU result cache — hit answers immediately
+//	  → singleflight — identical in-flight problems share one solve
+//	  → bounded worker pool — full queue sheds load with 429 + Retry-After
+//	  → encoding engines (encodingapi) under a per-request context deadline
+//
+// Every stage is observable through /v1/stats (and expvar): request
+// outcomes, queue depth, cache hit ratio, coalescing counts and a latency
+// histogram.
+//
+// # Lifecycle
+//
+// New builds a Server; Handler exposes it to any http mux; ListenAndServe
+// runs it standalone. Shutdown is graceful: intake stops (new requests get
+// 503), in-flight requests drain, the pool finishes accepted work, and only
+// when the shutdown context expires are running solves canceled through
+// their contexts. A panicking solve is isolated to its request (500) and
+// never takes down a worker.
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Server is the encoding service. Create with New; safe for concurrent use.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *resultCache
+	flights *flightGroup
+	pool    *pool
+
+	// baseCtx parents every solve context, so canceling it aborts all
+	// running solves during a forced shutdown.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mux  *http.ServeMux
+	http *http.Server
+
+	reqWG    sync.WaitGroup // in-flight HTTP requests
+	draining sync.Once
+	drained  chan struct{} // closed once draining starts
+
+	// solveFn runs one parsed request to completion; defaults to the
+	// real engines (solveLibrary) and is replaceable by tests that need
+	// deterministic slow/blocking/panicking solves.
+	solveFn func(ctx context.Context, req *solveRequest) (*solveResult, error)
+}
+
+// New returns a Server for cfg (zero fields defaulted via
+// Config.Normalize). The worker pool starts immediately; callers must
+// eventually Shutdown (or Close) to release it.
+func New(cfg Config) *Server {
+	cfg = cfg.Normalize()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   newResultCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		pool:    newPool(workers, cfg.QueueDepth),
+		drained: make(chan struct{}),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.solveFn = s.solveLibrary
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/encode", s.handleEncode)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the service's HTTP handler for mounting under an
+// existing server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the service metrics.
+func (s *Server) Stats() Stats { return s.metrics.snapshot(s.cache.len()) }
+
+// expvarOnce guards the process-global expvar name: only the first Server
+// to call PublishExpvar is exported (one service per process in practice).
+var expvarOnce sync.Once
+
+// PublishExpvar exports this server's Stats under the expvar key
+// "encoding_server_stats", readable on /debug/vars.
+func (s *Server) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("encoding_server_stats", expvar.Func(func() any { return s.Stats() }))
+	})
+}
+
+// ListenAndServe serves on cfg.Addr until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, matching net/http.
+func (s *Server) ListenAndServe() error {
+	s.http = &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s.http.ListenAndServe()
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.drained:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown drains the service: intake stops immediately (new requests are
+// answered 503), in-flight requests and accepted pool work run to
+// completion, and the pool is torn down. If ctx expires before the drain
+// finishes, running solves are canceled through their contexts and the
+// drain completes promptly; ctx.Err() is then returned. Safe to call more
+// than once; later calls wait for the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Do(func() { close(s.drained) })
+
+	var err error
+	if s.http != nil {
+		err = s.http.Shutdown(ctx)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain budget exhausted: abort running solves cooperatively and
+		// finish the drain fast.
+		s.cancelBase()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.pool.close()
+	s.cancelBase()
+	return err
+}
+
+// Close is Shutdown with no drain budget: running solves are canceled
+// immediately.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	return err
+}
+
+// budget clamps the request's solve budget to the configured window.
+func (s *Server) budget(requested time.Duration) time.Duration {
+	if requested <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	if requested > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return requested
+}
+
+// runSolve is the post-cache, post-coalesce execution path of one problem:
+// enqueue on the bounded pool and wait for the outcome or the context. The
+// queued task re-checks the context before starting, so budgets burned
+// waiting in the queue never start a doomed solve; a panic inside the
+// engines is recovered and surfaced as an error.
+func (s *Server) runSolve(ctx context.Context, req *solveRequest) (*solveResult, error) {
+	type outcome struct {
+		res *solveResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	task := func() {
+		s.metrics.Queued.Add(-1)
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.SolvePanics.Add(1)
+				done <- outcome{err: fmt.Errorf("server: solve panicked: %v", p)}
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		s.metrics.Solves.Add(1)
+		res, err := s.solveFn(ctx, req)
+		done <- outcome{res: res, err: err}
+	}
+	s.metrics.Queued.Add(1)
+	if err := s.pool.submit(task); err != nil {
+		s.metrics.Queued.Add(-1)
+		return nil, err
+	}
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The task still drains from the queue eventually; it sees the
+		// dead context and aborts without starting a solve.
+		return nil, ctx.Err()
+	}
+}

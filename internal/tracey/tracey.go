@@ -10,6 +10,7 @@
 package tracey
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -165,7 +166,7 @@ func Assign(ft *FlowTable, opts Options) (*core.Encoding, error) {
 		}
 	}
 
-	primes, err := prime.Generate(seeds, opts.Prime)
+	primes, err := prime.GenerateCtx(context.Background(), seeds, opts.Prime)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +183,7 @@ func Assign(ft *FlowTable, opts Options) (*core.Encoding, error) {
 	if coverOpts.LowerBound == 0 {
 		coverOpts.LowerBound = hypercube.MinBits(n)
 	}
-	sol, err := p.SolveExact(coverOpts)
+	sol, err := p.SolveExactCtx(context.Background(), coverOpts)
 	if err != nil {
 		if errors.Is(err, cover.ErrInfeasible) {
 			return nil, fmt.Errorf("tracey: no race-free assignment exists for these constraints")
