@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race test-server serve bench-smoke bench bench-json bench-json-smoke ci
+.PHONY: all build vet staticcheck test race test-server serve trace-demo bench-smoke bench bench-json bench-json-smoke ci
 
 all: build
 
@@ -9,6 +9,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Run staticcheck when the binary is on PATH; skip with a notice otherwise.
+# The tool is optional — CI images without it still pass `make ci` — and we
+# deliberately do not install it here (builds must not reach the network).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go vet still ran)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -25,6 +35,11 @@ test-server:
 # Run the encoding service locally (POST /v1/encode, GET /v1/stats).
 serve:
 	$(GO) run ./cmd/served -addr :8080
+
+# Solve a small constraint set with per-stage tracing on: a quick look at
+# what the -trace flag (and the service's /v1/trace endpoint) reports.
+trace-demo:
+	printf 'face a b\nface b c\ndom a > d\n' | $(GO) run ./cmd/encode -trace
 
 # One iteration of the figure and parallel-engine benchmarks: enough to
 # prove the benchmark harness itself still runs, cheap enough for CI.
@@ -46,4 +61,4 @@ bench-json:
 bench-json-smoke:
 	$(GO) test -run '^$$' -bench 'Kernel' -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > /dev/null
 
-ci: vet build race test-server bench-smoke bench-json-smoke
+ci: vet staticcheck build race test-server bench-smoke bench-json-smoke

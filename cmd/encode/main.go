@@ -24,6 +24,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/prime"
 	"repro/internal/profiling"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	timeout := flag.Duration("timeout", time.Minute, "time budget for the exact search")
 	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
 	verbose := flag.Bool("v", false, "print pipeline details")
+	traceFlag := flag.Bool("trace", false, "print a per-stage time table to stderr after solving")
 	flag.Parse()
 	if err := profiling.Start(); err != nil {
 		fatal(err)
@@ -42,6 +44,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var rec *trace.Recorder
+	if *traceFlag {
+		ctx, rec = trace.Start(ctx)
+		defer printTrace(rec)
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -58,7 +65,7 @@ func main() {
 	}
 
 	if *check {
-		f := core.CheckFeasible(cs)
+		f := core.CheckFeasibleCtx(ctx, cs)
 		if f.Feasible {
 			fmt.Println("SATISFIABLE")
 			return
@@ -67,6 +74,7 @@ func main() {
 		for _, d := range f.Uncovered {
 			fmt.Printf("uncovered: %s\n", d.Format(cs.Syms))
 		}
+		printTrace(rec) // os.Exit skips the deferred print
 		os.Exit(1)
 	}
 
@@ -130,6 +138,21 @@ func parseMetric(s string) (cost.Metric, bool) {
 		return cost.Literals, true
 	}
 	return 0, false
+}
+
+// printTrace renders the recorded stage-time table on stderr, keeping
+// stdout clean for the encoding itself.
+func printTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	t := rec.Snapshot()
+	if t.Empty() {
+		fmt.Fprintln(os.Stderr, "# trace: no stages recorded")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "# solve stages:")
+	t.WriteTable(os.Stderr)
 }
 
 func fatal(err error) {

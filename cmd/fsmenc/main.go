@@ -26,6 +26,7 @@ import (
 	"repro/internal/mv"
 	"repro/internal/par"
 	"repro/internal/profiling"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	minimize := flag.Bool("minimize", false, "state-minimize the machine before encoding")
 	timeout := flag.Duration("timeout", time.Minute, "time budget for the exact search")
 	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
+	traceFlag := flag.Bool("trace", false, "print a per-stage time table to stderr after solving")
 	flag.Parse()
 	if err := profiling.Start(); err != nil {
 		fatal(err)
@@ -46,6 +48,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var rec *trace.Recorder
+	if *traceFlag {
+		ctx, rec = trace.Start(ctx)
+		defer printTrace(rec)
+	}
 
 	var m *fsm.FSM
 	var err error
@@ -143,6 +150,21 @@ func main() {
 		}
 		fmt.Print(text)
 	}
+}
+
+// printTrace renders the recorded stage-time table on stderr, keeping
+// stdout clean for the codes/PLA/BLIF output.
+func printTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	t := rec.Snapshot()
+	if t.Empty() {
+		fmt.Fprintln(os.Stderr, "# trace: no stages recorded")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "# solve stages:")
+	t.WriteTable(os.Stderr)
 }
 
 func fatal(err error) {

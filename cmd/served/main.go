@@ -6,10 +6,16 @@
 //
 // Endpoints:
 //
-//	POST /v1/encode   solve a constraint set (modes: feasible, exact, heuristic)
-//	GET  /v1/healthz  liveness (503 while draining)
-//	GET  /v1/stats    service metrics as JSON
-//	GET  /debug/vars  expvar, including encoding_server_stats
+//	POST /v1/encode     solve a constraint set (modes: feasible, exact, heuristic)
+//	GET  /v1/healthz    liveness (503 while draining)
+//	GET  /v1/stats      service metrics as JSON
+//	GET  /v1/trace      recent solve traces (stage spans), newest first
+//	GET  /v1/trace/{id} one solve trace by the id from the encode response
+//	GET  /debug/vars    expvar, including encoding_server_stats (-debug only)
+//	GET  /debug/pprof/  Go profiling endpoints (-debug only)
+//
+// Solves slower than -slow-solve emit one structured log line with the
+// stage breakdown and trace id.
 //
 // On SIGINT/SIGTERM the server stops intake, drains in-flight solves for
 // -drain, then cancels whatever is still running and exits.
@@ -38,16 +44,22 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultTimeout, "default solve budget per request")
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "ceiling on client-requested solve budgets")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	debug := flag.Bool("debug", false, "mount /debug/pprof and /debug/vars on the service listener")
+	slowSolve := flag.Duration("slow-solve", server.DefaultSlowSolve, "log solves slower than this (negative disables)")
+	traceBuffer := flag.Int("trace-buffer", server.DefaultTraceBuffer, "recent solve traces retained for /v1/trace (negative disables)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		SolveWorkers:   *solveWorkers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Addr:               *addr,
+		Workers:            *workers,
+		SolveWorkers:       *solveWorkers,
+		QueueDepth:         *queue,
+		CacheEntries:       *cacheEntries,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		Debug:              *debug,
+		SlowSolveThreshold: *slowSolve,
+		TraceBuffer:        *traceBuffer,
 	})
 	srv.PublishExpvar()
 

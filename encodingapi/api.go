@@ -43,6 +43,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/prime"
 	"repro/internal/sym"
+	"repro/internal/trace"
 )
 
 // Re-exported types. These are aliases, not copies: values flow freely
@@ -105,6 +106,19 @@ type (
 
 	// Hash128 is the canonical 128-bit content hash of a constraint set.
 	Hash128 = core.Hash128
+
+	// Trace is the stage-span report of one solve: what the ExactResult
+	// and HeuristicResult Trace fields carry when the solve ran under a
+	// traced context (see StartTrace), what the encode CLIs print under
+	// -trace, and what the server returns from GET /v1/trace/{id}.
+	Trace = trace.Trace
+	// TraceSpan is one recorded stage of a Trace.
+	TraceSpan = trace.SpanRecord
+	// TraceAttr is one integer annotation on a TraceSpan.
+	TraceAttr = trace.Attr
+	// TraceRecorder collects spans during a solve; attach one to a context
+	// with StartTrace.
+	TraceRecorder = trace.Recorder
 )
 
 // P-3 cost metrics.
@@ -153,10 +167,26 @@ func ParseMetric(name string) (Metric, bool) {
 	return 0, false
 }
 
+// StartTrace attaches a fresh solve-trace recorder to ctx and returns both.
+// Solver entry points called with the returned context record per-stage
+// spans (prime generation, covering search, heuristic restarts, …) into the
+// recorder and attach a snapshot to their results' Trace field; without a
+// recorder the instrumentation costs nothing. Inspect the report with
+// Trace.Table (the CLIs' stage-time rendering) or walk Trace.Spans.
+func StartTrace(ctx context.Context) (context.Context, *TraceRecorder) {
+	return trace.Start(ctx)
+}
+
 // CheckFeasible decides P-1: whether the input and output constraints admit
 // any encoding, in time polynomial in the number of symbols and
 // constraints.
 func CheckFeasible(cs *Set) Feasibility { return core.CheckFeasible(cs) }
+
+// CheckFeasibleCtx is CheckFeasible under a context, recording a stage span
+// when the context is traced (see StartTrace); the verdict is identical.
+func CheckFeasibleCtx(ctx context.Context, cs *Set) Feasibility {
+	return core.CheckFeasibleCtx(ctx, cs)
+}
 
 // Feasible is CheckFeasible reduced to its verdict.
 func Feasible(cs *Set) bool { return core.CheckFeasible(cs).Feasible }
@@ -195,5 +225,12 @@ func HeuristicEncode(ctx context.Context, cs *Set, opts HeuristicOptions) (*Heur
 func Verify(cs *Set, e *Encoding) []Violation { return core.Verify(cs, e) }
 
 // HashSet returns the canonical 128-bit content hash of a constraint set;
-// see core.HashSet for what "canonical" covers.
+// see core.HashSet for what "canonical" covers. Constraint order and
+// symbol-interning order are significant; use CanonicalHashSet to key
+// caches that must treat reordered-but-equal sets as one problem.
 func HashSet(cs *Set) Hash128 { return core.HashSet(cs) }
+
+// CanonicalHashSet is HashSet made invariant under constraint reordering
+// and symbol-interning order; see core.CanonicalHashSet for the exact
+// equivalence it quotients by.
+func CanonicalHashSet(cs *Set) Hash128 { return core.CanonicalHashSet(cs) }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/par"
 	"repro/internal/prime"
+	"repro/internal/trace"
 )
 
 // ErrInfeasible is returned by the exact encoder when the constraints admit
@@ -62,6 +63,9 @@ type ExactResult struct {
 	// Optimal is true when the covering solver proved minimality over the
 	// candidate column pool.
 	Optimal bool
+	// Trace is the stage-span report of this solve when the caller's
+	// context carried a trace recorder (internal/trace); empty otherwise.
+	Trace trace.Trace
 }
 
 // ExactEncode solves P-2: it finds codes of minimum length satisfying all
@@ -104,8 +108,10 @@ func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) 
 		return &ExactResult{Encoding: NewEncoding(cs.Syms, 0, nil), Optimal: true}, nil
 	}
 
+	ssp := trace.StartSpan(ctx, "core.seeds")
 	seeds := dichotomy.Initial(cs)
 	raised := dichotomy.ValidRaised(seeds, cs)
+	ssp.Set("seeds", len(seeds)).Set("raised", len(raised)).End()
 	for _, i := range seeds {
 		if !dichotomy.CoveredBySome(i, raised) {
 			return nil, ErrInfeasible
@@ -155,6 +161,9 @@ func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) 
 		SelectedColumns: cols,
 		Optimal:         sol.Optimal,
 	}
+	if rec := trace.FromContext(ctx); rec != nil {
+		res.Trace = rec.Snapshot()
+	}
 	return res, nil
 }
 
@@ -163,6 +172,7 @@ func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) 
 // is built in parallel — one goroutine owns one row, so no locking is
 // needed and the matrix is identical for any worker count.
 func coverSeeds(ctx context.Context, seeds, candidates []dichotomy.D, opts cover.Options) (cover.Solution, error) {
+	msp := trace.StartSpan(ctx, "core.matrix")
 	rows := dichotomy.Rows(seeds)
 	p := cover.Problem{NumCols: len(candidates), RowCols: make([][]int, len(rows))}
 	forEachIndex(len(rows), opts.Workers, func(ri int) {
@@ -172,6 +182,7 @@ func coverSeeds(ctx context.Context, seeds, candidates []dichotomy.D, opts cover
 			}
 		}
 	})
+	msp.Set("rows", len(rows)).Set("candidates", len(candidates)).End()
 	return p.SolveExactCtx(ctx, opts)
 }
 

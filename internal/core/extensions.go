@@ -10,6 +10,7 @@ import (
 	"repro/internal/dichotomy"
 	"repro/internal/hypercube"
 	"repro/internal/prime"
+	"repro/internal/trace"
 )
 
 // ExactEncodeExtended solves P-2 in the presence of the Section-8 extension
@@ -55,8 +56,10 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 	base.Distance2s = nil
 	base.NonFaces = nil
 
+	ssp := trace.StartSpan(ctx, "core.seeds")
 	seeds := dichotomy.Initial(base)
 	raised := dichotomy.ValidRaised(seeds, base)
+	ssp.Set("seeds", len(seeds)).Set("raised", len(raised)).End()
 	for _, i := range seeds {
 		if !dichotomy.CoveredBySome(i, raised) {
 			return nil, ErrInfeasible
@@ -76,6 +79,7 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 		candidates = dedupe(append(candidates, raised...))
 	}
 
+	csp := trace.StartSpan(ctx, "core.clauses")
 	// A column only reliably separates a pair or isolates a face when the
 	// placement survives completion: completion sends unassigned symbols
 	// to the right block, so separation of (a,b) needs one of them in L.
@@ -152,6 +156,7 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 	}
 	p.NumCols = len(candidates) + nAux
 	p.Cost = costs
+	csp.Set("clauses", len(p.Clauses)).Set("candidates", len(candidates)).Set("aux", nAux).End()
 
 	sol, err := p.SolveCtx(ctx, coverOpts)
 	if err != nil {
@@ -167,14 +172,18 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 		}
 	}
 	enc := FromColumns(cs.Syms, cols)
-	return &ExactResult{
+	res := &ExactResult{
 		Encoding:        enc,
 		Seeds:           seeds,
 		Raised:          raised,
 		Primes:          candidates,
 		SelectedColumns: cols,
 		Optimal:         sol.Optimal,
-	}, nil
+	}
+	if rec := trace.FromContext(ctx); rec != nil {
+		res.Trace = rec.Snapshot()
+	}
+	return res, nil
 }
 
 // complete returns the total column obtained by sending every unassigned

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/constraint"
 	"repro/internal/dichotomy"
+	"repro/internal/trace"
 )
 
 // Feasibility reports the outcome of the polynomial satisfiability check of
@@ -26,6 +29,15 @@ type Feasibility struct {
 // encoding-dichotomy (Theorem 6.1). The algorithm is polynomial in the
 // number of symbols and constraints (Figure 6).
 func CheckFeasible(cs *constraint.Set) Feasibility {
+	return CheckFeasibleCtx(context.Background(), cs)
+}
+
+// CheckFeasibleCtx is CheckFeasible with stage tracing: when ctx carries a
+// trace recorder (internal/trace) the check records one "core.feasible"
+// span with its seed/raised/uncovered counts. The check itself is
+// polynomial and never blocks, so the context is used only for tracing.
+func CheckFeasibleCtx(ctx context.Context, cs *constraint.Set) Feasibility {
+	sp := trace.StartSpan(ctx, "core.feasible")
 	seeds := dichotomy.Initial(cs)
 	raised := dichotomy.ValidRaised(seeds, cs)
 	var uncovered []dichotomy.D
@@ -34,6 +46,7 @@ func CheckFeasible(cs *constraint.Set) Feasibility {
 			uncovered = append(uncovered, i)
 		}
 	}
+	sp.Set("seeds", len(seeds)).Set("raised", len(raised)).Set("uncovered", len(uncovered)).End()
 	return Feasibility{
 		Feasible:  len(uncovered) == 0,
 		Seeds:     seeds,

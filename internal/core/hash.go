@@ -78,10 +78,12 @@ func (h *setHasher) str(s string) {
 // representation details that cannot affect any solver's output — bitset
 // word padding (trailing zero words are skipped) and source-text formatting
 // (comments, whitespace, token gluing) vanish at parse time. Constraint
-// *order* is deliberately significant: the exact pipeline's seed order, and
+// *order* is significant here: the exact pipeline's seed order, and
 // therefore which of several equally optimal encodings it returns, depends
-// on it, and a coalescing layer keyed by this hash must never serve one
-// ordering's result for another's request.
+// on it. Layers that should treat reordered-but-equal problems as the same
+// problem (the request server's cache and coalescing) key on
+// CanonicalHashSet instead, which quotients out symbol-interning and
+// constraint order.
 func HashSet(cs *constraint.Set) Hash128 {
 	h := &setHasher{h1: 0x9216d5d98979fb1b, h2: 0xd1310ba698dfb5ac}
 

@@ -127,6 +127,18 @@ type Result struct {
 	Literals   int
 }
 
+// Of projects the result onto one metric.
+func (r Result) Of(m Metric) int {
+	switch m {
+	case Cubes:
+		return r.Cubes
+	case Literals:
+		return r.Literals
+	default:
+		return r.Violations
+	}
+}
+
 // Evaluate computes all three metrics of Section 7 for the assignment. The
 // cube and literal counts sum the minimized per-constraint characteristic
 // functions, as in Figure 9.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Lit is a literal of a binate covering clause over column variables.
@@ -86,7 +88,13 @@ func (p *BinateProblem) SolveCtx(ctx context.Context, opts Options) (BinateSolut
 		maxNodes: opts.maxNodes(),
 		bestCost: 1 << 30,
 	}
+	sp := trace.StartSpan(ctx, "cover.binate")
 	s.search(0)
+	if sp != nil {
+		sp.Set("cols", p.NumCols).Set("clauses", len(p.Clauses)).
+			Set("nodes", s.nodes).SetBool("optimal", !s.stopped).SetBool("failed", !s.found)
+		sp.End()
+	}
 	if !s.found {
 		return BinateSolution{}, ErrBinateInfeasible
 	}

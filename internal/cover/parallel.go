@@ -286,6 +286,9 @@ func (s *solver) solveParallel(rows, cols bitset.Set, workers int) {
 	if sh.budget.Load() {
 		s.budget = true
 	}
+	// Surface the shared node count through the sequential counter so the
+	// trace span (and any other diagnostics) read one field on either path.
+	s.nodes = int(sh.nodes.Load())
 }
 
 // fixedBound is the searchCtl used while reducing frontier nodes during

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // Problem is a unate covering problem: choose a minimum-cost subset of
@@ -251,12 +252,30 @@ func (p *Problem) SolveExact(opts Options) (Solution, error) {
 // anytime: when ctx expires or is canceled mid-search, the best feasible
 // solution found so far is returned with Optimal=false and a nil error,
 // matching the TimeLimit semantics.
+//
+// When the context carries a trace recorder (internal/trace), the solve
+// records one "cover.solve" span with row/column counts, branch-and-bound
+// nodes and the outcome; with no recorder the instrumentation is a
+// zero-allocation no-op.
 func (p *Problem) SolveExactCtx(ctx context.Context, opts Options) (Solution, error) {
 	ctx, cancel := opts.Context(ctx)
 	defer cancel()
+	sp := trace.StartSpan(ctx, "cover.solve")
+	sol, nodes, err := p.solveExactTraced(ctx, opts)
+	if sp != nil {
+		sp.Set("rows", len(p.RowCols)).Set("cols", p.NumCols).Set("nodes", nodes).
+			SetBool("optimal", sol.Optimal).Set("cost", sol.Cost).SetBool("failed", err != nil)
+		sp.End()
+	}
+	return sol, err
+}
+
+// solveExactTraced is the SolveExactCtx body, returning the search node
+// count alongside the solution for the trace span.
+func (p *Problem) solveExactTraced(ctx context.Context, opts Options) (Solution, int, error) {
 	m, err := newMatrix(p, opts.domLimit())
 	if err != nil {
-		return Solution{}, err
+		return Solution{}, 0, err
 	}
 	nRows := len(p.RowCols)
 
@@ -289,7 +308,7 @@ func (p *Problem) SolveExactCtx(ctx context.Context, opts Options) (Solution, er
 	for variant := 0; variant < 8; variant++ {
 		g := m.greedyVariant(activeRows, activeCols, variant)
 		if g == nil && variant == 0 {
-			return Solution{}, ErrInfeasible
+			return Solution{}, 0, ErrInfeasible
 		}
 		consider(g)
 	}
@@ -317,11 +336,11 @@ func (p *Problem) SolveExactCtx(ctx context.Context, opts Options) (Solution, er
 	}
 
 	if !s.found {
-		return Solution{}, ErrInfeasible
+		return Solution{}, s.nodes, ErrInfeasible
 	}
 	sel := append([]int(nil), s.bestSel...)
 	sort.Ints(sel)
-	return Solution{Cols: sel, Cost: s.bestCost, Optimal: !s.budget}, nil
+	return Solution{Cols: sel, Cost: s.bestCost, Optimal: !s.budget}, s.nodes, nil
 }
 
 // newMatrix builds the incidence bitsets, validating column indices and

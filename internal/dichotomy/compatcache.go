@@ -46,6 +46,14 @@ type CompatCache struct {
 	shardCap int
 	scope    uint64
 	shards   *[compatShardCount]compatShard
+	stats    *compatStats
+}
+
+// compatStats counts lookups per cache view (RunScope views get fresh
+// counters). Plain atomics: incrementing them never allocates, so the
+// warm-lookup zero-allocation guarantee is unaffected.
+type compatStats struct {
+	hits, misses atomic.Int64
 }
 
 type compatShard struct {
@@ -77,6 +85,7 @@ func NewCompatCache() *CompatCache {
 		shardCap: defaultShardCap,
 		scope:    nextScope.Add(1),
 		shards:   new([compatShardCount]compatShard),
+		stats:    new(compatStats),
 	}
 }
 
@@ -87,7 +96,7 @@ func NewCompatCache() *CompatCache {
 // dichotomies from unrelated problems that happen to have identical index
 // sets then occupy distinct keys instead of aliasing.
 func (c *CompatCache) RunScope() *CompatCache {
-	return &CompatCache{shardCap: c.shardCap, scope: nextScope.Add(1), shards: c.shards}
+	return &CompatCache{shardCap: c.shardCap, scope: nextScope.Add(1), shards: c.shards, stats: new(compatStats)}
 }
 
 // contentHash returns the 128-bit content hash of one dichotomy,
@@ -129,8 +138,10 @@ func (c *CompatCache) Compatible(d, e D) bool {
 	v, ok := sh.m[k]
 	sh.mu.RUnlock()
 	if ok {
+		c.stats.hits.Add(1)
 		return v
 	}
+	c.stats.misses.Add(1)
 	v = d.Compatible(e)
 	sh.mu.Lock()
 	if sh.m == nil || len(sh.m) >= c.shardCap {
@@ -139,6 +150,13 @@ func (c *CompatCache) Compatible(d, e D) bool {
 	sh.m[k] = v
 	sh.mu.Unlock()
 	return v
+}
+
+// Stats reports the hit/miss lookup counts seen through this cache view.
+// RunScope views count independently of their parent, so a per-run view's
+// stats describe exactly one problem's lookups.
+func (c *CompatCache) Stats() (hits, misses int64) {
+	return c.stats.hits.Load(), c.stats.misses.Load()
 }
 
 // Len reports the number of cached pairs, for tests and diagnostics.

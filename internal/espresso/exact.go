@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/cover"
+	"repro/internal/trace"
 )
 
 // Primes returns all prime implicants of the function whose on-set is f
@@ -95,9 +96,23 @@ func countMinterms(n int, c Cube) int {
 // don't-cares dc, by prime generation and exact unate covering
 // (Quine–McCluskey). Exponential; intended as ground truth for the
 // espresso-lite heuristic on small functions.
+//
+// Deprecated: use MinimizeExactCtx, the canonical context-first form;
+// MinimizeExact remains as a thin wrapper over context.Background().
 func MinimizeExact(f, dc *Cover, opts cover.Options) (*Cover, error) {
+	return MinimizeExactCtx(context.Background(), f, dc, opts)
+}
+
+// MinimizeExactCtx is MinimizeExact under a caller-supplied context, which
+// is threaded into the covering solve (anytime: cancellation yields the
+// incumbent cover). When the context carries a trace recorder
+// (internal/trace) the prime-implicant stage records an "espresso.primes"
+// span; the covering stage records its own "cover.solve" span.
+func MinimizeExactCtx(ctx context.Context, f, dc *Cover, opts cover.Options) (*Cover, error) {
 	n := f.N
+	sp := trace.StartSpan(ctx, "espresso.primes")
 	primes, err := Primes(f, dc)
+	sp.Set("vars", n).Set("primes", len(primes)).End()
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +134,7 @@ func MinimizeExact(f, dc *Cover, opts cover.Options) (*Cover, error) {
 			}
 		}
 	}
-	sol, err := p.SolveExactCtx(context.Background(), opts)
+	sol, err := p.SolveExactCtx(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

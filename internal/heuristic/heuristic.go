@@ -41,6 +41,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/par"
 	"repro/internal/partition"
+	"repro/internal/trace"
 )
 
 // Options configures the heuristic encoder.
@@ -91,6 +92,9 @@ const scoreChunk = 16
 type Result struct {
 	Encoding *core.Encoding
 	Cost     cost.Result
+	// Trace is the stage-span report of this solve when the caller's
+	// context carried a trace recorder (internal/trace); empty otherwise.
+	Trace trace.Trace
 }
 
 // Encode runs the split/merge/select heuristic on the input constraints of
@@ -146,6 +150,7 @@ func EncodeCtx(ctx context.Context, cs *constraint.Set, opts Options) (*Result, 
 		enc *core.Encoding
 		v   int
 	}
+	rsp := trace.StartSpan(ctx, "heuristic.restarts")
 	runs := make([]*run, restarts)
 	forEachIndex(restarts, opts.workers(), func(r int) {
 		if ctx.Err() != nil {
@@ -161,18 +166,39 @@ func EncodeCtx(ctx context.Context, cs *constraint.Set, opts Options) (*Result, 
 
 	var best *core.Encoding
 	bestCost := 1 << 30
+	completed := 0
 	for _, r := range runs {
-		if r != nil && r.v < bestCost {
+		if r == nil {
+			continue
+		}
+		completed++
+		if r.v < bestCost {
 			bestCost, best = r.v, r.enc
 		}
+	}
+	if rsp != nil {
+		rsp.Set("restarts", restarts).Set("completed", completed).
+			Set("workers", opts.workers()).Set("bits", c)
+		if best != nil {
+			rsp.Set("best_cost", bestCost)
+		}
+		rsp.End()
 	}
 	if best == nil {
 		return nil, fmt.Errorf("heuristic: encoding canceled: %w", context.Cause(ctx))
 	}
 
+	psp := trace.StartSpan(ctx, "heuristic.polish")
 	polish(ctx, cs, best, opts, cost.NewEvaluator(cs))
 	a := cost.FullAssignment(best.Bits, best.Codes)
-	return &Result{Encoding: best, Cost: cost.Evaluate(cs, a)}, nil
+	res := &Result{Encoding: best, Cost: cost.Evaluate(cs, a)}
+	if psp != nil {
+		psp.Set("cost", res.Cost.Of(opts.Metric)).End()
+	}
+	if rec := trace.FromContext(ctx); rec != nil {
+		res.Trace = rec.Snapshot()
+	}
+	return res, nil
 }
 
 // forEachIndex runs fn(i) for every i in [0, n) on up to `workers`

@@ -80,7 +80,7 @@ func csps(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bitset.Set,
 		}
 		xOnly := bitset.New(n)
 		xOnly.Add(x)
-		return ps([]bitset.Set{xOnly, partners}, sub, limit)
+		return ps(ctx, []bitset.Set{xOnly, partners}, sub, limit)
 	}
 
 	terms, err := cs(clauses)
@@ -107,23 +107,35 @@ func csps(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bitset.Set,
 // product with single-cube containment. The minimized product of a unate
 // expression is its unique set of prime implicants, so containment alone is
 // sufficient (footnote 3 of the paper).
-func ps(expr1, expr2 []bitset.Set, limit int) ([]bitset.Set, error) {
+//
+// The containment pass is quadratic in the term count — on large instances
+// it dwarfs the cs recursion that brackets it — so it polls ctx itself:
+// without that, a deadline expiring mid-product would go unnoticed until
+// the pass completed, which on exponential inputs is effectively never.
+func ps(ctx context.Context, expr1, expr2 []bitset.Set, limit int) ([]bitset.Set, error) {
 	product := make([]bitset.Set, 0, len(expr1)*len(expr2))
 	for _, t1 := range expr1 {
 		for _, t2 := range expr2 {
 			product = append(product, bitset.Union(t1, t2))
 		}
 	}
-	out := singleCubeContainment(product)
+	out, err := singleCubeContainment(ctx, product)
+	if err != nil {
+		return nil, err
+	}
 	if len(out) > limit {
 		return nil, fmt.Errorf("%w (> %d)", ErrLimit, limit)
 	}
 	return out, nil
 }
 
+// sccCtxStride is how many containment candidates pass between context
+// polls in singleCubeContainment.
+const sccCtxStride = 256
+
 // singleCubeContainment removes every term that is a superset of another
 // term, leaving the minimal sum-of-products.
-func singleCubeContainment(terms []bitset.Set) []bitset.Set {
+func singleCubeContainment(ctx context.Context, terms []bitset.Set) ([]bitset.Set, error) {
 	type sized struct {
 		t bitset.Set
 		n int
@@ -136,7 +148,10 @@ func singleCubeContainment(terms []bitset.Set) []bitset.Set {
 	var kept []sized
 	seen := make(map[string]bool)
 outer:
-	for _, c := range ts {
+	for ci, c := range ts {
+		if ci%sccCtxStride == 0 && ctx.Err() != nil {
+			return nil, ctxErr(ctx)
+		}
 		k := c.t.Key()
 		if seen[k] {
 			continue
@@ -156,5 +171,5 @@ outer:
 	for i, k := range kept {
 		out[i] = k.t
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,78 @@
+package prime
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dichotomy"
+)
+
+// bigSeeds returns a seed set whose 2^n maximal compatibles take tens of
+// milliseconds to enumerate — enough that a single-digit-millisecond
+// deadline or cancellation reliably lands in the middle of generation
+// rather than before it starts.
+func bigSeeds(n int) []dichotomy.D {
+	var seeds []dichotomy.D
+	for i := 0; i < n; i++ {
+		seeds = append(seeds, dichotomy.Of([]int{2 * i}, []int{2*i + 1}))
+		seeds = append(seeds, dichotomy.Of([]int{2*i + 1}, []int{2 * i}))
+	}
+	return seeds
+}
+
+// TestDeadlineMidGeneration pins the prime stage's half of the pipeline
+// cancellation contract: a deadline expiring while generation is running
+// aborts with ErrTimeout (wrapping context.DeadlineExceeded) and NO
+// partial result. Unlike the covering stage there is no anytime answer
+// here — a truncated compatible set would silently shrink the candidate
+// pool and cost optimality downstream, so the stage must fail loudly.
+func TestDeadlineMidGeneration(t *testing.T) {
+	seeds := bigSeeds(18) // ~50ms of work vs a 2ms deadline
+	for _, engine := range []Engine{BronKerbosch, CSPS} {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		sets, err := GenerateSetsCtx(ctx, seeds, Options{Limit: 1 << 30, Engine: engine})
+		cancel()
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("engine %d: err = %v, want ErrTimeout", engine, err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("engine %d: ErrTimeout must wrap context.DeadlineExceeded; got %v", engine, err)
+		}
+		if len(sets) != 0 {
+			t.Fatalf("engine %d: deadline mid-generation returned %d partial sets, want none", engine, len(sets))
+		}
+	}
+	// The dichotomy-producing wrapper inherits the same contract.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	primes, err := GenerateCtx(ctx, seeds, Options{Limit: 1 << 30})
+	if !errors.Is(err, ErrTimeout) || len(primes) != 0 {
+		t.Fatalf("GenerateCtx: primes=%d err=%v, want none + ErrTimeout", len(primes), err)
+	}
+}
+
+// TestCancelMidGeneration pins the other abort path: an explicit
+// cancellation mid-generation surfaces as a wrapped context.Canceled —
+// distinguishable from a deadline (no ErrTimeout) — again with no partial
+// result.
+func TestCancelMidGeneration(t *testing.T) {
+	seeds := bigSeeds(18)
+	for _, engine := range []Engine{BronKerbosch, CSPS} {
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(2*time.Millisecond, cancel)
+		sets, err := GenerateSetsCtx(ctx, seeds, Options{Limit: 1 << 30, Engine: engine})
+		timer.Stop()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("engine %d: err = %v, want wrapped context.Canceled", engine, err)
+		}
+		if errors.Is(err, ErrTimeout) {
+			t.Fatalf("engine %d: explicit cancellation misreported as ErrTimeout: %v", engine, err)
+		}
+		if len(sets) != 0 {
+			t.Fatalf("engine %d: cancellation mid-generation returned %d partial sets, want none", engine, len(sets))
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/dichotomy"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // Engine selects the maximal-compatible generation algorithm.
@@ -144,20 +145,39 @@ func GenerateSets(seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
 
 // GenerateSetsCtx is GenerateSets under a caller-supplied context; see
 // GenerateCtx for the cancellation contract.
+//
+// When the context carries a trace recorder (internal/trace), generation
+// records one "prime.generate" span with seed/prime counts and — when a
+// CompatCache is configured — its hit/miss totals; with no recorder the
+// instrumentation is a zero-allocation no-op.
 func GenerateSetsCtx(ctx context.Context, seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
 	ctx, cancel := opts.Context(ctx)
 	defer cancel()
+	sp := trace.StartSpan(ctx, "prime.generate")
+	var sets []bitset.Set
+	var err error
 	switch opts.Engine {
 	case CSPS:
-		return csps(ctx, seeds, opts)
+		sets, err = csps(ctx, seeds, opts)
 	case BronKerbosch:
 		if opts.workers() > 1 {
-			return bronKerboschParallel(ctx, seeds, opts)
+			sets, err = bronKerboschParallel(ctx, seeds, opts)
+		} else {
+			sets, err = bronKerbosch(ctx, seeds, opts)
 		}
-		return bronKerbosch(ctx, seeds, opts)
 	default:
 		return nil, fmt.Errorf("prime: unknown engine %d", opts.Engine)
 	}
+	if sp != nil {
+		sp.Set("seeds", len(seeds)).Set("primes", len(sets)).
+			Set("workers", opts.workers()).SetBool("failed", err != nil)
+		if opts.Cache != nil {
+			hits, misses := opts.Cache.Stats()
+			sp.Set64("compat_hits", hits).Set64("compat_misses", misses)
+		}
+		sp.End()
+	}
+	return sets, err
 }
 
 // ctxErr translates a context failure into the package's error vocabulary:

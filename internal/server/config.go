@@ -1,6 +1,9 @@
 package server
 
-import "time"
+import (
+	"log/slog"
+	"time"
+)
 
 // Config tunes the encoding service. The zero value is a sensible
 // single-machine deployment; Normalize fills defaults.
@@ -44,6 +47,29 @@ type Config struct {
 
 	// RetryAfter is the hint returned with 429 responses; 0 means 1s.
 	RetryAfter time.Duration
+
+	// Debug mounts the Go diagnostic endpoints on the service handler:
+	// /debug/pprof/* (CPU and memory profiles, goroutine dumps, execution
+	// traces) and /debug/vars (expvar). Off by default — these endpoints
+	// expose process internals and belong behind an operator flag, not on
+	// every deployment.
+	Debug bool
+
+	// SlowSolveThreshold is the latency above which a completed solve
+	// emits one structured log line (logger "slow solve", with the stage
+	// breakdown and trace id). 0 means DefaultSlowSolve; negative
+	// disables slow-solve logging.
+	SlowSolveThreshold time.Duration
+
+	// TraceBuffer is how many recent solve traces the server retains for
+	// GET /v1/trace and /v1/trace/{id}. 0 means DefaultTraceBuffer;
+	// negative disables trace retention (the endpoints then serve an
+	// empty list / 404).
+	TraceBuffer int
+
+	// Logger receives the service's structured log lines (slow solves).
+	// nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // Defaults for the zero Config.
@@ -54,6 +80,8 @@ const (
 	DefaultMaxTimeout   = 2 * time.Minute
 	DefaultMaxBodyBytes = 1 << 20
 	DefaultRetryAfter   = time.Second
+	DefaultSlowSolve    = time.Second
+	DefaultTraceBuffer  = 64
 )
 
 // Normalize returns cfg with zero fields replaced by defaults.
@@ -84,6 +112,15 @@ func (cfg Config) Normalize() Config {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.SlowSolveThreshold == 0 {
+		cfg.SlowSolveThreshold = DefaultSlowSolve
+	}
+	if cfg.TraceBuffer == 0 {
+		cfg.TraceBuffer = DefaultTraceBuffer
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
 	return cfg
 }

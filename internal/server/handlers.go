@@ -12,6 +12,7 @@ import (
 
 	"repro/encodingapi"
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Request modes.
@@ -47,10 +48,13 @@ type encodeRequest struct {
 }
 
 // requestKey canonically identifies a solve. The constraint set contributes
-// its 128-bit content hash; the remaining fields are the knobs that can
-// change the answer. Workers and timeout are deliberately absent: results
-// are worker-invariant, and only successful (budget-independent) results
-// are ever cached or coalesced into.
+// its order-invariant 128-bit content hash (CanonicalHashSet): a client
+// resubmitting the same constraints in a different order — or with symbols
+// first mentioned in a different order — is asking the same question and
+// must hit the cache or coalesce, not burn a second solve. The remaining
+// fields are the knobs that can change the answer. Workers and timeout are
+// deliberately absent: results are worker-invariant, and only successful
+// (budget-independent) results are ever cached or coalesced into.
 type requestKey struct {
 	set        core.Hash128
 	mode       string
@@ -72,7 +76,7 @@ type solveRequest struct {
 
 func (r *solveRequest) key() requestKey {
 	return requestKey{
-		set:        encodingapi.HashSet(r.cs),
+		set:        encodingapi.CanonicalHashSet(r.cs),
 		mode:       r.mode,
 		bits:       r.bits,
 		metric:     r.metricName,
@@ -122,6 +126,10 @@ type encodeResponse struct {
 	// solve rather than running its own.
 	Coalesced bool    `json:"coalesced"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// TraceID names the solve's retained stage trace, fetchable from
+	// GET /v1/trace/{id}; 0 for cache hits and coalesced followers,
+	// which ran no solve of their own.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -354,14 +362,22 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	// connection: a leader's disconnect must not abort a solve that
 	// coalesced followers are waiting on. The client connection is only
 	// consulted while a follower waits (inside flightGroup.do's select).
+	// Every solve is traced: the recorder belongs to this request, so a
+	// follower's recorder simply stays empty (its solve ran elsewhere).
 	budget := s.budget(time.Duration(body.TimeoutMS) * time.Millisecond)
 	ctx, cancel := context.WithTimeout(s.baseCtx, budget)
 	defer cancel()
+	rec := trace.New()
+	ctx = trace.NewContext(ctx, rec)
 
 	res, err, leader := s.flights.do(ctx, key,
 		func() { s.metrics.Coalesced.Add(1) },
 		func() (*solveResult, error) { return s.runSolve(ctx, sreq) },
 	)
+	var traceID uint64
+	if leader {
+		traceID = s.publishTrace(sreq, rec, start, time.Since(start), err)
+	}
 	if err != nil {
 		s.writeSolveError(w, err)
 		return
@@ -374,6 +390,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		solveResult: *res,
 		Coalesced:   !leader,
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		TraceID:     traceID,
 	})
 }
 
@@ -386,7 +403,7 @@ func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	case errors.Is(err, encodingapi.ErrInfeasible):
 		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 	case errors.Is(err, errOverloaded):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(s.cfg.RetryAfter), 10))
 		s.writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
 	case errors.Is(err, errPoolClosed):
 		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
@@ -397,6 +414,51 @@ func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	default:
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// retryAfterSeconds renders a Retry-After duration in whole seconds,
+// rounding up and clamping to at least 1: the header's unit is seconds, so
+// truncation would turn any sub-second hint into "Retry-After: 0", which
+// well-behaved clients read as "retry immediately" — the opposite of load
+// shedding.
+func retryAfterSeconds(d time.Duration) int64 {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// publishTrace retains one finished solve's trace, counts and logs it when
+// slow, and returns the trace id for the response.
+func (s *Server) publishTrace(req *solveRequest, rec *trace.Recorder, start time.Time, elapsed time.Duration, solveErr error) uint64 {
+	t := rec.Snapshot()
+	e := &traceEntry{
+		Mode:      req.mode,
+		Start:     start,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Spans:     summarizeSpans(t),
+	}
+	if sp, ok := t.Find("server.queue"); ok {
+		e.QueueMS = float64(sp.Dur.Microseconds()) / 1000
+	}
+	if solveErr != nil {
+		e.Error = solveErr.Error()
+	}
+	e.Slow = s.cfg.SlowSolveThreshold > 0 && elapsed >= s.cfg.SlowSolveThreshold
+	id := s.traces.add(e)
+	if e.Slow {
+		s.metrics.SlowSolves.Add(1)
+		s.cfg.Logger.Warn("slow solve",
+			"trace_id", id,
+			"mode", req.mode,
+			"elapsed_ms", e.ElapsedMS,
+			"queue_wait_ms", e.QueueMS,
+			"stages", stageLine(t),
+			"error", e.Error,
+		)
+	}
+	return id
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

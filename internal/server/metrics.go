@@ -6,11 +6,89 @@ import (
 )
 
 // latencyBuckets are the upper bounds (inclusive, milliseconds) of the
-// request-latency histogram; the final implicit bucket is +Inf.
+// latency histograms; the final implicit bucket is +Inf.
 var latencyBuckets = [...]int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
+// histogram is a fixed-bucket latency histogram over latencyBuckets,
+// lock-free for concurrent observers.
+type histogram struct {
+	buckets [len(latencyBuckets) + 1]atomic.Int64
+}
+
+// observe records one duration. Bucketing compares full durations against
+// the boundary, not millisecond truncations: a 2.5ms sample belongs to the
+// (2ms, 5ms] bucket, and an exactly-2ms sample to the (1ms, 2ms] bucket
+// (boundaries are inclusive upper bounds).
+func (h *histogram) observe(d time.Duration) {
+	for i, ub := range latencyBuckets {
+		if d <= time.Duration(ub)*time.Millisecond {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(latencyBuckets)].Add(1)
+}
+
+// snapshot renders the bucket counts for Stats.
+func (h *histogram) snapshot() []LatencyBucket {
+	out := make([]LatencyBucket, 0, len(h.buckets))
+	for i, ub := range latencyBuckets {
+		out = append(out, LatencyBucket{LEMillis: ub, Count: h.buckets[i].Load()})
+	}
+	out = append(out, LatencyBucket{LEMillis: -1, Count: h.buckets[len(latencyBuckets)].Load()})
+	return out
+}
+
+// quantiles estimates p50/p95/p99 from the bucket boundaries. Within the
+// bucket holding the target rank the estimate interpolates linearly between
+// the bucket's bounds (lower bound 0 for the first bucket); ranks landing
+// in the +Inf bucket report the last finite boundary, the largest value the
+// histogram can attest to. Zero observations yield zero quantiles.
+func (h *histogram) quantiles() Quantiles {
+	var counts [len(latencyBuckets) + 1]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return Quantiles{}
+	}
+	est := func(q float64) float64 {
+		// rank is the 1-based index of the q-th ordered sample.
+		rank := int64(q*float64(total) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > total {
+			rank = total
+		}
+		var cum int64
+		for i, c := range counts {
+			if c == 0 {
+				cum += c
+				continue
+			}
+			if rank <= cum+c {
+				if i == len(latencyBuckets) {
+					return float64(latencyBuckets[len(latencyBuckets)-1])
+				}
+				lo := float64(0)
+				if i > 0 {
+					lo = float64(latencyBuckets[i-1])
+				}
+				hi := float64(latencyBuckets[i])
+				return lo + (hi-lo)*float64(rank-cum)/float64(c)
+			}
+			cum += c
+		}
+		return float64(latencyBuckets[len(latencyBuckets)-1])
+	}
+	return Quantiles{P50: est(0.50), P95: est(0.95), P99: est(0.99)}
+}
+
 // Metrics is the service's observability core: monotonic counters, queue
-// gauges and a fixed-bucket latency histogram, all lock-free atomics so the
+// gauges and fixed-bucket latency histograms, all lock-free atomics so the
 // request path never serializes on instrumentation. Snapshot renders a
 // consistent-enough JSON view for /v1/stats and expvar.
 type Metrics struct {
@@ -26,6 +104,7 @@ type Metrics struct {
 	// Work accounting.
 	Solves      atomic.Int64 // solver executions actually started (post-coalesce, post-cache)
 	SolvePanics atomic.Int64 // solver panics recovered
+	SlowSolves  atomic.Int64 // solves above Config.SlowSolveThreshold
 	Coalesced   atomic.Int64 // requests that attached to an identical in-flight solve
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
@@ -34,7 +113,13 @@ type Metrics struct {
 	InFlight atomic.Int64 // requests currently inside the handler
 	Queued   atomic.Int64 // solves waiting for a pool slot
 
-	latency [len(latencyBuckets) + 1]atomic.Int64
+	// Latency is end-to-end request time (including cache hits and queue
+	// wait); QueueWait and SolveTime decompose the solve path so a slow
+	// p99 is attributable to contention vs. engine time.
+	Latency   histogram
+	QueueWait histogram
+	SolveTime histogram
+
 	started time.Time
 }
 
@@ -42,17 +127,8 @@ func newMetrics() *Metrics {
 	return &Metrics{started: time.Now()}
 }
 
-// observeLatency records one request duration into the histogram.
-func (m *Metrics) observeLatency(d time.Duration) {
-	ms := d.Milliseconds()
-	for i, ub := range latencyBuckets {
-		if ms <= ub {
-			m.latency[i].Add(1)
-			return
-		}
-	}
-	m.latency[len(latencyBuckets)].Add(1)
-}
+// observeLatency records one end-to-end request duration.
+func (m *Metrics) observeLatency(d time.Duration) { m.Latency.observe(d) }
 
 // LatencyBucket is one histogram cell of Stats.
 type LatencyBucket struct {
@@ -60,6 +136,14 @@ type LatencyBucket struct {
 	// -1 marks the +Inf bucket.
 	LEMillis int64 `json:"le_ms"`
 	Count    int64 `json:"count"`
+}
+
+// Quantiles are bucket-boundary estimates in milliseconds; see
+// histogram.quantiles for the estimation contract.
+type Quantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
 }
 
 // Stats is the JSON document served on /v1/stats and published via expvar.
@@ -76,6 +160,7 @@ type Stats struct {
 
 	Solves      int64 `json:"solves"`
 	SolvePanics int64 `json:"solve_panics"`
+	SlowSolves  int64 `json:"slow_solves"`
 	Coalesced   int64 `json:"coalesced"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -86,7 +171,14 @@ type Stats struct {
 	InFlight int64 `json:"in_flight"`
 	Queued   int64 `json:"queued"`
 
-	Latency []LatencyBucket `json:"latency_ms"`
+	// Latency is end-to-end request time; QueueWait and SolveTime split
+	// the solve path into pool contention vs. engine execution.
+	Latency          []LatencyBucket `json:"latency_ms"`
+	LatencyQuantiles Quantiles       `json:"latency_quantiles"`
+	QueueWait        []LatencyBucket `json:"queue_wait_ms"`
+	QueueQuantiles   Quantiles       `json:"queue_wait_quantiles"`
+	SolveTime        []LatencyBucket `json:"solve_time_ms"`
+	SolveQuantiles   Quantiles       `json:"solve_time_quantiles"`
 }
 
 // snapshot renders the current counter values. cacheLen is injected by the
@@ -103,6 +195,7 @@ func (m *Metrics) snapshot(cacheLen int) Stats {
 		Rejected:      m.Rejected.Load(),
 		Solves:        m.Solves.Load(),
 		SolvePanics:   m.SolvePanics.Load(),
+		SlowSolves:    m.SlowSolves.Load(),
 		Coalesced:     m.Coalesced.Load(),
 		CacheHits:     m.CacheHits.Load(),
 		CacheMisses:   m.CacheMisses.Load(),
@@ -113,10 +206,11 @@ func (m *Metrics) snapshot(cacheLen int) Stats {
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRatio = float64(s.CacheHits) / float64(lookups)
 	}
-	s.Latency = make([]LatencyBucket, 0, len(m.latency))
-	for i, ub := range latencyBuckets {
-		s.Latency = append(s.Latency, LatencyBucket{LEMillis: ub, Count: m.latency[i].Load()})
-	}
-	s.Latency = append(s.Latency, LatencyBucket{LEMillis: -1, Count: m.latency[len(latencyBuckets)].Load()})
+	s.Latency = m.Latency.snapshot()
+	s.LatencyQuantiles = m.Latency.quantiles()
+	s.QueueWait = m.QueueWait.snapshot()
+	s.QueueQuantiles = m.QueueWait.quantiles()
+	s.SolveTime = m.SolveTime.snapshot()
+	s.SolveQuantiles = m.SolveTime.quantiles()
 	return s
 }

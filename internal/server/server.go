@@ -33,9 +33,12 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Server is the encoding service. Create with New; safe for concurrent use.
@@ -45,6 +48,7 @@ type Server struct {
 	cache   *resultCache
 	flights *flightGroup
 	pool    *pool
+	traces  *traceRing
 
 	// baseCtx parents every solve context, so canceling it aborts all
 	// running solves during a forced shutdown.
@@ -79,6 +83,7 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheEntries),
 		flights: newFlightGroup(),
 		pool:    newPool(workers, cfg.QueueDepth),
+		traces:  newTraceRing(cfg.TraceBuffer),
 		drained: make(chan struct{}),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
@@ -88,7 +93,19 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/encode", s.handleEncode)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/v1/trace", s.handleTraceList)
+	s.mux.HandleFunc("/v1/trace/", s.handleTraceGet)
+	if cfg.Debug {
+		// Diagnostic endpoints are opt-in: pprof exposes heap contents
+		// and expvar the process state, neither of which belongs on an
+		// unauthenticated production listener by default.
+		s.mux.Handle("/debug/vars", expvar.Handler())
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -195,14 +212,23 @@ func (s *Server) budget(requested time.Duration) time.Duration {
 // queued task re-checks the context before starting, so budgets burned
 // waiting in the queue never start a doomed solve; a panic inside the
 // engines is recovered and surfaced as an error.
+//
+// Instrumentation: queue wait and engine execution are observed into
+// separate histograms (Stats decomposes latency into contention vs. solve
+// time), and when ctx carries a trace recorder the same split is recorded
+// as "server.queue" and "server.solve" spans bracketing the engine stages.
 func (s *Server) runSolve(ctx context.Context, req *solveRequest) (*solveResult, error) {
 	type outcome struct {
 		res *solveResult
 		err error
 	}
 	done := make(chan outcome, 1)
+	enqueued := time.Now()
+	qsp := trace.StartSpan(ctx, "server.queue")
 	task := func() {
 		s.metrics.Queued.Add(-1)
+		s.metrics.QueueWait.observe(time.Since(enqueued))
+		qsp.End()
 		defer func() {
 			if p := recover(); p != nil {
 				s.metrics.SolvePanics.Add(1)
@@ -214,7 +240,11 @@ func (s *Server) runSolve(ctx context.Context, req *solveRequest) (*solveResult,
 			return
 		}
 		s.metrics.Solves.Add(1)
+		solveStart := time.Now()
+		ssp := trace.StartSpan(ctx, "server.solve")
 		res, err := s.solveFn(ctx, req)
+		ssp.SetBool("failed", err != nil).End()
+		s.metrics.SolveTime.observe(time.Since(solveStart))
 		done <- outcome{res: res, err: err}
 	}
 	s.metrics.Queued.Add(1)

@@ -506,8 +506,9 @@ func TestNoGoroutineLeaks(t *testing.T) {
 }
 
 // TestStatsAndHealthEndpoints sanity-checks the observability surface.
+// Debug is on so the gated expvar endpoint is mounted.
 func TestStatsAndHealthEndpoints(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{Debug: true})
 	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecording(t *testing.T) {
+	ctx, rec := Start(context.Background())
+
+	sp := StartSpan(ctx, "prime.generate")
+	sp.Set("seeds", 40).Set("primes", 812).SetBool("limited", false)
+	sp.End()
+
+	sp = StartSpan(ctx, "cover.solve")
+	sp.Set("nodes", 1234)
+	sp.End()
+
+	tr := rec.Snapshot()
+	if len(tr.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(tr.Spans))
+	}
+	p, ok := tr.Find("prime.generate")
+	if !ok {
+		t.Fatal("prime.generate span missing")
+	}
+	if v, ok := p.Attr("primes"); !ok || v != 812 {
+		t.Fatalf("primes attr = %d, %v", v, ok)
+	}
+	if v, ok := p.Attr("limited"); !ok || v != 0 {
+		t.Fatalf("limited attr = %d, %v", v, ok)
+	}
+	if _, ok := p.Attr("absent"); ok {
+		t.Fatal("absent attr reported present")
+	}
+	if c, ok := tr.Find("cover.solve"); !ok || c.Start < p.Start {
+		t.Fatalf("cover.solve ordering: %+v vs %+v", c, p)
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	// A context with no recorder yields nil spans whose methods all no-op.
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on bare context != nil")
+	}
+	sp := StartSpan(ctx, "anything")
+	sp.Set("k", 1).Set64("k2", 2).SetBool("k3", true)
+	sp.End()
+
+	var rec *Recorder
+	if got := rec.Snapshot(); !got.Empty() {
+		t.Fatalf("nil recorder snapshot = %+v", got)
+	}
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(nil) must return ctx unchanged")
+	}
+}
+
+// TestNilPathAllocationFree pins the tentpole's zero-cost contract: the
+// instrumentation pattern the solver hot paths use (context lookup, span
+// start, attribute sets, end) performs zero heap allocations when the
+// context carries no recorder.
+func TestNilPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(ctx, "prime.generate")
+		sp.Set("seeds", 40).Set("primes", 812)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced span pattern allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotIndependence(t *testing.T) {
+	rec := New()
+	rec.StartSpan("a").End()
+	tr := rec.Snapshot()
+	rec.StartSpan("b").End()
+	if len(tr.Spans) != 1 {
+		t.Fatalf("snapshot grew after later commits: %d spans", len(tr.Spans))
+	}
+	if got := rec.Snapshot(); len(got.Spans) != 2 {
+		t.Fatalf("second snapshot has %d spans, want 2", len(got.Spans))
+	}
+}
+
+func TestConcurrentCommits(t *testing.T) {
+	rec := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := rec.StartSpan("worker")
+			sp.Set("i", 1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	if got := rec.Snapshot(); len(got.Spans) != 32 {
+		t.Fatalf("got %d spans, want 32", len(got.Spans))
+	}
+}
+
+func TestAttrOverflowDropped(t *testing.T) {
+	rec := New()
+	sp := rec.StartSpan("s")
+	for i := 0; i < maxAttrs+4; i++ {
+		sp.Set("k", i)
+	}
+	sp.End()
+	got := rec.Snapshot().Spans[0]
+	if len(got.Attrs) != maxAttrs {
+		t.Fatalf("stored %d attrs, want %d", len(got.Attrs), maxAttrs)
+	}
+}
+
+func TestTotalAndTable(t *testing.T) {
+	tr := Trace{Spans: []SpanRecord{
+		{Name: "prime.generate", Start: 0, Dur: 10 * time.Millisecond,
+			Attrs: []Attr{{Key: "primes", Value: 7}}},
+		{Name: "cover.solve", Start: 10 * time.Millisecond, Dur: 30 * time.Millisecond},
+	}}
+	if got := tr.Total(); got != 40*time.Millisecond {
+		t.Fatalf("Total = %v, want 40ms", got)
+	}
+	table := tr.Table()
+	for _, want := range []string{"stage", "prime.generate", "cover.solve", "primes=7", "total", "75.0%"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	if !strings.Contains(Trace{}.Table(), "no spans") {
+		t.Fatal("empty trace table should say so")
+	}
+}
