@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race test-server serve trace-demo bench-smoke bench bench-json bench-json-smoke ci
+.PHONY: all build vet staticcheck test race test-server test-diff difftest fuzz serve trace-demo bench-smoke bench bench-json bench-json-smoke ci
 
 all: build
 
@@ -32,6 +32,24 @@ race:
 test-server:
 	$(GO) test -race -count=1 ./internal/server/ ./encodingapi/
 
+# A small randomized differential sweep under the race detector: every
+# solver family on generated instances, cross-checked against the invariant
+# matrix (internal/diffcheck). DIFFTEST_SEEDS keeps the CI run cheap; the
+# full sweep is `make difftest`.
+test-diff:
+	DIFFTEST_SEEDS=8 $(GO) test -race -run TestDifferentialRandomized -count=1 .
+
+# The full differential sweep: 500 seeds per family, shrunk reproducers on
+# any invariant violation.
+difftest:
+	$(GO) run ./cmd/difftest -seeds 500 -j 4
+
+# Each native fuzz target for 30 seconds from its committed seed corpus.
+fuzz:
+	$(GO) test ./internal/diffcheck/ -run '^FuzzEncode$$' -fuzz '^FuzzEncode$$' -fuzztime 30s
+	$(GO) test ./internal/diffcheck/ -run '^FuzzParseKISS$$' -fuzz '^FuzzParseKISS$$' -fuzztime 30s
+	$(GO) test ./internal/diffcheck/ -run '^FuzzVerify$$' -fuzz '^FuzzVerify$$' -fuzztime 30s
+
 # Run the encoding service locally (POST /v1/encode, GET /v1/stats).
 serve:
 	$(GO) run ./cmd/served -addr :8080
@@ -61,4 +79,4 @@ bench-json:
 bench-json-smoke:
 	$(GO) test -run '^$$' -bench 'Kernel' -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > /dev/null
 
-ci: vet staticcheck build race test-server bench-smoke bench-json-smoke
+ci: vet staticcheck build race test-server test-diff bench-smoke bench-json-smoke

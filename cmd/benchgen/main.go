@@ -6,6 +6,10 @@
 //	benchgen -list                 print the statistics table only
 //	benchgen -name dk16            print one machine's KISS2 to stdout
 //	benchgen -minimize ...         state-minimize machines before output
+//	benchgen -name dk16 -constraints
+//	                               print the machine's symbolic-minimization
+//	                               constraint set in the textual grammar
+//	                               `encode` and constraint.Parse accept
 package main
 
 import (
@@ -24,6 +28,8 @@ func main() {
 	list := flag.Bool("list", false, "print statistics for every benchmark")
 	name := flag.String("name", "", "print one benchmark's KISS2 to stdout")
 	minimize := flag.Bool("minimize", false, "state-minimize machines first")
+	constraints := flag.Bool("constraints", false,
+		"emit constraint sets in Parse-able syntax instead of KISS2")
 	flag.Parse()
 
 	if *name != "" {
@@ -35,6 +41,10 @@ func main() {
 			if m, _, err = fsm.MinimizeStates(m); err != nil {
 				fatal(err)
 			}
+		}
+		if *constraints {
+			fmt.Print(mv.GenerateConstraints(m, mv.OutputOptions{}).Format())
+			return
 		}
 		fmt.Print(kiss.Format(m))
 		return
@@ -62,6 +72,14 @@ func main() {
 			spec.Name, m.NumStates(), q.NumStates(), m.NumInputs, m.NumOutputs,
 			len(out.Trans), len(cs.Faces))
 		if *dir != "" {
+			if *constraints {
+				cs := mv.GenerateConstraints(out, mv.OutputOptions{})
+				path := filepath.Join(*dir, spec.Name+".constraints")
+				if err := os.WriteFile(path, []byte(cs.Format()), 0o644); err != nil {
+					fatal(err)
+				}
+				continue
+			}
 			path := filepath.Join(*dir, spec.Name+".kiss2")
 			f, err := os.Create(path)
 			if err != nil {

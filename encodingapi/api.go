@@ -33,6 +33,7 @@ package encodingapi
 
 import (
 	"context"
+	"errors"
 	"io"
 
 	"repro/internal/constraint"
@@ -134,6 +135,27 @@ const (
 // ErrInfeasible is returned by ExactEncode and ExactEncodeExtended when the
 // constraints admit no encoding.
 var ErrInfeasible = core.ErrInfeasible
+
+// InfeasibleError is the typed infeasibility report the exact solvers
+// attach to ErrInfeasible: Uncovered lists the seed dichotomies no valid
+// column covers, and Conflict — when the instance is small enough to
+// minimize — a subset of the input constraints that is already infeasible
+// on its own. It matches errors.Is(err, ErrInfeasible).
+type InfeasibleError = core.InfeasibleError
+
+// AsInfeasible unwraps err's typed infeasibility report, if it carries
+// one. The boolean form spares callers the errors.As boilerplate:
+//
+//	if ie, ok := encodingapi.AsInfeasible(err); ok {
+//		fmt.Println(ie.Conflict) // offending constraint subset, may be nil
+//	}
+func AsInfeasible(err error) (*InfeasibleError, bool) {
+	var ie *InfeasibleError
+	if errors.As(err, &ie) {
+		return ie, true
+	}
+	return nil, false
+}
 
 // NewTable returns an empty symbol table.
 func NewTable() *Table { return sym.NewTable() }

@@ -84,3 +84,32 @@ func TestFacadeHashAndMetrics(t *testing.T) {
 		t.Fatalf("ParseMetric accepted bogus metric")
 	}
 }
+
+func TestFacadeTypedInfeasible(t *testing.T) {
+	// A dominance cycle buried among harmless constraints: the typed error
+	// must isolate the two-constraint cycle as the minimal conflict.
+	cs := encodingapi.MustParse(`
+		symbols a b c d e
+		face c d
+		face d e
+		dom a > b
+		dom b > a
+	`)
+	_, err := encodingapi.ExactEncode(context.Background(), cs, encodingapi.ExactOptions{})
+	ie, ok := encodingapi.AsInfeasible(err)
+	if !ok {
+		t.Fatalf("want a typed *InfeasibleError, got %v", err)
+	}
+	if !errors.Is(err, encodingapi.ErrInfeasible) {
+		t.Fatalf("typed error must still match ErrInfeasible")
+	}
+	if ie.Conflict == nil {
+		t.Fatalf("small instance must carry a minimized conflict subset")
+	}
+	if encodingapi.Feasible(ie.Conflict) {
+		t.Fatalf("reported conflict subset is feasible:\n%s", ie.Conflict)
+	}
+	if got := len(ie.Conflict.Dominances); got != 2 || len(ie.Conflict.Faces) != 0 {
+		t.Fatalf("minimal conflict should be exactly the dominance cycle, got:\n%s", ie.Conflict)
+	}
+}

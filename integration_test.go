@@ -1,14 +1,20 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/diffcheck"
 	"repro/internal/fsm"
+	"repro/internal/gen"
 	"repro/internal/heuristic"
 	"repro/internal/hypercube"
 	"repro/internal/kiss"
@@ -188,4 +194,60 @@ func TestHeuristicVsExactBits(t *testing.T) {
 	if h.Cost.Violations > 2 {
 		t.Fatalf("heuristic violates %d constraints at a satisfiable length", h.Cost.Violations)
 	}
+}
+
+// TestDifferentialRandomized is the long-running randomized differential
+// sweep: every family of generated instances through the full cross-solver
+// invariant matrix (see internal/diffcheck). Gated behind -short because a
+// full sweep solves hundreds of exact instances; DIFFTEST_SEEDS overrides
+// the per-family seed count (CI runs a small count under -race).
+func TestDifferentialRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized differential sweep skipped in -short mode")
+	}
+	seeds := int64(40)
+	if env := os.Getenv("DIFFTEST_SEEDS"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil || n < 1 {
+			t.Fatalf("bad DIFFTEST_SEEDS=%q", env)
+		}
+		seeds = n
+	}
+	opts := diffcheck.Options{Timeout: 20 * time.Second}
+	ctx := context.Background()
+
+	run := func(name string, check func(seed int64) diffcheck.Report) {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= seeds; seed++ {
+				if rep := check(seed); !rep.OK() {
+					t.Errorf("seed %d:\n%s\nreplay: go run ./cmd/difftest -mode %s -seed %d -seeds 1 -size 6",
+						seed, rep.String(), name, seed)
+				}
+			}
+		})
+	}
+	run("feasible", func(seed int64) diffcheck.Report {
+		inst := gen.Random(seed, gen.DefaultConfig(6))
+		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
+	})
+	run("unrestricted", func(seed int64) diffcheck.Report {
+		cfg := gen.DefaultConfig(6)
+		cfg.Feasible = false
+		inst := gen.Random(seed, cfg)
+		return diffcheck.CheckSet(ctx, inst.Set, nil, opts)
+	})
+	run("extended", func(seed int64) diffcheck.Report {
+		cfg := gen.DefaultConfig(6)
+		cfg.Distance2s = 2
+		cfg.NonFaces = 1
+		inst := gen.Random(seed, cfg)
+		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
+	})
+	run("fsm", func(seed int64) diffcheck.Report {
+		return diffcheck.CheckFSM(ctx, gen.RandomFSM(seed, gen.DefaultFSMConfig(4)), opts)
+	})
+	run("gpi", func(seed int64) diffcheck.Report {
+		return diffcheck.CheckFunction(ctx, gen.RandomFunction(seed, gen.DefaultFunctionConfig()), opts)
+	})
 }

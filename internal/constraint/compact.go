@@ -1,0 +1,103 @@
+package constraint
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/sym"
+)
+
+// Compact returns the set rebuilt over a fresh symbol table containing only
+// the symbols some constraint references, preserving relative index order,
+// together with the mapping from new index to old index. Constraint order
+// is unchanged. The shrinker in internal/diffcheck uses it to cut unused
+// symbols out of a minimized reproducer.
+func (s *Set) Compact() (*Set, []int) {
+	used := bitset.New(s.N())
+	mark := func(i int) { used.Add(i) }
+	for _, f := range s.Faces {
+		f.Members.ForEach(func(e int) bool { mark(e); return true })
+		f.DontCare.ForEach(func(e int) bool { mark(e); return true })
+	}
+	for _, d := range s.Dominances {
+		mark(d.Big)
+		mark(d.Small)
+	}
+	for _, d := range s.Disjunctives {
+		mark(d.Parent)
+		for _, c := range d.Children {
+			mark(c)
+		}
+	}
+	for _, e := range s.ExtDisjunctives {
+		mark(e.Parent)
+		for _, conj := range e.Conjunctions {
+			for _, c := range conj {
+				mark(c)
+			}
+		}
+	}
+	for _, d := range s.Distance2s {
+		mark(d.A)
+		mark(d.B)
+	}
+	for _, nf := range s.NonFaces {
+		nf.Members.ForEach(func(e int) bool { mark(e); return true })
+	}
+	for _, ch := range s.Chains {
+		for _, e := range ch.Seq {
+			mark(e)
+		}
+	}
+
+	oldToNew := make([]int, s.N())
+	var newToOld []int
+	table := sym.NewTable()
+	for i := 0; i < s.N(); i++ {
+		if used.Has(i) {
+			oldToNew[i] = table.Intern(s.Syms.Name(i))
+			newToOld = append(newToOld, i)
+		} else {
+			oldToNew[i] = -1
+		}
+	}
+
+	remapSet := func(m bitset.Set) bitset.Set {
+		var out bitset.Set
+		m.ForEach(func(e int) bool { out.Add(oldToNew[e]); return true })
+		return out
+	}
+	remapInts := func(xs []int) []int {
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			out[i] = oldToNew[x]
+		}
+		return out
+	}
+
+	c := NewSet(table)
+	for _, f := range s.Faces {
+		c.Faces = append(c.Faces, Face{Members: remapSet(f.Members), DontCare: remapSet(f.DontCare)})
+	}
+	for _, d := range s.Dominances {
+		c.Dominances = append(c.Dominances, Dominance{Big: oldToNew[d.Big], Small: oldToNew[d.Small]})
+	}
+	for _, d := range s.Disjunctives {
+		c.Disjunctives = append(c.Disjunctives, Disjunctive{Parent: oldToNew[d.Parent], Children: remapInts(d.Children)})
+	}
+	for _, e := range s.ExtDisjunctives {
+		ne := ExtDisjunctive{Parent: oldToNew[e.Parent]}
+		for _, conj := range e.Conjunctions {
+			ne.Conjunctions = append(ne.Conjunctions, remapInts(conj))
+		}
+		c.ExtDisjunctives = append(c.ExtDisjunctives, ne)
+	}
+	for _, d := range s.Distance2s {
+		c.Distance2s = append(c.Distance2s, Distance2{A: oldToNew[d.A], B: oldToNew[d.B]})
+	}
+	for _, nf := range s.NonFaces {
+		c.NonFaces = append(c.NonFaces, NonFace{Members: remapSet(nf.Members)})
+	}
+	for _, ch := range s.Chains {
+		c.Chains = append(c.Chains, Chain{Seq: remapInts(ch.Seq)})
+	}
+	return c, newToOld
+}

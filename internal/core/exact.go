@@ -112,10 +112,14 @@ func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) 
 	seeds := dichotomy.Initial(cs)
 	raised := dichotomy.ValidRaised(seeds, cs)
 	ssp.Set("seeds", len(seeds)).Set("raised", len(raised)).End()
+	var uncovered []dichotomy.D
 	for _, i := range seeds {
 		if !dichotomy.CoveredBySome(i, raised) {
-			return nil, ErrInfeasible
+			uncovered = append(uncovered, i)
 		}
+	}
+	if len(uncovered) > 0 {
+		return nil, newInfeasibleError(cs, uncovered)
 	}
 
 	primeOpts, coverOpts := opts.stageOptions()
@@ -143,7 +147,7 @@ func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) 
 	sol, err := coverSeeds(ctx, seeds, candidates, coverOpts)
 	if err != nil {
 		if errors.Is(err, cover.ErrInfeasible) {
-			return nil, ErrInfeasible
+			return nil, newInfeasibleError(cs, nil)
 		}
 		return nil, err
 	}

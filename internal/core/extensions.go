@@ -13,6 +13,12 @@ import (
 	"repro/internal/trace"
 )
 
+// extendedExhaustiveLimit is the largest universe for which the extended
+// solver swaps the prime-dichotomy candidate pool for the complete set of
+// valid columns (2^n - 2 of them before validity filtering). Beyond it the
+// restricted pool is kept and the result no longer claims optimality.
+const extendedExhaustiveLimit = 10
+
 // ExactEncodeExtended solves P-2 in the presence of the Section-8 extension
 // constraints. Distance-2 and non-face constraints are lowered to extra
 // binate clauses on the final covering step, as sketched in Sections 8.2
@@ -60,15 +66,28 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 	seeds := dichotomy.Initial(base)
 	raised := dichotomy.ValidRaised(seeds, base)
 	ssp.Set("seeds", len(seeds)).Set("raised", len(raised)).End()
+	var uncovered []dichotomy.D
 	for _, i := range seeds {
 		if !dichotomy.CoveredBySome(i, raised) {
-			return nil, ErrInfeasible
+			uncovered = append(uncovered, i)
 		}
 	}
+	if len(uncovered) > 0 {
+		return nil, newInfeasibleError(base, uncovered)
+	}
 	primeOpts, coverOpts := opts.stageOptions()
+	// The prime-dichotomy pool is complete for plain P-2 (every minimum
+	// solution can be assembled from prime columns), but once distance-2 /
+	// non-face clauses restrict which columns may be selected together, a
+	// minimum-length solution may need valid columns that are not primes of
+	// the base set. Use the complete column pool when the universe is small
+	// enough to afford it; otherwise the covering result is only optimal
+	// relative to the restricted pool and must not claim global optimality.
+	hasExt := len(cs.Distance2s) > 0 || len(cs.NonFaces) > 0
+	poolComplete := opts.Exhaustive || (hasExt && n <= extendedExhaustiveLimit)
 	var candidates []dichotomy.D
 	var err error
-	if opts.Exhaustive {
+	if poolComplete {
 		candidates = enumerateValidColumns(base)
 	} else {
 		candidates, err = prime.GenerateCtx(ctx, raised, primeOpts)
@@ -109,7 +128,7 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 			}
 		}
 		if len(sep) < 2 {
-			return nil, ErrInfeasible
+			return nil, &InfeasibleError{}
 		}
 		for skip := range sep {
 			var clause []cover.Lit
@@ -150,7 +169,7 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 			}
 		}
 		if len(auxClause) == 0 {
-			return nil, ErrInfeasible
+			return nil, &InfeasibleError{}
 		}
 		p.Clauses = append(p.Clauses, auxClause)
 	}
@@ -161,7 +180,7 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 	sol, err := p.SolveCtx(ctx, coverOpts)
 	if err != nil {
 		if errors.Is(err, cover.ErrBinateInfeasible) {
-			return nil, ErrInfeasible
+			return nil, &InfeasibleError{}
 		}
 		return nil, err
 	}
@@ -178,7 +197,7 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 		Raised:          raised,
 		Primes:          candidates,
 		SelectedColumns: cols,
-		Optimal:         sol.Optimal,
+		Optimal:         sol.Optimal && (poolComplete || !hasExt),
 	}
 	if rec := trace.FromContext(ctx); rec != nil {
 		res.Trace = rec.Snapshot()

@@ -302,3 +302,34 @@ func TestDistance2InfeasibleWhenNoSeparators(t *testing.T) {
 		t.Fatalf("want ErrInfeasible, got %v", err)
 	}
 }
+
+// TestExtendedOptimalityWithDistance2 pins the "exact-minimality" invariant
+// on a reproducer shrunk by the differential harness (difftest, extended
+// family, seed 30): a minimum-length solution under distance-2 clauses can
+// require valid columns that are not primes of the base face set, so the
+// extended solver must complete its candidate pool (or stop claiming
+// optimality). A 3-bit witness exists — s0=000, s1=111, s4=110, s5=101 —
+// and the restricted prime pool used to "prove" 4 bits minimal.
+func TestExtendedOptimalityWithDistance2(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols s0 s1 s4 s5
+		face s0 s4
+		face s4 s5 [ s1 ]
+		dist2 s5 s4
+		dist2 s0 s4
+	`)
+	res, err := ExactEncodeExtended(cs, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Verify(cs, res.Encoding); len(v) != 0 {
+		t.Fatalf("verification failed: %v\n%s", v, res.Encoding)
+	}
+	if !res.Optimal {
+		t.Fatalf("small universe must be solved with the complete pool and claim optimality")
+	}
+	if res.Encoding.Bits != 3 {
+		t.Fatalf("a 3-bit solution exists (s0=000 s1=111 s4=110 s5=101); got %d bits:\n%s",
+			res.Encoding.Bits, res.Encoding)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/dichotomy"
+)
+
+// conflictMinimizeLimit bounds the constraint count above which the greedy
+// conflict minimization is skipped: each candidate removal re-runs the
+// polynomial feasibility check, so the loop is O(constraints²·check) and a
+// pathological set should not stall the error path.
+const conflictMinimizeLimit = 256
+
+// InfeasibleError is the typed form of ErrInfeasible: it satisfies
+// errors.Is(err, ErrInfeasible) and additionally carries the evidence —
+// the uncovered initial dichotomies of the Theorem-6.1 check and a minimal
+// infeasible subset of the offending constraints, so callers (and the HTTP
+// service) can report *which* constraints conflict rather than a bare
+// verdict.
+type InfeasibleError struct {
+	// Uncovered are the initial encoding-dichotomies not covered by any
+	// valid maximally raised dichotomy; empty when infeasibility surfaced
+	// only in a later stage (e.g. the extended covering clauses).
+	Uncovered []dichotomy.D
+	// Conflict is a minimal infeasible subset of the input constraint set
+	// (dropping any one of its constraints makes the remainder feasible).
+	// Nil when minimization was skipped — extension-induced infeasibility
+	// or a set larger than the minimization bound.
+	Conflict *constraint.Set
+}
+
+// Error renders the verdict with the conflicting constraints when known.
+func (e *InfeasibleError) Error() string {
+	var b strings.Builder
+	b.WriteString(ErrInfeasible.Error())
+	if len(e.Uncovered) > 0 {
+		fmt.Fprintf(&b, " (%d uncovered dichotomies)", len(e.Uncovered))
+	}
+	if e.Conflict != nil {
+		b.WriteString("; minimal conflicting subset:\n")
+		b.WriteString(strings.TrimRight(e.Conflict.String(), "\n"))
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrInfeasible) hold for the typed error.
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
+// newInfeasibleError builds the typed error, minimizing the conflict
+// subset when the set is small enough for the quadratic greedy pass.
+func newInfeasibleError(cs *constraint.Set, uncovered []dichotomy.D) *InfeasibleError {
+	return &InfeasibleError{Uncovered: uncovered, Conflict: MinimizeInfeasible(cs)}
+}
+
+// MinimizeInfeasible greedily shrinks cs to a minimal infeasible subset
+// under the polynomial P-1 check: constraints are dropped one at a time
+// whenever the remainder stays infeasible, until no single removal
+// preserves infeasibility. Returns nil when cs is feasible by the check
+// (infeasibility lies outside Theorem 6.1's scope, e.g. in extension
+// constraints) or when the set exceeds the minimization bound. The result
+// shares cs's symbol table.
+func MinimizeInfeasible(cs *constraint.Set) *constraint.Set {
+	total := flatLen(cs)
+	if total == 0 || total > conflictMinimizeLimit {
+		return nil
+	}
+	if CheckFeasible(cs).Feasible {
+		return nil
+	}
+	cur := cs.Clone()
+	// Extensions are invisible to the feasibility check; a conflict subset
+	// containing them would be misleading.
+	cur.Distance2s, cur.NonFaces, cur.Chains = nil, nil, nil
+	for {
+		removed := false
+		for i := 0; i < flatLen(cur); i++ {
+			cand := dropFlat(cur, i)
+			if !CheckFeasible(cand).Feasible {
+				cur = cand
+				removed = true
+				i-- // same index now names the next constraint
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// flatLen counts the constraints the feasibility check sees, in the flat
+// order dropFlat indexes: faces, dominances, disjunctives, extended
+// disjunctives.
+func flatLen(cs *constraint.Set) int {
+	return len(cs.Faces) + len(cs.Dominances) + len(cs.Disjunctives) + len(cs.ExtDisjunctives)
+}
+
+// dropFlat clones cs without its i-th constraint in flat order.
+func dropFlat(cs *constraint.Set, i int) *constraint.Set {
+	c := cs.Clone()
+	switch {
+	case i < len(c.Faces):
+		c.Faces = append(c.Faces[:i:i], c.Faces[i+1:]...)
+	case i < len(c.Faces)+len(c.Dominances):
+		i -= len(c.Faces)
+		c.Dominances = append(c.Dominances[:i:i], c.Dominances[i+1:]...)
+	case i < len(c.Faces)+len(c.Dominances)+len(c.Disjunctives):
+		i -= len(c.Faces) + len(c.Dominances)
+		c.Disjunctives = append(c.Disjunctives[:i:i], c.Disjunctives[i+1:]...)
+	default:
+		i -= len(c.Faces) + len(c.Dominances) + len(c.Disjunctives)
+		c.ExtDisjunctives = append(c.ExtDisjunctives[:i:i], c.ExtDisjunctives[i+1:]...)
+	}
+	return c
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/hypercube"
+)
+
+// TestVerifyViolationKinds is a table-driven sweep over every Violation
+// kind the oracle can emit, plus the satisfied twin of each tricky case.
+// The encodings are given as raw codes so each case pins the exact
+// geometric situation it names.
+func TestVerifyViolationKinds(t *testing.T) {
+	cases := []struct {
+		name  string
+		text  string
+		bits  int
+		codes []hypercube.Code
+		want  []string // violation kinds, sorted
+	}{
+		{
+			// Fewer codes than symbols: the arity check fires alone and
+			// short-circuits the rest.
+			name:  "arity-mismatch",
+			text:  "symbols a b c\nface a b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b01},
+			want:  []string{"arity"},
+		},
+		{
+			name:  "uniqueness",
+			text:  "symbols a b c\n",
+			bits:  2,
+			codes: []hypercube.Code{0b01, 0b01, 0b10},
+			want:  []string{"uniqueness"},
+		},
+		{
+			// The face members span 0- correctly; the violation comes only
+			// from the *other* symbol c sitting inside that face.
+			name:  "face-outsider-intrudes",
+			text:  "symbols a b c\nface a b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b11, 0b01}, // a,b span the full square; c sits inside
+			want:  []string{"face"},
+		},
+		{
+			// Same geometry, but the intruder is declared a don't-care.
+			name:  "face-dontcare-rescues",
+			text:  "symbols a b c\nface a b [ c ]\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b11, 0b01},
+			want:  nil,
+		},
+		{
+			name:  "face-satisfied",
+			text:  "symbols a b c\nface a b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b01, 0b10},
+			want:  nil,
+		},
+		{
+			name:  "dominance-violated",
+			text:  "symbols a b\ndom a > b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b01, 0b10},
+			want:  []string{"dominance"},
+		},
+		{
+			name:  "dominance-satisfied",
+			text:  "symbols a b\ndom a > b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b11, 0b10},
+			want:  nil,
+		},
+		{
+			// OR of children is a strict superset of the parent: the
+			// disjunctive relation demands equality, so this fails.
+			name:  "disjunctive-or-overshoots",
+			text:  "symbols a b c\ndisj a = b | c\n",
+			bits:  3,
+			codes: []hypercube.Code{0b011, 0b001, 0b110},
+			want:  []string{"disjunctive"},
+		},
+		{
+			name:  "disjunctive-or-undershoots",
+			text:  "symbols a b c\ndisj a = b | c\n",
+			bits:  3,
+			codes: []hypercube.Code{0b111, 0b001, 0b010},
+			want:  []string{"disjunctive"},
+		},
+		{
+			name:  "disjunctive-satisfied",
+			text:  "symbols a b c\ndisj a = b | c\n",
+			bits:  2,
+			codes: []hypercube.Code{0b11, 0b01, 0b10},
+			want:  nil,
+		},
+		{
+			// A single-symbol conjunct degenerates to a plain disjunct;
+			// unlike disj, extdisj only demands the OR *cover* the parent,
+			// so a strict superset is fine.
+			name:  "extdisj-single-conjunct-covers",
+			text:  "symbols a b c\nextdisj (b) | (c) >= a\n",
+			bits:  3,
+			codes: []hypercube.Code{0b011, 0b001, 0b110},
+			want:  nil,
+		},
+		{
+			// The two-symbol conjunct ANDs to 10: the conjunction loses the
+			// bit the parent needs, and the cover fails.
+			name:  "extdisj-conjunct-and-drops-bit",
+			text:  "symbols a b c\nextdisj (b & c) >= a\n",
+			bits:  2,
+			codes: []hypercube.Code{0b01, 0b11, 0b10},
+			want:  []string{"ext-disjunctive"},
+		},
+		{
+			// b&c = 010 covers a=010 even though neither b nor c equals a.
+			name:  "extdisj-conjunct-satisfied",
+			text:  "symbols a b c\nextdisj (b & c) >= a\n",
+			bits:  3,
+			codes: []hypercube.Code{0b010, 0b011, 0b110},
+			want:  nil,
+		},
+		{
+			name:  "distance2-violated",
+			text:  "symbols a b\ndist2 a b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b01},
+			want:  []string{"distance-2"},
+		},
+		{
+			name:  "distance2-satisfied",
+			text:  "symbols a b\ndist2 a b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b11},
+			want:  nil,
+		},
+		{
+			// The face of {a,b} spans 0- but c=11 stays outside: nonface
+			// demands an intruder and finds none.
+			name:  "nonface-violated",
+			text:  "symbols a b c\nnonface a b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b01, 0b11},
+			want:  []string{"non-face"},
+		},
+		{
+			name:  "nonface-satisfied",
+			text:  "symbols a b c\nnonface a b\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b11, 0b01},
+			want:  nil,
+		},
+		{
+			name:  "chain-violated",
+			text:  "symbols a b c\nchain a b c\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b01, 0b11},
+			want:  []string{"chain"},
+		},
+		{
+			// Chains wrap at the code width: 11 -> 00 is a valid successor
+			// (the paper's Section-8.4 example).
+			name:  "chain-wraps",
+			text:  "symbols a b c\nchain a b c\n",
+			bits:  2,
+			codes: []hypercube.Code{0b10, 0b11, 0b00},
+			want:  nil,
+		},
+		{
+			// Several classes fail at once; Verify reports all of them:
+			// a,b span the full square so both c and d intrude; c=01 !> d=10;
+			// and a,c sit at distance 1.
+			name:  "multiple-violations",
+			text:  "symbols a b c d\nface a b\ndom c > d\ndist2 a c\n",
+			bits:  2,
+			codes: []hypercube.Code{0b00, 0b11, 0b01, 0b10},
+			want:  []string{"distance-2", "dominance", "face", "face"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cs := constraint.MustParse(tc.text)
+			enc := NewEncoding(cs.Syms, tc.bits, tc.codes)
+			var kinds []string
+			for _, v := range Verify(cs, enc) {
+				kinds = append(kinds, v.Kind)
+			}
+			sort.Strings(kinds)
+			if !reflect.DeepEqual(kinds, tc.want) {
+				t.Fatalf("got kinds %v, want %v\nviolations: %v", kinds, tc.want, Verify(cs, enc))
+			}
+		})
+	}
+}

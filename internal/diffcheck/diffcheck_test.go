@@ -1,0 +1,134 @@
+package diffcheck
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hypercube"
+)
+
+func smallOpts() Options {
+	return Options{Timeout: 10 * time.Second, SkipAnneal: true}
+}
+
+// TestFeasibleSweep: a short sweep of the feasible family must report a
+// clean invariant matrix on every instance.
+func TestFeasibleSweep(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		inst := gen.Random(seed, gen.DefaultConfig(5))
+		rep := CheckSet(context.Background(), inst.Set, inst.Witness, smallOpts())
+		if !rep.OK() {
+			t.Fatalf("seed %d:\n%s\n%s", seed, rep.String(), inst.Set)
+		}
+		if !rep.Feasible {
+			t.Fatalf("seed %d: feasible-by-construction instance reported infeasible", seed)
+		}
+	}
+}
+
+// TestUnrestrictedSweep exercises the infeasibility paths: no witness, and
+// the checker's typed-error / conflict-subset invariants.
+func TestUnrestrictedSweep(t *testing.T) {
+	cfg := gen.DefaultConfig(5)
+	cfg.Feasible = false
+	for seed := int64(1); seed <= 25; seed++ {
+		inst := gen.Random(seed, cfg)
+		rep := CheckSet(context.Background(), inst.Set, nil, smallOpts())
+		if !rep.OK() {
+			t.Fatalf("seed %d:\n%s\n%s", seed, rep.String(), inst.Set)
+		}
+	}
+}
+
+// TestExtendedSweep runs the distance-2/non-face family through the
+// extended exact pipeline.
+func TestExtendedSweep(t *testing.T) {
+	cfg := gen.DefaultConfig(5)
+	cfg.Distance2s = 2
+	cfg.NonFaces = 1
+	for seed := int64(1); seed <= 15; seed++ {
+		inst := gen.Random(seed, cfg)
+		rep := CheckSet(context.Background(), inst.Set, inst.Witness, smallOpts())
+		if !rep.OK() {
+			t.Fatalf("seed %d:\n%s\n%s", seed, rep.String(), inst.Set)
+		}
+	}
+}
+
+// TestFSMSweep checks the fsm → symbolic-minimization path.
+func TestFSMSweep(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		m := gen.RandomFSM(seed, gen.DefaultFSMConfig(4))
+		rep := CheckFSM(context.Background(), m, smallOpts())
+		if !rep.OK() {
+			t.Fatalf("seed %d:\n%s", seed, rep.String())
+		}
+	}
+}
+
+// TestFunctionSweep checks the GPI pipeline, including the cover-verify
+// invariant that caught the merged-tag bug.
+func TestFunctionSweep(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		f := gen.RandomFunction(seed, gen.DefaultFunctionConfig())
+		rep := CheckFunction(context.Background(), f, smallOpts())
+		if !rep.OK() {
+			t.Fatalf("seed %d:\n%s", seed, rep.String())
+		}
+	}
+}
+
+// TestShrinkPreservesInvariant: the shrinker must anchor on the original
+// failure and return a subset that still violates it. A broken witness is
+// the easiest deliberately-failing input: hand CheckSet a witness with a
+// duplicated code and shrink from there.
+func TestShrinkPreservesInvariant(t *testing.T) {
+	inst := gen.Random(3, gen.DefaultConfig(5))
+	codes := append([]hypercube.Code(nil), inst.Witness.Codes...)
+	codes[1] = codes[0] // uniqueness violation → witness-verify fails
+	bad := core.NewEncoding(inst.Set.Syms, inst.Witness.Bits, codes)
+	sh := Shrink(context.Background(), inst.Set, bad, smallOpts())
+	if sh.Invariant != "witness-verify" {
+		t.Fatalf("anchored on %q, want witness-verify", sh.Invariant)
+	}
+	found := false
+	for _, f := range sh.Report.Failures {
+		found = found || f.Invariant == sh.Invariant
+	}
+	if !found {
+		t.Fatalf("shrunk reproducer no longer violates %q:\n%s", sh.Invariant, sh.Report.String())
+	}
+	if sh.Set.N() > inst.Set.N() {
+		t.Fatalf("shrinking grew the universe: %d > %d", sh.Set.N(), inst.Set.N())
+	}
+}
+
+// TestShrinkOnPassingInstance: shrinking a clean instance is a no-op.
+func TestShrinkOnPassingInstance(t *testing.T) {
+	inst := gen.Random(4, gen.DefaultConfig(5))
+	sh := Shrink(context.Background(), inst.Set, inst.Witness, smallOpts())
+	if sh.Invariant != "" || !sh.Report.OK() {
+		t.Fatalf("shrink of a passing instance reported %q", sh.Invariant)
+	}
+	if !constraint.Equal(sh.Set, inst.Set) {
+		t.Fatal("shrink of a passing instance must return the set unchanged")
+	}
+}
+
+// TestCheckSetChainOnly: sets carrying chains fall back to witness-only
+// checking (the paper leaves chains out of the covering formulation), and
+// must not crash the solver dispatch.
+func TestCheckSetChainOnly(t *testing.T) {
+	cs := constraint.MustParse(`
+		symbols a b c
+		chain a b c
+	`)
+	rep := CheckSet(context.Background(), cs, nil, smallOpts())
+	if !rep.OK() {
+		t.Fatalf("chain-bearing set:\n%s", rep.String())
+	}
+}

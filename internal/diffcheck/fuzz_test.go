@@ -1,0 +1,112 @@
+package diffcheck
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/kiss"
+)
+
+// fuzzOpts keeps per-input solver work small: native fuzzing throughput
+// matters more than per-instance depth, and the seeded difftest driver
+// already covers the deep end.
+func fuzzOpts() Options {
+	return Options{Timeout: 5 * time.Second, SkipAnneal: true}
+}
+
+// fuzzable rejects inputs whose solve cost would drown the fuzzer: the
+// exact pipeline is exponential in symbols and the chain search is
+// factorial, so both are capped hard.
+func fuzzable(cs *constraint.Set) bool {
+	return cs.N() <= 7 && totalConstraints(cs) <= 16
+}
+
+// FuzzEncode feeds arbitrary text through the constraint parser and — when
+// it parses as a small set — through the full cross-solver invariant
+// matrix. Any invariant violation, or any panic anywhere in the parse /
+// feasibility / exact / heuristic stack, is a finding.
+func FuzzEncode(f *testing.F) {
+	f.Add("symbols a b c d\nface a b\nface b c\n")
+	f.Add("symbols a b c d\nface a b [ c ]\ndom a > b\ndisj a = b | c\n")
+	f.Add("symbols a b c d e\nextdisj a = b & c | d\ndist2 a e\nnonface a b c\n")
+	f.Add("symbols a b c\nchain a b c\n")
+	f.Add("symbols s0 s1 s4 s5\nface s0 s4\nface s4 s5 [ s1 ]\ndist2 s5 s4\ndist2 s0 s4\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 2048 {
+			return
+		}
+		cs, err := constraint.Parse(strings.NewReader(text))
+		if err != nil || !fuzzable(cs) {
+			return
+		}
+		rep := CheckSet(context.Background(), cs, nil, fuzzOpts())
+		if !rep.OK() {
+			t.Fatalf("invariant violations on parsed input:\n%s\ninput:\n%s", rep.String(), text)
+		}
+	})
+}
+
+// FuzzParseKISS fuzzes the KISS2 reader: no panics on arbitrary bytes, and
+// every machine it accepts must validate and survive a Format → Parse
+// round trip with its shape intact.
+func FuzzParseKISS(f *testing.F) {
+	f.Add(".i 1\n.o 1\n.r a\n0 a b 1\n1 b a 0\n.e\n")
+	f.Add(".i 2\n.o 2\n.s 2\n.p 2\n00 s0 s1 11\n-1 s1 s0 0-\n")
+	f.Add(".i 1\n.o 1\n0 only only -\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 4096 {
+			return
+		}
+		m, err := kiss.ParseString(text)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted machine fails validation: %v\ninput:\n%s", err, text)
+		}
+		back, err := kiss.ParseString(kiss.Format(m))
+		if err != nil {
+			t.Fatalf("formatted machine does not re-parse: %v\nformatted:\n%s", err, kiss.Format(m))
+		}
+		if len(back.Trans) != len(m.Trans) || back.NumStates() != m.NumStates() {
+			t.Fatalf("round trip changed shape: %d/%d transitions, %d/%d states",
+				len(back.Trans), len(m.Trans), back.NumStates(), m.NumStates())
+		}
+	})
+}
+
+// FuzzVerify pairs arbitrary parsed constraint sets with arbitrary code
+// assignments: the oracle must never panic, and every violation it reports
+// must reference the set it was handed (indices in range, kinds known).
+func FuzzVerify(f *testing.F) {
+	f.Add("symbols a b c\nface a b\n", uint8(2), []byte{0, 1, 2})
+	f.Add("symbols a b c d\ndom a > b\ndisj c = a | b\n", uint8(3), []byte{5, 1, 4, 4})
+	f.Add("symbols a b c\nextdisj a = b & c\ndist2 a b\nnonface a b\n", uint8(2), []byte{0, 3, 1})
+	f.Fuzz(func(t *testing.T, text string, bits uint8, raw []byte) {
+		if len(text) > 2048 || len(raw) > 64 {
+			return
+		}
+		cs, err := constraint.Parse(strings.NewReader(text))
+		if err != nil || cs.N() > 16 {
+			return
+		}
+		b := int(bits % 16)
+		codes := make([]hypercube.Code, cs.N())
+		for i := range codes {
+			if i < len(raw) {
+				codes[i] = hypercube.Code(raw[i]) & (1<<uint(b) - 1)
+			}
+		}
+		enc := core.NewEncoding(cs.Syms, b, codes)
+		for _, v := range core.Verify(cs, enc) {
+			if v.Kind == "" {
+				t.Fatalf("violation with empty kind: %+v", v)
+			}
+		}
+	})
+}

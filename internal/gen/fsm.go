@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fsm"
+	"repro/internal/gpi"
+)
+
+// FSMConfig tunes one random finite-state machine.
+type FSMConfig struct {
+	// States is the state count; at least 2.
+	States int
+	// Inputs and Outputs are the binary input/output widths; at least 1.
+	Inputs, Outputs int
+	// Partial, when true, leaves some (state, minterm) pairs unspecified,
+	// exercising the don't-care handling of the symbolic minimizer.
+	Partial bool
+}
+
+// DefaultFSMConfig sizes a machine whose constraint sets the exact encoder
+// solves in well under a second.
+func DefaultFSMConfig(states int) FSMConfig {
+	return FSMConfig{States: states, Inputs: 2, Outputs: 2}
+}
+
+// RandomFSM generates a deterministic random machine: for every state the
+// input space is tiled with minterm transitions to random successors with
+// random output patterns. The machine is complete unless cfg.Partial, in
+// which case roughly a quarter of the transitions are dropped.
+func RandomFSM(seed int64, cfg FSMConfig) *fsm.FSM {
+	if cfg.States < 2 {
+		cfg.States = 2
+	}
+	if cfg.Inputs < 1 {
+		cfg.Inputs = 1
+	}
+	if cfg.Outputs < 1 {
+		cfg.Outputs = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := fsm.New(fmt.Sprintf("rand%d", seed), cfg.Inputs, cfg.Outputs)
+	state := func(i int) string { return fmt.Sprintf("q%d", i) }
+	for s := 0; s < cfg.States; s++ {
+		m.States.Intern(state(s))
+	}
+	for s := 0; s < cfg.States; s++ {
+		for in := 0; in < 1<<uint(cfg.Inputs); in++ {
+			if cfg.Partial && s+in > 0 && rng.Intn(4) == 0 {
+				continue // keep (q0, 0...0) so every machine has a transition
+			}
+			pat := make([]byte, cfg.Inputs)
+			for v := range pat {
+				pat[v] = '0' + byte(in>>uint(v)&1)
+			}
+			out := make([]byte, cfg.Outputs)
+			for o := range out {
+				out[o] = '0' + byte(rng.Intn(2))
+			}
+			m.AddTransition(string(pat), state(s), state(rng.Intn(cfg.States)), string(out))
+		}
+	}
+	return m
+}
+
+// FunctionConfig tunes one random symbolic output function for the GPI
+// pipeline.
+type FunctionConfig struct {
+	// Inputs is the binary input width; at least 1, at most 16.
+	Inputs int
+	// Symbols is the number of distinct output symbols; at least 2.
+	Symbols int
+	// Density is the fraction of the 2^Inputs input points that carry a
+	// minterm (the rest are don't-cares); 0 means 0.75.
+	Density float64
+}
+
+// DefaultFunctionConfig keeps the Quine–McCluskey GPI generation far below
+// its exponential blow-up while still producing non-trivial tag structure.
+func DefaultFunctionConfig() FunctionConfig {
+	return FunctionConfig{Inputs: 3, Symbols: 3}
+}
+
+// RandomFunction generates a deterministic random symbolic output function:
+// each selected input point asserts a uniformly random output symbol, and
+// every symbol is asserted by at least one point (so the GPI constraint
+// emission sees the full symbol universe).
+func RandomFunction(seed int64, cfg FunctionConfig) *gpi.Function {
+	if cfg.Inputs < 1 {
+		cfg.Inputs = 1
+	}
+	if cfg.Inputs > 16 {
+		cfg.Inputs = 16
+	}
+	if cfg.Symbols < 2 {
+		cfg.Symbols = 2
+	}
+	if cfg.Density == 0 {
+		cfg.Density = 0.75
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := gpi.NewFunction(cfg.Inputs)
+	points := rng.Perm(1 << uint(cfg.Inputs))
+	count := int(float64(len(points)) * cfg.Density)
+	if count < cfg.Symbols {
+		count = cfg.Symbols
+	}
+	if count > len(points) {
+		count = len(points)
+	}
+	symName := func(i int) string { return fmt.Sprintf("o%d", i) }
+	for i, p := range points[:count] {
+		// The first Symbols points cycle through every symbol so none is
+		// left unasserted; the rest draw uniformly.
+		s := i % cfg.Symbols
+		if i >= cfg.Symbols {
+			s = rng.Intn(cfg.Symbols)
+		}
+		f.Add(uint64(p), symName(s))
+	}
+	return f
+}

@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+)
+
+// TestDeterministic: the same (seed, cfg) pair must yield structurally
+// identical instances — replayability from the seed is the harness's
+// entire debugging story.
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := DefaultConfig(6)
+		a := Random(seed, cfg)
+		b := Random(seed, cfg)
+		if !constraint.Equal(a.Set, b.Set) {
+			t.Fatalf("seed %d: two generations differ:\n%s\nvs\n%s", seed, a.Set, b.Set)
+		}
+		if a.Witness.Bits != b.Witness.Bits {
+			t.Fatalf("seed %d: witness widths differ", seed)
+		}
+		for i := range a.Witness.Codes {
+			if a.Witness.Codes[i] != b.Witness.Codes[i] {
+				t.Fatalf("seed %d: witness codes differ at symbol %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestWitnessSatisfiesSet: in feasible mode the witness must pass the
+// oracle on every generated set — that is the feasible-by-construction
+// guarantee everything downstream leans on.
+func TestWitnessSatisfiesSet(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		inst := Random(seed, DefaultConfig(6))
+		if err := inst.Set.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid set: %v", seed, err)
+		}
+		if v := core.Verify(inst.Set, inst.Witness); len(v) != 0 {
+			t.Fatalf("seed %d: witness violates its own set: %v\n%s\n%s",
+				seed, v, inst.Set, inst.Witness)
+		}
+	}
+}
+
+// TestWitnessSatisfiesExtendedSet covers the distance-2/non-face classes.
+func TestWitnessSatisfiesExtendedSet(t *testing.T) {
+	cfg := DefaultConfig(6)
+	cfg.Distance2s = 2
+	cfg.NonFaces = 1
+	for seed := int64(0); seed < 200; seed++ {
+		inst := Random(seed, cfg)
+		if v := core.Verify(inst.Set, inst.Witness); len(v) != 0 {
+			t.Fatalf("seed %d: witness violates its own set: %v\n%s\n%s",
+				seed, v, inst.Set, inst.Witness)
+		}
+	}
+}
+
+// TestUnrestrictedValid: unrestricted sets carry no feasibility promise
+// but must still be structurally valid.
+func TestUnrestrictedValid(t *testing.T) {
+	cfg := DefaultConfig(6)
+	cfg.Feasible = false
+	for seed := int64(0); seed < 200; seed++ {
+		inst := Random(seed, cfg)
+		if inst.Witness != nil {
+			t.Fatalf("seed %d: unrestricted mode must not fabricate a witness", seed)
+		}
+		if err := inst.Set.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid set: %v", seed, err)
+		}
+	}
+}
+
+// TestTinyUniverse: degenerate sizes must not panic or emit faces a
+// two-symbol universe cannot support.
+func TestTinyUniverse(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		for seed := int64(0); seed < 20; seed++ {
+			inst := Random(seed, DefaultConfig(n))
+			if err := inst.Set.Validate(); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if v := core.Verify(inst.Set, inst.Witness); len(v) != 0 {
+				t.Fatalf("n=%d seed=%d: witness violates set: %v", n, seed, v)
+			}
+		}
+	}
+}
+
+// TestRandomFSMShape: generated machines are deterministic from the seed,
+// complete in full mode, and always keep the reset transition in partial
+// mode.
+func TestRandomFSMShape(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := DefaultFSMConfig(4)
+		a := RandomFSM(seed, cfg)
+		b := RandomFSM(seed, cfg)
+		if len(a.Trans) != len(b.Trans) {
+			t.Fatalf("seed %d: FSM generation is not deterministic", seed)
+		}
+		if want := 4 * (1 << 2); len(a.Trans) != want {
+			t.Fatalf("seed %d: full machine should tile the input space: got %d transitions, want %d",
+				seed, len(a.Trans), want)
+		}
+	}
+	cfg := DefaultFSMConfig(4)
+	cfg.Partial = true
+	for seed := int64(0); seed < 50; seed++ {
+		m := RandomFSM(seed, cfg)
+		if len(m.Trans) == 0 {
+			t.Fatalf("seed %d: partial machine lost its reset transition", seed)
+		}
+	}
+}
+
+// TestRandomFunctionShape: every symbol is asserted at least once, points
+// are distinct, and generation is deterministic.
+func TestRandomFunctionShape(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := DefaultFunctionConfig()
+		f := RandomFunction(seed, cfg)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		asserted := make(map[int]bool)
+		seen := make(map[uint64]bool)
+		for _, m := range f.Minterms {
+			if seen[m.Point] {
+				t.Fatalf("seed %d: duplicate minterm %b", seed, m.Point)
+			}
+			seen[m.Point] = true
+			asserted[m.Symbol] = true
+		}
+		if len(asserted) != cfg.Symbols {
+			t.Fatalf("seed %d: only %d of %d symbols asserted", seed, len(asserted), cfg.Symbols)
+		}
+		g := RandomFunction(seed, cfg)
+		if len(g.Minterms) != len(f.Minterms) {
+			t.Fatalf("seed %d: function generation is not deterministic", seed)
+		}
+	}
+}

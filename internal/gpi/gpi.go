@@ -137,9 +137,20 @@ func Generate(f *Function, limit int) ([]GPI, error) {
 				if a.g.Cube.Distance(f.NumInputs, b.g.Cube) != 1 {
 					continue
 				}
-				merged := GPI{
-					Cube: a.g.Cube.Supercube(b.g.Cube),
-					Tag:  bitset.Union(a.g.Tag, b.g.Tag),
+				// The supercube of two distance-1 cubes can cover specified
+				// minterms outside both constituents (0-- ∪ 1-0 spans ---),
+				// so tag and coverage are recomputed from the geometry
+				// rather than unioned: a GPI's tag must carry the symbol of
+				// every minterm its cube covers, or Constraints silently
+				// drops the extra assertions and a selected cover no longer
+				// implements the function (VerifyCover's equality fails).
+				merged := GPI{Cube: a.g.Cube.Supercube(b.g.Cube)}
+				var mergedCov bitset.Set
+				for mi, m := range f.Minterms {
+					if merged.Cube.ContainsMinterm(f.NumInputs, m.Point) {
+						mergedCov.Add(mi)
+						merged.Tag.Add(m.Symbol)
+					}
 				}
 				// A constituent is subsumed when the merge covers its cube
 				// without enlarging its tag.
@@ -156,7 +167,7 @@ func Generate(f *Function, limit int) ([]GPI, error) {
 				seen[k] = true
 				next = append(next, entry{
 					g:      merged,
-					covers: bitset.Union(a.covers, b.covers),
+					covers: mergedCov,
 					prime:  true,
 				})
 				total++

@@ -298,3 +298,48 @@ func TestDominanceLowering(t *testing.T) {
 		t.Fatalf("want p > q, got %+v", cs.Dominances[0])
 	}
 }
+
+// TestMergedGPITagCoversSupercube pins the "gpi-cover-verify" invariant on
+// a function found by the differential harness (difftest, gpi family,
+// seed 2). The supercube of two distance-1 cubes can cover care minterms
+// outside both constituents (0-- with 1-0 spans ---), so a merged GPI's
+// tag must be recomputed from the minterms its cube covers, not unioned
+// from the constituents. With unioned tags, Constraints dropped the extra
+// assertions and the selected cover asserted 11 where the function wants
+// 10.
+func TestMergedGPITagCoversSupercube(t *testing.T) {
+	f := NewFunction(3)
+	f.Add(0b011, "o0")
+	f.Add(0b000, "o1")
+	f.Add(0b110, "o2")
+	f.Add(0b010, "o1")
+	f.Add(0b111, "o0")
+	f.Add(0b001, "o2")
+	gpis, err := Generate(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tag completeness: every GPI's tag must carry the symbol of every
+	// care minterm its cube covers.
+	for _, g := range gpis {
+		for _, m := range f.Minterms {
+			if g.Cube.ContainsMinterm(f.NumInputs, m.Point) && !g.Tag.Has(m.Symbol) {
+				t.Fatalf("GPI %s covers minterm %03b but misses symbol %s",
+					g.String(f), m.Point, f.Syms.Name(m.Symbol))
+			}
+		}
+	}
+	// End-to-end: the selected cover under an exact encoding of the
+	// induced constraints must implement the function.
+	sel, cs, err := SelectEncodableCover(f, gpis, cover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ExactEncodeExtended(cs, core.ExactOptions{})
+	if err != nil {
+		t.Fatalf("exact encode of the induced constraints: %v\n%s", err, cs)
+	}
+	if err := VerifyCover(f, gpis, sel, res.Encoding.Codes); err != nil {
+		t.Fatalf("selected cover does not implement the function: %v", err)
+	}
+}

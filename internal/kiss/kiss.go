@@ -52,8 +52,18 @@ func Parse(r io.Reader) (*fsm.FSM, error) {
 				}
 				switch fields[0] {
 				case ".i":
+					// Transitions are checked against the declared widths as
+					// they are read, so a late redeclaration would let an
+					// inconsistent machine through (found by fuzzing:
+					// ".o 0" after a 1-output transition).
+					if len(m.Trans) > 0 && v != m.NumInputs {
+						return nil, fmt.Errorf("kiss: line %d: .i %d after transitions with %d inputs", lineNo, v, m.NumInputs)
+					}
 					m.NumInputs = v
 				case ".o":
+					if len(m.Trans) > 0 && v != m.NumOutputs {
+						return nil, fmt.Errorf("kiss: line %d: .o %d after transitions with %d outputs", lineNo, v, m.NumOutputs)
+					}
 					m.NumOutputs = v
 				case ".s":
 					declaredStates = v

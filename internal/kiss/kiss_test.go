@@ -139,3 +139,23 @@ func TestResetStateInterned(t *testing.T) {
 		t.Fatalf("reset = %q", m.States.Name(m.Reset))
 	}
 }
+
+// TestLateWidthRedeclarationRejected pins a fuzzer finding (the
+// FuzzParseKISS round-trip invariant: every machine Parse accepts must
+// pass Validate). A ".o 0" after a 1-output transition used to reset the
+// machine's output width without re-checking the transitions already
+// read, yielding an accepted machine that fails its own validation.
+func TestLateWidthRedeclarationRejected(t *testing.T) {
+	for _, text := range []string{
+		".i 1\n.o 1\n0 0 0 0\n.o 0",
+		".i 1\n.o 1\n0 a b 1\n.i 2",
+	} {
+		if _, err := ParseString(text); err == nil {
+			t.Fatalf("late width redeclaration accepted:\n%s", text)
+		}
+	}
+	// An agreeing redeclaration stays legal.
+	if _, err := ParseString(".i 1\n.o 1\n0 a b 1\n.o 1\n"); err != nil {
+		t.Fatalf("agreeing redeclaration rejected: %v", err)
+	}
+}

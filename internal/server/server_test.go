@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/encodingapi"
+	"repro/internal/gen"
 )
 
 const (
@@ -553,5 +554,75 @@ func TestTruncatedExactNotCached(t *testing.T) {
 	post(t, ts, body)
 	if st := getStats(t, ts); st.Solves != 2 || st.CacheEntries != 0 {
 		t.Fatalf("truncated result entered the cache: solves %d entries %d", st.Solves, st.CacheEntries)
+	}
+}
+
+// TestInfeasibleInputsReturn422 pins the infeasibility contract of
+// POST /v1/encode across hand-written and generated inputs: every
+// infeasible set must come back as a structured 422 carrying the typed
+// solver diagnosis (never a 500), and the same text asked in feasible mode
+// must be a 200 with "feasible": false.
+func TestInfeasibleInputsReturn422(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: -1})
+
+	texts := []string{
+		"dom a > b\ndom b > a\n",                             // dominance cycle
+		"disj a = b | c\ndisj b = a | c\n",                   // disjunctive cycle through a,b
+		"symbols a b c d\nface a b\nface a c\nface a d\nface b c\nface b d\nface c d\n", // K4 of faces
+	}
+	// Harvest more from the unrestricted generator: whatever the P-1 check
+	// rejects must round through the service as a 422.
+	cfg := gen.DefaultConfig(5)
+	cfg.Feasible = false
+	for seed := int64(1); seed <= 40 && len(texts) < 8; seed++ {
+		inst := gen.Random(seed, cfg)
+		if !encodingapi.Feasible(inst.Set) {
+			texts = append(texts, inst.Set.Format())
+		}
+	}
+	if len(texts) < 4 {
+		t.Fatalf("generator produced no infeasible instances to test with")
+	}
+
+	for i, text := range texts {
+		cs, err := encodingapi.ParseString(text)
+		if err != nil {
+			t.Fatalf("case %d does not parse: %v\n%s", i, err, text)
+		}
+		if encodingapi.Feasible(cs) {
+			continue // hand-written cases are infeasible; generated ones were filtered
+		}
+		resp, body := post(t, ts, fmt.Sprintf(`{"constraints": %q}`, text))
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("case %d: status = %d, want 422; body: %s\ninput:\n%s",
+				i, resp.StatusCode, body, text)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("case %d: 422 body is not the structured error shape: %v: %s", i, err, body)
+		}
+		if !strings.Contains(er.Error, "infeasible") {
+			t.Fatalf("case %d: error does not name infeasibility: %q", i, er.Error)
+		}
+
+		resp, body = post(t, ts, fmt.Sprintf(`{"constraints": %q, "mode": "feasible"}`, text))
+		if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"feasible": false`)) {
+			t.Fatalf("case %d: feasible mode: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// The typed error's conflict subset must surface in the 422 body for a
+	// small instance, so clients see *which* constraints clash.
+	resp, body := post(t, ts, fmt.Sprintf(`{"constraints": %q}`, "face c d\ndom a > b\ndom b > a\n"))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body: %s", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("422 body is not the structured error shape: %v: %s", err, body)
+	}
+	if !strings.Contains(er.Error, "minimal conflicting subset") ||
+		!strings.Contains(er.Error, "dom a > b") {
+		t.Fatalf("422 body does not carry the conflict subset: %s", body)
 	}
 }
