@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race test-server test-diff difftest fuzz serve trace-demo bench-smoke bench bench-json bench-json-smoke ci
+.PHONY: all build vet staticcheck test race test-server test-diff difftest fuzz serve trace-demo bench-smoke bench bench-json bench-json-smoke paper-tables paper-tables-check ci
 
 all: build
 
@@ -79,4 +79,15 @@ bench-json:
 bench-json-smoke:
 	$(GO) test -run '^$$' -bench 'Kernel' -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > /dev/null
 
-ci: vet staticcheck build race test-server test-diff bench-smoke bench-json-smoke
+# Regenerate the corpus comparison tables embedded in EXPERIMENTS.md: the
+# full pipeline over testdata/corpus for every strategy. Deterministic, so
+# the result is byte-identical across runs and machines.
+paper-tables:
+	$(GO) run ./cmd/paperbench -write
+
+# Fail when EXPERIMENTS.md's generated blocks are stale relative to the
+# code and corpus. Part of `make ci`.
+paper-tables-check:
+	$(GO) run ./cmd/paperbench -check
+
+ci: vet staticcheck build race test-server test-diff bench-smoke bench-json-smoke paper-tables-check

@@ -10,6 +10,10 @@
 //	                               print the machine's symbolic-minimization
 //	                               constraint set in the textual grammar
 //	                               `encode` and constraint.Parse accept
+//	benchgen -families -dir d/     write the synthetic scale family
+//	                               (syn06..syn12) instead of the paper suite —
+//	                               the generator behind the larger
+//	                               testdata/corpus/ machines
 package main
 
 import (
@@ -30,6 +34,8 @@ func main() {
 	minimize := flag.Bool("minimize", false, "state-minimize machines first")
 	constraints := flag.Bool("constraints", false,
 		"emit constraint sets in Parse-able syntax instead of KISS2")
+	families := flag.Bool("families", false,
+		"operate on the synthetic scale family (syn06..syn12) instead of the paper suite")
 	flag.Parse()
 
 	if *name != "" {
@@ -55,9 +61,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	specs := fsm.Suite
+	if *families {
+		specs = fsm.ScaleFamily
+	}
 	fmt.Printf("%-9s %7s %7s %8s %7s %7s %7s\n",
 		"name", "states", "min-st", "inputs", "outputs", "trans", "faces")
-	for _, spec := range fsm.Suite {
+	for _, spec := range specs {
 		m := fsm.Generate(spec)
 		q, _, err := fsm.MinimizeStates(m)
 		if err != nil {

@@ -7,6 +7,17 @@
 //	fsmenc -heuristic machine.kiss2   bounded-length heuristic at min length
 //	fsmenc -gen bbsse                 use a built-in synthetic benchmark
 //	fsmenc -pla machine.kiss2         also print the encoded, minimized PLA
+//
+// The -pipeline mode runs the composed end-to-end flow instead (symbolic
+// minimization → constraints → encoding → espresso → BLIF → replay
+// verification) and reports per-stage results:
+//
+//	fsmenc -pipeline machine.kiss2               text report (exact strategy)
+//	fsmenc -pipeline -strategy nova -format json full pipeline.Report as JSON
+//	fsmenc -pipeline -format md machine.kiss2    markdown summary table
+//
+// In -pipeline mode the exit status is non-zero when the replay check
+// fails: a successful run certifies the emitted netlist.
 package main
 
 import (
@@ -15,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/blif"
@@ -25,6 +38,7 @@ import (
 	"repro/internal/kiss"
 	"repro/internal/mv"
 	"repro/internal/par"
+	"repro/internal/pipeline"
 	"repro/internal/profiling"
 	"repro/internal/trace"
 )
@@ -40,6 +54,9 @@ func main() {
 	timeout := flag.Duration("timeout", time.Minute, "time budget for the exact search")
 	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
 	traceFlag := flag.Bool("trace", false, "print a per-stage time table to stderr after solving")
+	runPipeline := flag.Bool("pipeline", false, "run the composed end-to-end pipeline and report per-stage results")
+	strategy := flag.String("strategy", "exact", "pipeline encoding strategy: "+pipeline.StrategyList())
+	format := flag.String("format", "text", "pipeline report format: text|json|md")
 	flag.Parse()
 	if err := profiling.Start(); err != nil {
 		fatal(err)
@@ -64,6 +81,10 @@ func main() {
 		if f, err = os.Open(flag.Arg(0)); err == nil {
 			m, err = kiss.Parse(f)
 			f.Close()
+			if err == nil && m.Name == "" {
+				base := filepath.Base(flag.Arg(0))
+				m.Name = strings.TrimSuffix(base, filepath.Ext(base))
+			}
 		}
 	default:
 		m, err = kiss.Parse(os.Stdin)
@@ -86,6 +107,36 @@ func main() {
 	}
 	if *emitKiss {
 		fmt.Print(kiss.Format(m))
+		return
+	}
+	if *runPipeline {
+		strat, ok := pipeline.ParseStrategy(*strategy)
+		if !ok {
+			fatal(fmt.Errorf("unknown strategy %q (want %s)", *strategy, pipeline.StrategyList()))
+		}
+		rep, err := pipeline.Run(ctx, m, pipeline.Options{
+			Strategy:    strat,
+			Parallelism: par.Parallelism{Workers: *jobs, TimeLimit: *timeout},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "text":
+			fmt.Print(rep.Text())
+			if *emitBlif {
+				fmt.Print(rep.BLIF)
+			}
+		case "json":
+			fmt.Print(rep.JSON())
+		case "md":
+			fmt.Print(rep.Markdown())
+		default:
+			fatal(fmt.Errorf("unknown format %q (want text|json|md)", *format))
+		}
+		if rep.Replay != nil && !rep.Replay.OK {
+			fatal(fmt.Errorf("netlist replay failed: %s", rep.Replay.Error))
+		}
 		return
 	}
 

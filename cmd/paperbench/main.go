@@ -1,0 +1,103 @@
+// Command paperbench regenerates the corpus comparison tables embedded in
+// EXPERIMENTS.md: it runs the full synthesis pipeline (symbolic
+// minimization → constraints → encoding → espresso → BLIF → replay) over
+// every machine in testdata/corpus for each encoding strategy and splices
+// the rendered markdown between the document's paperbench marker blocks.
+//
+// Usage:
+//
+//	paperbench              print the tables to stdout
+//	paperbench -write       regenerate the blocks in EXPERIMENTS.md in place
+//	paperbench -check       exit 1 if EXPERIMENTS.md is stale (used by `make ci`)
+//	paperbench -dir D       corpus directory (default testdata/corpus)
+//	paperbench -doc F       document to splice (default EXPERIMENTS.md)
+//
+// Every table cell is deterministic, so -write is byte-identical across
+// runs and machines: `make paper-tables` regenerates, `make
+// paper-tables-check` verifies.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/paperbench"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	dir := flag.String("dir", corpus.DefaultDir, "corpus directory")
+	doc := flag.String("doc", "EXPERIMENTS.md", "document carrying the paperbench marker blocks")
+	write := flag.Bool("write", false, "splice the regenerated tables into -doc")
+	check := flag.Bool("check", false, "fail if -doc does not match the regenerated tables")
+	workers := flag.Int("workers", 4, "concurrent pipeline runs (does not affect results)")
+	flag.Parse()
+
+	if err := run(*dir, *doc, *write, *check, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, doc string, write, check bool, workers int) error {
+	machines, err := corpus.Load(dir)
+	if err != nil {
+		return err
+	}
+	results, err := paperbench.RunMatrix(context.Background(), machines, paperbench.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		for s, rep := range r.Reports {
+			if rep.Replay == nil {
+				return fmt.Errorf("%s/%s: pipeline skipped the replay check", r.Machine.Name, s)
+			}
+			if !rep.Replay.OK {
+				return fmt.Errorf("%s/%s: netlist replay failed: %s", r.Machine.Name, s, rep.Replay.Error)
+			}
+		}
+	}
+	blocks := paperbench.Blocks(machines, results, pipeline.Strategies)
+
+	if !write && !check {
+		names := make([]string, 0, len(blocks))
+		for name := range blocks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("## %s\n\n%s\n", name, blocks[name])
+		}
+		return nil
+	}
+
+	raw, err := os.ReadFile(doc)
+	if err != nil {
+		return err
+	}
+	spliced, err := paperbench.Splice(string(raw), blocks)
+	if err != nil {
+		return err
+	}
+	if check {
+		if spliced != string(raw) {
+			return fmt.Errorf("%s is stale; run `make paper-tables` and commit the result", doc)
+		}
+		fmt.Printf("%s is up to date\n", doc)
+		return nil
+	}
+	if spliced == string(raw) {
+		fmt.Printf("%s unchanged\n", doc)
+		return nil
+	}
+	if err := os.WriteFile(doc, []byte(spliced), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s updated\n", doc)
+	return nil
+}

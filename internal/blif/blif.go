@@ -1,8 +1,23 @@
-// Package blif emits encoded machines as Berkeley Logic Interchange
-// Format netlists — the input format of SIS-era multi-level synthesis,
-// the downstream consumer of the paper's encodings. The encoded machine
-// becomes a .latch per state bit plus one .names table per next-state bit
-// and primary output, carrying the minimized PLA cover.
+// Package blif writes and reads encoded machines as Berkeley Logic
+// Interchange Format netlists — the input format of SIS-era multi-level
+// synthesis, the downstream consumer of the paper's encodings.
+//
+// # Contract
+//
+// Input: a validated fsm.FSM plus a core.Encoding whose Codes cover every
+// state of the machine (WriteEncodedPLA additionally accepts the encoded,
+// minimized PLA so callers that already lowered the machine do not pay for
+// a second minimization). Output: a netlist with signals in0..in(i-1) and
+// out0..out(o-1), one .latch per state bit (next-state signal ns<b> feeding
+// register output st<b>, initialized from the reset state's code), and one
+// single-output .names table per next-state bit and primary output whose
+// rows are the PLA's on-set cubes over (primary inputs ++ state bits).
+//
+// Invariants: the emitted cube order matches the PLA row order
+// (deterministic for deterministic encodings); a .names with no rows is the
+// BLIF constant 0; every netlist this package writes parses back with Parse
+// into a Netlist that simulates identically to the PLA (pinned by the
+// pipeline's replay verifier, internal/sim.ReplayNetlist).
 package blif
 
 import (
@@ -18,11 +33,19 @@ import (
 // WriteEncoded lowers machine m through encoding enc and writes the
 // resulting netlist. The PLA is minimized before emission.
 func WriteEncoded(w io.Writer, m *fsm.FSM, enc *core.Encoding) error {
+	pla := m.Encode(enc)
+	pla.Minimize()
+	return WriteEncodedPLA(w, m, enc, pla)
+}
+
+// WriteEncodedPLA writes the netlist for machine m under encoding enc,
+// carrying the caller-supplied PLA cover verbatim (no re-encoding or
+// re-minimization). The PLA must be m.Encode(enc) or a cover equivalent to
+// it over the specified input space.
+func WriteEncodedPLA(w io.Writer, m *fsm.FSM, enc *core.Encoding, pla *fsm.EncodedPLA) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	pla := m.Encode(enc)
-	pla.Minimize()
 	bits := enc.Bits
 
 	bw := bufio.NewWriter(w)
@@ -88,6 +111,15 @@ func WriteEncoded(w io.Writer, m *fsm.FSM, enc *core.Encoding) error {
 func Format(m *fsm.FSM, enc *core.Encoding) (string, error) {
 	var b strings.Builder
 	if err := WriteEncoded(&b, m, enc); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// FormatPLA renders the netlist for a caller-supplied PLA as a string.
+func FormatPLA(m *fsm.FSM, enc *core.Encoding, pla *fsm.EncodedPLA) (string, error) {
+	var b strings.Builder
+	if err := WriteEncodedPLA(&b, m, enc, pla); err != nil {
 		return "", err
 	}
 	return b.String(), nil

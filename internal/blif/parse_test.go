@@ -1,0 +1,139 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/kiss"
+)
+
+// The emitter and parser must agree: everything WriteEncoded produces,
+// Parse reconstructs structurally.
+func TestParseRoundtrip(t *testing.T) {
+	m, err := kiss.ParseString(`
+.i 2
+.o 2
+00 a a 00
+01 a b 01
+1- a c 10
+-- b a 11
+00 c c 00
+-1 c a 01
+10 c b 1-
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = "roundtrip"
+	enc := core.NewEncoding(m.States, 2, []hypercube.Code{0, 1, 3})
+	text, err := Format(m, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("parsing own output: %v\n%s", err, text)
+	}
+	if nl.Model != "roundtrip" {
+		t.Fatalf("model %q", nl.Model)
+	}
+	if len(nl.Inputs) != 2 || nl.Inputs[0] != "in0" || nl.Inputs[1] != "in1" {
+		t.Fatalf("inputs %v", nl.Inputs)
+	}
+	if len(nl.Outputs) != 2 {
+		t.Fatalf("outputs %v", nl.Outputs)
+	}
+	if len(nl.Latches) != 2 {
+		t.Fatalf("latches %v", nl.Latches)
+	}
+	for _, l := range nl.Latches {
+		if l.Init != 0 { // reset state a has code 00
+			t.Fatalf("latch %s init %d, want 0", l.Output, l.Init)
+		}
+	}
+	if len(nl.Tables) != 4 { // ns0 ns1 out0 out1
+		t.Fatalf("%d tables", len(nl.Tables))
+	}
+	for _, tab := range nl.Tables {
+		for _, c := range tab.Cubes {
+			if len(c) != len(tab.Inputs) {
+				t.Fatalf("table %s: cube %q vs %d inputs", tab.Output, c, len(tab.Inputs))
+			}
+		}
+	}
+}
+
+func TestParseContinuationsAndComments(t *testing.T) {
+	nl, err := ParseString(`# a comment
+.model m
+.inputs a \
+        b
+.outputs y
+.names a b y  # trailing comment
+11 1
+0- 1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Inputs) != 2 {
+		t.Fatalf("continuation not folded: inputs %v", nl.Inputs)
+	}
+	if len(nl.Tables) != 1 || len(nl.Tables[0].Cubes) != 2 {
+		t.Fatalf("tables %+v", nl.Tables)
+	}
+}
+
+// An empty .names block is the constant 0 — common for outputs espresso
+// proves always-false.
+func TestParseConstantZeroTable(t *testing.T) {
+	nl, err := ParseString(".model m\n.outputs y\n.names y\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Tables) != 1 || len(nl.Tables[0].Inputs) != 0 || len(nl.Tables[0].Cubes) != 0 {
+		t.Fatalf("tables %+v", nl.Tables)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"off-set row", ".model m\n.names a y\n0 0\n.end\n", "on-set"},
+		{"row outside names", ".model m\n1 1\n.end\n", "outside .names"},
+		{"cube width", ".model m\n.names a b y\n1 1\n.end\n", "width"},
+		{"cube charset", ".model m\n.names a y\nx 1\n.end\n", "cube character"},
+		{"two models", ".model m\n.model n\n.end\n", "multiple .model"},
+		{"subckt", ".model m\n.subckt foo\n.end\n", "unsupported"},
+		{"bad init", ".model m\n.latch a b 7\n.end\n", "init"},
+		{"latch arity", ".model m\n.latch a\n.end\n", ".latch"},
+		{"after end", ".model m\n.end\n.inputs a\n", "after .end"},
+		{"missing model", ".inputs a\n.end\n", "missing .model"},
+		{"dangling continuation", ".model m\n.inputs a \\\n", "continuation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.text)
+			if err == nil {
+				t.Fatalf("accepted:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseLatchDefaults(t *testing.T) {
+	nl, err := ParseString(".model m\n.latch a b\n.latch c d 2\n.names a\n.names c\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Latches[0].Init != 3 || nl.Latches[1].Init != 3 {
+		t.Fatalf("latches %+v, want unknown inits", nl.Latches)
+	}
+}

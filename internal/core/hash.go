@@ -70,6 +70,17 @@ func (h *setHasher) str(s string) {
 	}
 }
 
+// HashBytes returns the 128-bit content hash of an arbitrary byte string
+// under the same dual-stream mixing discipline as HashSet. The request
+// server uses it to key non-constraint payloads (the pipeline endpoint's
+// canonical KISS2 text) in the same cache and coalescing maps as constraint
+// sets; the distinct initial state keeps the two key spaces apart.
+func HashBytes(b []byte) Hash128 {
+	h := &setHasher{h1: 0x243f6a8885a308d3, h2: 0x13198a2e03707344}
+	h.str(string(b))
+	return Hash128{Hi: h.h1, Lo: h.h2}
+}
+
 // HashSet returns the canonical 128-bit content hash of a constraint set.
 //
 // Two sets hash identically exactly when they are structurally identical:

@@ -1,0 +1,70 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testDir = "../../testdata/corpus"
+
+func TestLoadValidatesManifest(t *testing.T) {
+	machines, err := Load(testDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) < 8 {
+		t.Fatalf("corpus has %d machines, want at least 8", len(machines))
+	}
+	for _, m := range machines {
+		if m.Provenance == "" {
+			t.Errorf("%s: manifest entry has no provenance", m.Name)
+		}
+		if m.FSM.Name != m.Name {
+			t.Errorf("%s: parsed machine named %q", m.Name, m.FSM.Name)
+		}
+	}
+	if _, ok := Find(machines, "lion"); !ok {
+		t.Error("Find(lion) failed")
+	}
+	if _, ok := Find(machines, "no-such"); ok {
+		t.Error("Find(no-such) succeeded")
+	}
+}
+
+// Every KISS2 file in the corpus directory must be listed in the manifest:
+// an orphan file is a machine the tables silently ignore.
+func TestNoOrphanFiles(t *testing.T) {
+	machines, err := Load(testDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, m := range machines {
+		listed[m.File] = true
+	}
+	files, err := filepath.Glob(filepath.Join(testDir, "*.kiss2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if !listed[filepath.Base(f)] {
+			t.Errorf("%s is not listed in manifest.json", filepath.Base(f))
+		}
+	}
+}
+
+func TestLoadRejectsDrift(t *testing.T) {
+	dir := t.TempDir()
+	kiss := ".i 1\n.o 1\n1 a b 1\n0 a a 0\n0 b a 1\n1 b b 0\n"
+	if err := os.WriteFile(filepath.Join(dir, "m.kiss2"), []byte(kiss), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := `{"machines":[{"name":"m","file":"m.kiss2","states":3,"inputs":1,"outputs":1,"transitions":4,"provenance":"test"}]}`
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("Load accepted a manifest whose state count does not match the file")
+	}
+}

@@ -6,6 +6,22 @@
 // output constraints in the manner of DeMicheli's symbolic minimization
 // extended with "good disjunctive effects", as used for the paper's
 // Table 1.
+//
+// # Contract
+//
+// Input is a validated, deterministic fsm.FSM (callers run Validate and
+// Deterministic first; nothing here re-checks). Cover builds the initial
+// one-cube-per-transition cover; Minimize merges cubes sharing (input
+// part, next state, compatible outputs) and never changes the represented
+// behavior — the encoded PLA lowered from the minimized cover implements
+// the same machine, which internal/pipeline's replay verifier checks end
+// to end. Constraint extraction is split so callers can choose their
+// problem: FaceConstraints emits only input (face-embedding) constraints;
+// OutputConstraints adds the dominance/disjunctive relations, admitting
+// each one only when it strictly reduces the symbolic cover (OutputOptions
+// caps the search). GenerateConstraints is the standard composition of
+// both. All of it is deterministic: the same machine always yields the
+// same cover, the same constraint set, in the same order.
 package mv
 
 import (

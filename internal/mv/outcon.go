@@ -37,7 +37,18 @@ func GenerateConstraints(m *fsm.FSM, opts OutputOptions) *constraint.Set {
 	sc.Minimize()
 	cs := constraint.NewSet(m.States)
 	sc.FaceConstraints(cs)
+	sc.OutputConstraints(cs, opts)
+	return cs
+}
 
+// OutputConstraints appends the dominance and disjunctive output
+// constraints discovered on the (already minimized) symbolic cover to cs,
+// greedily in gain order with each admission re-checked for feasibility.
+// It is the output half of GenerateConstraints, split out so pipelines that
+// already hold a minimized cover can stage constraint extraction
+// separately.
+func (sc *SymbolicCover) OutputConstraints(cs *constraint.Set, opts OutputOptions) {
+	m := sc.M
 	maxDom := opts.MaxDominance
 	if maxDom == 0 {
 		maxDom = m.NumStates()/3 + 1
@@ -81,7 +92,6 @@ func GenerateConstraints(m *fsm.FSM, opts OutputOptions) *constraint.Set {
 			cs.Disjunctives = cs.Disjunctives[:len(cs.Disjunctives)-1]
 		}
 	}
-	return cs
 }
 
 type domCand struct {

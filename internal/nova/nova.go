@@ -4,6 +4,19 @@
 // symbols on the hypercube one at a time, steering by the face-embedding
 // constraints, and polishes the assignment with pairwise-swap and
 // move-to-free-code improvement passes over the violated-constraint count.
+//
+// # Contract
+//
+// Encode consumes a constraint set and honors only its face constraints
+// (it is an input encoder; dominance/disjunctive constraints are ignored,
+// which callers comparing against the exact engine must account for). The
+// returned encoding always has exactly Options.Bits bits (default: the
+// minimum ceil(log2 n)), assigns distinct codes to distinct symbols, and
+// is best-effort on faces — callers needing the violation count evaluate
+// it with internal/cost. Encode is deterministic and single-threaded: the
+// same set and options always produce the identical encoding, which is
+// what lets pipeline reports and paperbench tables regenerate
+// byte-identically.
 package nova
 
 import (

@@ -1,0 +1,55 @@
+package pipeline
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report files")
+
+// TestGoldenReports pins the complete Report (codes, netlist, every count)
+// for two small corpus machines under every strategy. Regenerate with
+// `go test ./internal/pipeline -run TestGoldenReports -update` after an
+// intentional change; an unintentional diff here means an engine or the
+// emitter changed behavior.
+func TestGoldenReports(t *testing.T) {
+	machines, err := corpus.Load(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lion", "dk27"} {
+		mach, ok := corpus.Find(machines, name)
+		if !ok {
+			t.Fatalf("%s not in corpus", name)
+		}
+		for _, strat := range Strategies {
+			t.Run(name+"/"+string(strat), func(t *testing.T) {
+				rep, err := Run(context.Background(), mach.FSM, Options{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep.ClearTimes()
+				got := rep.JSON()
+				path := filepath.Join("testdata", "golden", name+"_"+string(strat)+".json")
+				if *update {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run with -update to create)", err)
+				}
+				if got != string(want) {
+					t.Errorf("report drifted from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+				}
+			})
+		}
+	}
+}

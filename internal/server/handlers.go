@@ -12,6 +12,10 @@ import (
 
 	"repro/encodingapi"
 	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/kiss"
+	"repro/internal/par"
+	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
 
@@ -20,6 +24,7 @@ const (
 	modeFeasible  = "feasible"
 	modeExact     = "exact"
 	modeHeuristic = "heuristic"
+	modePipeline  = "pipeline"
 )
 
 // encodeRequest is the JSON body of POST /v1/encode.
@@ -47,20 +52,37 @@ type encodeRequest struct {
 	Workers int `json:"workers"`
 }
 
-// requestKey canonically identifies a solve. The constraint set contributes
-// its order-invariant 128-bit content hash (CanonicalHashSet): a client
-// resubmitting the same constraints in a different order — or with symbols
-// first mentioned in a different order — is asking the same question and
-// must hit the cache or coalesce, not burn a second solve. The remaining
-// fields are the knobs that can change the answer. Workers and timeout are
-// deliberately absent: results are worker-invariant, and only successful
-// (budget-independent) results are ever cached or coalesced into.
+// pipelineRequest is the JSON body of POST /v1/pipeline.
+type pipelineRequest struct {
+	// Kiss is the machine in KISS2 format.
+	Kiss string `json:"kiss"`
+	// Strategy selects the encoder: exact (default), heuristic, anneal
+	// or nova.
+	Strategy string `json:"strategy"`
+	// MinimizeStates state-minimizes the machine before synthesis.
+	MinimizeStates bool `json:"minimize_states"`
+	// TimeoutMS and Workers behave exactly as in encodeRequest.
+	TimeoutMS int `json:"timeout_ms"`
+	Workers   int `json:"workers"`
+}
+
+// requestKey canonically identifies a solve. Constraint-solve requests
+// contribute the set's order-invariant 128-bit content hash
+// (CanonicalHashSet); pipeline requests hash the machine's canonical KISS2
+// rendering instead: a client resubmitting the same problem in a different
+// textual arrangement is asking the same question and must hit the cache
+// or coalesce, not burn a second solve. The remaining fields are the knobs
+// that can change the answer. Workers and timeout are deliberately absent:
+// results are worker-invariant, and only successful (budget-independent)
+// results are ever cached or coalesced into.
 type requestKey struct {
 	set        core.Hash128
 	mode       string
 	bits       int
 	metric     string
 	primeLimit int
+	strategy   string
+	minimize   bool
 }
 
 // solveRequest is a validated, parsed request ready for the pool.
@@ -72,16 +94,29 @@ type solveRequest struct {
 	metricName string
 	primeLimit int
 	workers    int
+
+	// Pipeline mode only.
+	machine  *fsm.FSM
+	kissHash core.Hash128
+	strategy pipeline.Strategy
+	minimize bool
 }
 
 func (r *solveRequest) key() requestKey {
-	return requestKey{
-		set:        encodingapi.CanonicalHashSet(r.cs),
+	k := requestKey{
 		mode:       r.mode,
 		bits:       r.bits,
 		metric:     r.metricName,
 		primeLimit: r.primeLimit,
+		strategy:   string(r.strategy),
+		minimize:   r.minimize,
 	}
+	if r.mode == modePipeline {
+		k.set = r.kissHash
+	} else {
+		k.set = encodingapi.CanonicalHashSet(r.cs)
+	}
+	return k
 }
 
 // costBreakdown mirrors encodingapi.Cost for the JSON response.
@@ -112,6 +147,8 @@ type solveResult struct {
 	// Uncovered lists the unsatisfiable initial dichotomies in feasible
 	// mode when the verdict is negative.
 	Uncovered []string `json:"uncovered,omitempty"`
+	// Pipeline is the full per-stage report in pipeline mode.
+	Pipeline *pipeline.Report `json:"pipeline,omitempty"`
 }
 
 // encodeResponse is solveResult plus per-request delivery metadata. The
@@ -220,6 +257,53 @@ func (s *Server) parseRequest(req *encodeRequest) (*solveRequest, error) {
 	return sr, nil
 }
 
+// parsePipelineRequest validates the decoded body of POST /v1/pipeline.
+// The machine is parsed and structurally validated here so malformed input
+// is a client error (400), and the request key hashes the machine's
+// canonical KISS2 rendering (kiss.Format after parsing), making it
+// invariant under comments and whitespace. Transition order is NOT
+// normalized: state codes are assigned by first-mention index, so a
+// reordered table is an equivalent but distinct question whose answer may
+// legitimately differ.
+func (s *Server) parsePipelineRequest(req *pipelineRequest) (*solveRequest, error) {
+	if req.Kiss == "" {
+		return nil, errors.New("missing kiss machine")
+	}
+	strategyName := req.Strategy
+	if strategyName == "" {
+		strategyName = string(pipeline.Exact)
+	}
+	strat, ok := pipeline.ParseStrategy(strategyName)
+	if !ok {
+		return nil, fmt.Errorf("unknown strategy %q (want %s)", req.Strategy, pipeline.StrategyList())
+	}
+	m, err := kiss.ParseString(req.Kiss)
+	if err != nil {
+		return nil, fmt.Errorf("parsing kiss: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !m.Deterministic() {
+		return nil, errors.New("machine is non-deterministic")
+	}
+	sr := &solveRequest{
+		mode:     modePipeline,
+		machine:  m,
+		kissHash: core.HashBytes([]byte(kiss.Format(m))),
+		strategy: strat,
+		minimize: req.MinimizeStates,
+		workers:  req.Workers,
+	}
+	if sr.workers < 0 {
+		return nil, errors.New("workers must be non-negative")
+	}
+	if sr.workers > runtime.GOMAXPROCS(0) {
+		sr.workers = runtime.GOMAXPROCS(0)
+	}
+	return sr, nil
+}
+
 // solveLibrary runs req against the real engines; it is the default solveFn
 // and the single place where the service calls into the encoding library.
 func (s *Server) solveLibrary(ctx context.Context, req *solveRequest) (*solveResult, error) {
@@ -288,6 +372,29 @@ func (s *Server) solveLibrary(ctx context.Context, req *solveRequest) (*solveRes
 		}
 		fillEncoding(res, r.Encoding)
 		return res, nil
+
+	case modePipeline:
+		rep, err := pipeline.Run(ctx, req.machine, pipeline.Options{
+			Strategy:       req.strategy,
+			MinimizeStates: req.minimize,
+			Parallelism:    par.Parallelism{Workers: req.workers},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// A replay divergence is a synthesis bug, not a client error: fail
+		// the request (500) rather than return a netlist known to be wrong.
+		if rep.Replay != nil && !rep.Replay.OK {
+			return nil, fmt.Errorf("internal error: netlist replay failed: %s", rep.Replay.Error)
+		}
+		return &solveResult{
+			Mode:     modePipeline,
+			Feasible: true,
+			Bits:     rep.Bits,
+			Codes:    rep.Codes,
+			Optimal:  rep.Optimal,
+			Pipeline: rep,
+		}, nil
 	}
 	return nil, fmt.Errorf("internal error: unknown mode %q", req.mode)
 }
@@ -305,12 +412,53 @@ func fillEncoding(res *solveResult, enc *encodingapi.Encoding) {
 // budget-independent answers qualify. An exact result truncated to its
 // incumbent (Optimal=false) depends on the timeout that cut it short, so a
 // later request with a larger budget must not be served the stale
-// truncation.
+// truncation; the same applies to a pipeline report whose exact encode
+// stage was truncated.
 func cacheable(res *solveResult) bool {
-	return res != nil && (res.Mode != modeExact || res.Optimal)
+	switch {
+	case res == nil:
+		return false
+	case res.Mode == modeExact:
+		return res.Optimal
+	case res.Mode == modePipeline:
+		return res.Pipeline != nil &&
+			(res.Pipeline.Strategy != string(pipeline.Exact) || res.Pipeline.Optimal)
+	}
+	return true
 }
 
 func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	s.serveSolve(w, r, func(dec *json.Decoder) (*solveRequest, int, error) {
+		var body encodeRequest
+		if err := dec.Decode(&body); err != nil {
+			return nil, 0, fmt.Errorf("decoding request: %w", err)
+		}
+		if body.TimeoutMS < 0 {
+			return nil, 0, errors.New("timeout_ms must be non-negative")
+		}
+		sreq, err := s.parseRequest(&body)
+		return sreq, body.TimeoutMS, err
+	})
+}
+
+func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	s.serveSolve(w, r, func(dec *json.Decoder) (*solveRequest, int, error) {
+		var body pipelineRequest
+		if err := dec.Decode(&body); err != nil {
+			return nil, 0, fmt.Errorf("decoding request: %w", err)
+		}
+		if body.TimeoutMS < 0 {
+			return nil, 0, errors.New("timeout_ms must be non-negative")
+		}
+		sreq, err := s.parsePipelineRequest(&body)
+		return sreq, body.TimeoutMS, err
+	})
+}
+
+// serveSolve is the shared request path behind every solve endpoint:
+// intake checks, body decoding via parse, then cache → singleflight →
+// bounded pool, with per-request tracing and the common error mapping.
+func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, parse func(*json.Decoder) (*solveRequest, int, error)) {
 	s.reqWG.Add(1)
 	defer s.reqWG.Done()
 	s.metrics.InFlight.Add(1)
@@ -328,18 +476,9 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Requests.Add(1)
 
-	var body encodeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
-		return
-	}
-	if body.TimeoutMS < 0 {
-		s.writeError(w, http.StatusBadRequest, "timeout_ms must be non-negative")
-		return
-	}
-	sreq, err := s.parseRequest(&body)
+	sreq, timeoutMS, err := parse(dec)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -364,7 +503,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	// consulted while a follower waits (inside flightGroup.do's select).
 	// Every solve is traced: the recorder belongs to this request, so a
 	// follower's recorder simply stays empty (its solve ran elsewhere).
-	budget := s.budget(time.Duration(body.TimeoutMS) * time.Millisecond)
+	budget := s.budget(time.Duration(timeoutMS) * time.Millisecond)
 	ctx, cancel := context.WithTimeout(s.baseCtx, budget)
 	defer cancel()
 	rec := trace.New()

@@ -91,6 +91,7 @@ func New(cfg Config) *Server {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/encode", s.handleEncode)
+	s.mux.HandleFunc("/v1/pipeline", s.handlePipeline)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/trace", s.handleTraceList)

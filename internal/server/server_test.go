@@ -566,8 +566,8 @@ func TestInfeasibleInputsReturn422(t *testing.T) {
 	_, ts := newTestServer(t, Config{CacheEntries: -1})
 
 	texts := []string{
-		"dom a > b\ndom b > a\n",                             // dominance cycle
-		"disj a = b | c\ndisj b = a | c\n",                   // disjunctive cycle through a,b
+		"dom a > b\ndom b > a\n",           // dominance cycle
+		"disj a = b | c\ndisj b = a | c\n", // disjunctive cycle through a,b
 		"symbols a b c d\nface a b\nface a c\nface a d\nface b c\nface b d\nface c d\n", // K4 of faces
 	}
 	// Harvest more from the unrestricted generator: whatever the P-1 check

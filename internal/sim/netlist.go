@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/blif"
+	"repro/internal/fsm"
+)
+
+// NetlistSim simulates a parsed BLIF netlist cycle by cycle: combinational
+// .names tables are evaluated to a fixpoint-free DAG order each cycle, and
+// .latch registers load their input signals at the clock edge. It is the
+// back end of the pipeline's replay verifier: unlike Hardware, which
+// re-evaluates the in-memory PLA, NetlistSim consumes only the textual
+// netlist, so a divergence implicates the BLIF emission itself.
+type NetlistSim struct {
+	nl      *blif.Netlist
+	tables  map[string]*blif.Table // combinational driver per signal
+	latchOf map[string]*blif.Latch // register driver per signal
+	state   map[string]bool        // current latch outputs
+}
+
+// NewNetlistSim builds a simulator, validating that every signal has
+// exactly one driver, latch initial values are specified, and the
+// combinational logic is acyclic.
+func NewNetlistSim(nl *blif.Netlist) (*NetlistSim, error) {
+	s := &NetlistSim{
+		nl:      nl,
+		tables:  make(map[string]*blif.Table, len(nl.Tables)),
+		latchOf: make(map[string]*blif.Latch, len(nl.Latches)),
+		state:   make(map[string]bool, len(nl.Latches)),
+	}
+	driven := map[string]bool{}
+	for _, in := range nl.Inputs {
+		if driven[in] {
+			return nil, fmt.Errorf("sim: duplicate input %s", in)
+		}
+		driven[in] = true
+	}
+	for i := range nl.Latches {
+		l := &nl.Latches[i]
+		if driven[l.Output] {
+			return nil, fmt.Errorf("sim: signal %s has multiple drivers", l.Output)
+		}
+		driven[l.Output] = true
+		if l.Init != 0 && l.Init != 1 {
+			return nil, fmt.Errorf("sim: latch %s has unspecified initial value", l.Output)
+		}
+		s.latchOf[l.Output] = l
+		s.state[l.Output] = l.Init == 1
+	}
+	for i := range nl.Tables {
+		t := &nl.Tables[i]
+		if driven[t.Output] {
+			return nil, fmt.Errorf("sim: signal %s has multiple drivers", t.Output)
+		}
+		driven[t.Output] = true
+		s.tables[t.Output] = t
+	}
+	for _, out := range nl.Outputs {
+		if !driven[out] {
+			return nil, fmt.Errorf("sim: output %s is undriven", out)
+		}
+	}
+	for _, l := range nl.Latches {
+		if !driven[l.Input] {
+			return nil, fmt.Errorf("sim: latch input %s is undriven", l.Input)
+		}
+	}
+	for _, t := range nl.Tables {
+		for _, in := range t.Inputs {
+			if !driven[in] {
+				return nil, fmt.Errorf("sim: table input %s is undriven", in)
+			}
+		}
+	}
+	// Cycle check: depth-first over the combinational dependency graph.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(sig string) error
+	visit = func(sig string) error {
+		t, ok := s.tables[sig]
+		if !ok {
+			return nil // primary input or latch output: a source
+		}
+		switch color[sig] {
+		case gray:
+			return fmt.Errorf("sim: combinational cycle through %s", sig)
+		case black:
+			return nil
+		}
+		color[sig] = gray
+		for _, in := range t.Inputs {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		color[sig] = black
+		return nil
+	}
+	for _, t := range nl.Tables {
+		if err := visit(t.Output); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Reset returns every latch to its initial value.
+func (s *NetlistSim) Reset() {
+	for _, l := range s.nl.Latches {
+		s.state[l.Output] = l.Init == 1
+	}
+}
+
+// Step clocks the netlist once: inputs maps each primary input name to its
+// value (absent names read as 0), the return maps each primary output name
+// to its combinational value before the clock edge, and all latches load
+// their input signals afterwards.
+func (s *NetlistSim) Step(inputs map[string]bool) map[string]bool {
+	values := make(map[string]bool, len(s.state)+len(s.nl.Inputs)+len(s.tables))
+	for _, sig := range s.nl.Inputs {
+		values[sig] = false
+	}
+	for sig, v := range s.state {
+		values[sig] = v
+	}
+	for sig, v := range inputs {
+		values[sig] = v
+	}
+	var eval func(sig string) bool
+	eval = func(sig string) bool {
+		if v, ok := values[sig]; ok {
+			return v
+		}
+		t := s.tables[sig] // guaranteed by NewNetlistSim's driver check
+		v := false
+		for _, cube := range t.Cubes {
+			match := true
+			for i, in := range t.Inputs {
+				bit := eval(in)
+				if cube[i] == '1' && !bit || cube[i] == '0' && bit {
+					match = false
+					break
+				}
+			}
+			if match {
+				v = true
+				break
+			}
+		}
+		values[sig] = v
+		return v
+	}
+	outs := make(map[string]bool, len(s.nl.Outputs))
+	for _, out := range s.nl.Outputs {
+		outs[out] = eval(out)
+	}
+	next := make(map[string]bool, len(s.nl.Latches))
+	for _, l := range s.nl.Latches {
+		next[l.Output] = eval(l.Input)
+	}
+	for sig, v := range next {
+		s.state[sig] = v
+	}
+	return outs
+}
+
+// ReplayNetlist drives the symbolic machine and the synthesized netlist
+// with the same random input walks and compares output traces, masking
+// output bits the machine leaves unspecified ('-'). Walks follow defined
+// transitions only — at each step a random transition out of the current
+// symbolic state is chosen and a random minterm of its input cube applied —
+// so incompletely specified machines replay without touching undefined
+// input space. Primary inputs are named in<i>, outputs out<o>, matching
+// blif.WriteEncoded. It returns an error describing the first divergence.
+func ReplayNetlist(m *fsm.FSM, nl *blif.Netlist, sequences, length int, seed int64) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	sim, err := NewNetlistSim(nl)
+	if err != nil {
+		return err
+	}
+	byState := make([][]int, m.NumStates())
+	for i, t := range m.Trans {
+		byState[t.From] = append(byState[t.From], i)
+	}
+	if m.Reset < 0 || m.Reset >= m.NumStates() {
+		return fmt.Errorf("sim: machine %s has no usable reset state", m.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for seq := 0; seq < sequences; seq++ {
+		sim.Reset()
+		state := m.Reset
+		for step := 0; step < length; step++ {
+			choices := byState[state]
+			if len(choices) == 0 {
+				break // dead-end state: the walk ends early
+			}
+			ti := choices[rng.Intn(len(choices))]
+			in := randomMinterm(rng, m.Trans[ti].In)
+			next, want, err := SymbolicStep(m, state, in)
+			if err != nil {
+				return err
+			}
+			inputs := make(map[string]bool, m.NumInputs)
+			for b := 0; b < m.NumInputs; b++ {
+				inputs[fmt.Sprintf("in%d", b)] = in&(1<<uint(b)) != 0
+			}
+			outs := sim.Step(inputs)
+			mask := specifiedMask(m, state, in)
+			var got uint64
+			for o := 0; o < m.NumOutputs; o++ {
+				if outs[fmt.Sprintf("out%d", o)] {
+					got |= 1 << uint(o)
+				}
+			}
+			if got&mask != want&mask {
+				return fmt.Errorf("sim: sequence %d step %d (state %s, input %0*b): netlist outputs %0*b, machine %0*b",
+					seq, step, m.States.Name(state), m.NumInputs, in,
+					m.NumOutputs, got, m.NumOutputs, want)
+			}
+			state = next
+		}
+	}
+	return nil
+}
+
+// randomMinterm picks a uniform random minterm of an input cube over
+// {0,1,-}: fixed positions are kept, dashes flip a fair coin.
+func randomMinterm(rng *rand.Rand, cube string) uint64 {
+	var m uint64
+	for i := 0; i < len(cube); i++ {
+		switch cube[i] {
+		case '1':
+			m |= 1 << uint(i)
+		case '-':
+			if rng.Intn(2) == 1 {
+				m |= 1 << uint(i)
+			}
+		}
+	}
+	return m
+}

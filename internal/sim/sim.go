@@ -3,6 +3,20 @@
 // of the encoding flow: after state assignment and PLA lowering, the
 // encoded hardware (PLA + state register) must produce the same output
 // trace as the symbolic machine on every input sequence.
+//
+// # Contract
+//
+// Three simulators, in increasing distance from the source machine:
+// SymbolicStep/Machine replay the transition table itself (the oracle);
+// Hardware evaluates the in-memory encoded PLA against a state register;
+// NetlistSim consumes only a parsed BLIF netlist, so a divergence there
+// implicates the textual emission, not just the encoding. The comparison
+// drivers (Equivalent for Hardware, ReplayNetlist for NetlistSim) walk
+// random *defined* transitions only — incompletely specified machines
+// replay without ever touching undefined input space — and compare outputs
+// under the machine's specified-bits mask, so output don't-cares never
+// produce false divergences. All simulation is Mealy: outputs are sampled
+// before the clock edge. Everything is deterministic under a fixed seed.
 package sim
 
 import (
