@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race test-server test-diff difftest fuzz serve trace-demo bench-smoke bench bench-json bench-json-smoke paper-tables paper-tables-check ci
+# The checked-in kernel benchmark snapshot that bench-json writes and
+# bench-gate diffs against. Override to measure into (or gate against) a
+# different file: `make bench-json BENCH_SNAPSHOT=BENCH_LOCAL.json`.
+BENCH_SNAPSHOT ?= BENCH_PR7.json
+
+.PHONY: all build vet staticcheck test race test-server test-diff difftest fuzz serve trace-demo bench-smoke bench bench-json bench-json-smoke bench-gate bench-gate-strict paper-tables paper-tables-check ci
 
 all: build
 
@@ -69,15 +74,32 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Allocation-tracking harness: run the hot-path kernel benchmarks across all
-# packages and record ns/op, B/op and allocs/op as JSON. BENCH_PR2.json is
-# the checked-in snapshot the README's before/after table cites.
+# packages and record ns/op, B/op and allocs/op as JSON into the checked-in
+# snapshot ($(BENCH_SNAPSHOT)) the README's before/after table cites.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Kernel' -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	$(GO) test -run '^$$' -bench 'Kernel' -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_SNAPSHOT)
 
 # One iteration of each kernel benchmark through the JSON pipeline: proves
 # harness and parser still work without paying for a full measurement.
 bench-json-smoke:
 	$(GO) test -run '^$$' -bench 'Kernel' -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > /dev/null
+
+# Perf gate, CI flavor: a cheap 20-iteration kernel run diffed against the
+# committed snapshot in smoke mode — allocs/op inside a small warm-up band,
+# timing ignored (CI machines are too noisy for ns/op at -benchtime=20x).
+# Fails when a kernel's allocation count regresses or a benchmark vanishes.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'Kernel' -benchtime=20x -benchmem ./... | \
+		$(GO) run ./cmd/benchjson | \
+		$(GO) run ./cmd/benchdiff -baseline $(BENCH_SNAPSHOT) -current - -mode smoke
+
+# Perf gate, release flavor: a full-benchtime measurement diffed in strict
+# mode — allocs/op must match the snapshot exactly, ns/op within the noise
+# band. Run before cutting a release or refreshing $(BENCH_SNAPSHOT).
+bench-gate-strict:
+	$(GO) test -run '^$$' -bench 'Kernel' -benchmem ./... | \
+		$(GO) run ./cmd/benchjson | \
+		$(GO) run ./cmd/benchdiff -baseline $(BENCH_SNAPSHOT) -current - -mode strict
 
 # Regenerate the corpus comparison tables embedded in EXPERIMENTS.md: the
 # full pipeline over testdata/corpus for every strategy. Deterministic, so
@@ -90,4 +112,6 @@ paper-tables:
 paper-tables-check:
 	$(GO) run ./cmd/paperbench -check
 
-ci: vet staticcheck build race test-server test-diff bench-smoke bench-json-smoke paper-tables-check
+# bench-gate subsumes bench-json-smoke: it runs the same pipeline and then
+# holds the result against the committed snapshot.
+ci: vet staticcheck build race test-server test-diff bench-smoke bench-gate paper-tables-check

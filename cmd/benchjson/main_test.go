@@ -49,9 +49,83 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 		"BenchmarkFoo", // bare name, no fields
 		"Benchmarking something else entirely with words",
 		"BenchmarkBar-8 notanumber 10 ns/op",
+		"BenchmarkBaz-8 1000 10 bogounits", // no ns/op column at all
 	} {
 		if _, ok := parseLine(line); ok {
 			t.Fatalf("parseLine accepted %q", line)
 		}
+	}
+}
+
+// TestParseLineTable pins the result-line grammar: sub-benchmark names from
+// b.Run, GOMAXPROCS suffix stripping (and names whose tail merely looks
+// like one), and runs without -benchmem columns.
+func TestParseLineTable(t *testing.T) {
+	tests := []struct {
+		line string
+		want Record
+	}{
+		{
+			// Sub-benchmark from b.Run: the slash is part of the name, only
+			// the trailing -GOMAXPROCS is stripped.
+			line: "BenchmarkUnateCoverParallelKernel/small-1 \t 100\t  12022949 ns/op\t       0 B/op\t       0 allocs/op",
+			want: Record{Name: "BenchmarkUnateCoverParallelKernel/small", Iterations: 100, NsPerOp: 12022949, BytesPerOp: 0, AllocsPerOp: 0},
+		},
+		{
+			line: "BenchmarkBronKerboschParallelKernel/large-8 \t 79\t  14537000 ns/op",
+			want: Record{Name: "BenchmarkBronKerboschParallelKernel/large", Iterations: 79, NsPerOp: 14537000, BytesPerOp: -1, AllocsPerOp: -1},
+		},
+		{
+			// A non-numeric tail after '-' belongs to the name and stays.
+			line: "BenchmarkEncode-greedy 	 50	 200 ns/op",
+			want: Record{Name: "BenchmarkEncode-greedy", Iterations: 50, NsPerOp: 200, BytesPerOp: -1, AllocsPerOp: -1},
+		},
+		{
+			// No GOMAXPROCS suffix at all (benchtime runs on GOMAXPROCS=1
+			// sometimes omit it for sub-benchmarks); name passes through.
+			line: "BenchmarkHeuristicEncodeKernel 	 5000	 212000 ns/op	 56000 B/op	 890 allocs/op",
+			want: Record{Name: "BenchmarkHeuristicEncodeKernel", Iterations: 5000, NsPerOp: 212000, BytesPerOp: 56000, AllocsPerOp: 890},
+		},
+	}
+	for _, tt := range tests {
+		got, ok := parseLine(tt.line)
+		if !ok {
+			t.Errorf("parseLine rejected %q", tt.line)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("parseLine(%q) = %+v, want %+v", tt.line, got, tt.want)
+		}
+	}
+}
+
+// TestParseSkipsNonBenchmarkLines feeds a full go test stream — headers,
+// PASS/ok trailers, a failing-package line — and checks only result lines
+// survive, attributed to the right package.
+func TestParseSkipsNonBenchmarkLines(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: repro/internal/cover
+cpu: Some CPU @ 2.0GHz
+BenchmarkUnateCoverKernel-1   	     289	   4032648 ns/op	       0 B/op	       0 allocs/op
+BenchmarkUnateCoverParallelKernel/small-1   	      98	  12022949 ns/op	       0 B/op	       0 allocs/op
+--- FAIL: TestSomethingElse
+PASS
+ok  	repro/internal/cover	6.2s
+FAIL	repro/internal/broken	0.1s
+?   	repro/cmd/encode	[no test files]
+`
+	recs, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2: %+v", len(recs), recs)
+	}
+	if recs[0].Name != "BenchmarkUnateCoverKernel" || recs[0].Package != "repro/internal/cover" {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Name != "BenchmarkUnateCoverParallelKernel/small" {
+		t.Fatalf("record 1 = %+v", recs[1])
 	}
 }

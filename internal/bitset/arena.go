@@ -77,6 +77,20 @@ func NewSlab(n int) *Slab {
 	return &Slab{width: w}
 }
 
+// Get returns an empty set over the slab's universe backed by slab storage.
+// Like CloneInto's results it is permanent — never recycled — which makes
+// Get the right way to build dense families of sets (e.g. the rows and
+// columns of an incidence matrix) out of a handful of large allocations
+// instead of one small allocation per set.
+func (s *Slab) Get() Set {
+	if len(s.block) < s.width {
+		s.block = make([]uint64, s.width*slabSetsPerBlock)
+	}
+	w := s.block[:s.width:s.width]
+	s.block = s.block[s.width:]
+	return Set{words: w}
+}
+
 // CloneInto returns an independent copy of t backed by slab storage. t must
 // fit the slab's universe.
 func (s *Slab) CloneInto(t Set) Set {

@@ -14,6 +14,99 @@ import (
 
 const wordBits = 64
 
+// Word-sliced kernels. The gc compiler does not auto-vectorize, so the hot
+// word loops below are hand-unrolled 4 ways with independent temporaries:
+// the unrolling amortizes loop overhead and gives the CPU four independent
+// dependency chains to schedule (and keeps the loop bodies in the shape a
+// future SIMD intrinsic or vectorizing compiler wants). Every helper takes
+// equal-length slices — callers normalize lengths — and tolerates dst
+// aliasing either operand because each group's loads complete before its
+// stores.
+
+// andWords sets dst[i] = a[i] & b[i].
+func andWords(dst, a, b []uint64) {
+	n := len(dst)
+	a = a[:n]
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0, a1, a2, a3 := a[i], a[i+1], a[i+2], a[i+3]
+		b0, b1, b2, b3 := b[i], b[i+1], b[i+2], b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = a0&b0, a1&b1, a2&b2, a3&b3
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// orWords sets dst[i] = a[i] | b[i].
+func orWords(dst, a, b []uint64) {
+	n := len(dst)
+	a = a[:n]
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0, a1, a2, a3 := a[i], a[i+1], a[i+2], a[i+3]
+		b0, b1, b2, b3 := b[i], b[i+1], b[i+2], b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = a0|b0, a1|b1, a2|b2, a3|b3
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] | b[i]
+	}
+}
+
+// andNotWords sets dst[i] = a[i] &^ b[i].
+func andNotWords(dst, a, b []uint64) {
+	n := len(dst)
+	a = a[:n]
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0, a1, a2, a3 := a[i], a[i+1], a[i+2], a[i+3]
+		b0, b1, b2, b3 := b[i], b[i+1], b[i+2], b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = a0&^b0, a1&^b1, a2&^b2, a3&^b3
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] &^ b[i]
+	}
+}
+
+// popWords returns the total population count of w with four independent
+// accumulators (OnesCount64 compiles to a single POPCNT).
+func popWords(w []uint64) int {
+	var c0, c1, c2, c3 int
+	i, n := 0, len(w)
+	for ; i+4 <= n; i += 4 {
+		c0 += bits.OnesCount64(w[i])
+		c1 += bits.OnesCount64(w[i+1])
+		c2 += bits.OnesCount64(w[i+2])
+		c3 += bits.OnesCount64(w[i+3])
+	}
+	for ; i < n; i++ {
+		c0 += bits.OnesCount64(w[i])
+	}
+	return c0 + c1 + c2 + c3
+}
+
+// andPopWords returns popcount(a & b) without materializing the
+// intersection.
+func andPopWords(a, b []uint64) int {
+	n := len(a)
+	b = b[:n]
+	var c0, c1, c2, c3 int
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c0 += bits.OnesCount64(a[i] & b[i])
+		c1 += bits.OnesCount64(a[i+1] & b[i+1])
+		c2 += bits.OnesCount64(a[i+2] & b[i+2])
+		c3 += bits.OnesCount64(a[i+3] & b[i+3])
+	}
+	for ; i < n; i++ {
+		c0 += bits.OnesCount64(a[i] & b[i])
+	}
+	return c0 + c1 + c2 + c3
+}
+
 // Set is a set of small non-negative integers backed by a []uint64.
 type Set struct {
 	words []uint64
@@ -94,11 +187,7 @@ func (s Set) Has(e int) bool {
 
 // Len returns the number of elements in the set.
 func (s Set) Len() int {
-	n := 0
-	for _, w := range s.words {
-		n += bits.OnesCount64(w)
-	}
-	return n
+	return popWords(s.words)
 }
 
 // IsEmpty reports whether the set has no elements.
@@ -143,9 +232,79 @@ func (s *Set) IntersectInto(a, b Set) {
 		s.words = make([]uint64, n)
 	}
 	s.words = s.words[:n]
-	for i := 0; i < n; i++ {
-		s.words[i] = a.words[i] & b.words[i]
+	andWords(s.words, a.words[:n], b.words[:n])
+}
+
+// IntersectPopcountInto sets s = a ∩ b and returns |s| in the same pass:
+// the fused form of IntersectInto followed by Len that the covering and
+// clique kernels want, saving one full traversal of the words.
+func (s *Set) IntersectPopcountInto(a, b Set) int {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
 	}
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	}
+	s.words = s.words[:n]
+	dst, aw, bw := s.words, a.words[:n], b.words[:n]
+	var c0, c1, c2, c3 int
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		w0 := aw[i] & bw[i]
+		w1 := aw[i+1] & bw[i+1]
+		w2 := aw[i+2] & bw[i+2]
+		w3 := aw[i+3] & bw[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = w0, w1, w2, w3
+		c0 += bits.OnesCount64(w0)
+		c1 += bits.OnesCount64(w1)
+		c2 += bits.OnesCount64(w2)
+		c3 += bits.OnesCount64(w3)
+	}
+	for ; i < n; i++ {
+		w := aw[i] & bw[i]
+		dst[i] = w
+		c0 += bits.OnesCount64(w)
+	}
+	return c0 + c1 + c2 + c3
+}
+
+// AndNotAnyInto sets s = a \ b and reports whether the result is non-empty,
+// fusing DifferenceInto with the emptiness test that almost always follows
+// it in the solvers' uncovered-rows loops. The receiver may alias either
+// operand.
+func (s *Set) AndNotAnyInto(a, b Set) bool {
+	n := len(a.words)
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	}
+	s.words = s.words[:n]
+	k := len(b.words)
+	if k > n {
+		k = n
+	}
+	dst, aw, bw := s.words[:k], a.words[:k], b.words[:k]
+	var any uint64
+	i := 0
+	for ; i+4 <= k; i += 4 {
+		w0 := aw[i] &^ bw[i]
+		w1 := aw[i+1] &^ bw[i+1]
+		w2 := aw[i+2] &^ bw[i+2]
+		w3 := aw[i+3] &^ bw[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = w0, w1, w2, w3
+		any |= w0 | w1 | w2 | w3
+	}
+	for ; i < k; i++ {
+		w := aw[i] &^ bw[i]
+		dst[i] = w
+		any |= w
+	}
+	for j := k; j < n; j++ {
+		w := a.words[j]
+		s.words[j] = w
+		any |= w
+	}
+	return any != 0
 }
 
 // UnionInto sets s = a ∪ b without allocating (unless s's backing array is
@@ -161,16 +320,12 @@ func (s *Set) UnionInto(a, b Set) {
 		w = make([]uint64, n)
 	}
 	w = w[:n]
-	for i := 0; i < n; i++ {
-		var aw, bw uint64
-		if i < len(a.words) {
-			aw = a.words[i]
-		}
-		if i < len(b.words) {
-			bw = b.words[i]
-		}
-		w[i] = aw | bw
+	long, short := a.words, b.words
+	if len(long) < len(short) {
+		long, short = short, long
 	}
+	orWords(w[:len(short)], long[:len(short)], short)
+	copy(w[len(short):], long[len(short):])
 	s.words = w
 }
 
@@ -182,20 +337,17 @@ func (s *Set) DifferenceInto(a, b Set) {
 		s.words = make([]uint64, n)
 	}
 	s.words = s.words[:n]
-	for i := 0; i < n; i++ {
-		var bw uint64
-		if i < len(b.words) {
-			bw = b.words[i]
-		}
-		s.words[i] = a.words[i] &^ bw
+	k := len(b.words)
+	if k > n {
+		k = n
 	}
+	andNotWords(s.words[:k], a.words[:k], b.words[:k])
+	copy(s.words[k:], a.words[k:])
 }
 
 // Clear empties the set, keeping its backing array.
 func (s *Set) Clear() {
-	for i := range s.words {
-		s.words[i] = 0
-	}
+	clear(s.words)
 }
 
 // WordCount returns the number of backing words; together with Word it
@@ -215,9 +367,8 @@ func (s Set) Word(i int) uint64 { return s.words[i] }
 // UnionWith adds every element of t to s.
 func (s *Set) UnionWith(t Set) {
 	s.grow(len(t.words) - 1)
-	for i, w := range t.words {
-		s.words[i] |= w
-	}
+	k := len(t.words)
+	orWords(s.words[:k], s.words[:k], t.words)
 }
 
 // Union returns a new set holding s ∪ t.
@@ -229,13 +380,12 @@ func Union(s, t Set) Set {
 
 // IntersectWith removes from s every element not in t.
 func (s *Set) IntersectWith(t Set) {
-	for i := range s.words {
-		if i < len(t.words) {
-			s.words[i] &= t.words[i]
-		} else {
-			s.words[i] = 0
-		}
+	k := len(s.words)
+	if len(t.words) < k {
+		k = len(t.words)
 	}
+	andWords(s.words[:k], s.words[:k], t.words[:k])
+	clear(s.words[k:])
 }
 
 // Intersect returns a new set holding s ∩ t.
@@ -247,11 +397,11 @@ func Intersect(s, t Set) Set {
 
 // DifferenceWith removes every element of t from s.
 func (s *Set) DifferenceWith(t Set) {
-	for i := range s.words {
-		if i < len(t.words) {
-			s.words[i] &^= t.words[i]
-		}
+	k := len(s.words)
+	if len(t.words) < k {
+		k = len(t.words)
 	}
+	andNotWords(s.words[:k], s.words[:k], t.words[:k])
 }
 
 // Difference returns a new set holding s \ t.
@@ -281,11 +431,7 @@ func IntersectLen(s, t Set) int {
 	if len(t.words) < n {
 		n = len(t.words)
 	}
-	count := 0
-	for i := 0; i < n; i++ {
-		count += bits.OnesCount64(s.words[i] & t.words[i])
-	}
-	return count
+	return andPopWords(s.words[:n], t.words[:n])
 }
 
 // IntersectLenUpTo returns min(|s ∩ t|, cap) without allocating, stopping
@@ -444,6 +590,30 @@ func (s Set) ForEach(fn func(e int) bool) {
 func (s Set) Min() (int, bool) {
 	for i, w := range s.words {
 		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// NextSet returns the smallest element >= e and true, or (0, false) when no
+// such element exists. Together with Min it gives closure-free ascending
+// iteration for hot loops that cannot afford ForEach's per-element callback:
+//
+//	for e, ok := s.Min(); ok; e, ok = s.NextSet(e + 1) { ... }
+func (s Set) NextSet(e int) (int, bool) {
+	if e < 0 {
+		e = 0
+	}
+	i := e / wordBits
+	if i >= len(s.words) {
+		return 0, false
+	}
+	if w := s.words[i] >> uint(e%wordBits); w != 0 {
+		return e + bits.TrailingZeros64(w), true
+	}
+	for i++; i < len(s.words); i++ {
+		if w := s.words[i]; w != 0 {
 			return i*wordBits + bits.TrailingZeros64(w), true
 		}
 	}

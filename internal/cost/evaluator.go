@@ -18,6 +18,12 @@ type Evaluator struct {
 	memo []map[string]faceCost
 	// Hits and Misses expose cache behavior for the ablation bench.
 	Hits, Misses int
+	// key's scratch buffers, reused across faces and evaluations so cache
+	// hits allocate nothing (the map lookup on string(keyBuf) is
+	// allocation-free; only a miss materializes the key string).
+	on, off, dc []uint64
+	keyBuf      []byte
+	members     bitset.Set // face's members ∩ subset working set
 }
 
 type faceCost struct {
@@ -44,12 +50,16 @@ func (e *Evaluator) Evaluate(a Assignment) Result {
 	return r
 }
 
-// Of evaluates a single metric with memoization.
+// Of evaluates a single metric with memoization. Violations takes a fast
+// path: the metric only needs the allocation-free span/containment check
+// (CountViolations), never the per-face espresso minimization the cube and
+// literal metrics memoize, so it skips the cache machinery entirely.
 func (e *Evaluator) Of(m Metric, a Assignment) int {
+	if m == Violations {
+		return CountViolations(e.cs, a)
+	}
 	r := e.Evaluate(a)
 	switch m {
-	case Violations:
-		return r.Violations
 	case Cubes:
 		return r.Cubes
 	case Literals:
@@ -61,15 +71,19 @@ func (e *Evaluator) Of(m Metric, a Assignment) int {
 
 func (e *Evaluator) face(fi int, a Assignment) faceCost {
 	f := e.cs.Faces[fi]
-	members := bitset.Intersect(f.Members, a.Subset)
-	if members.Len() < 2 {
+	// Fused intersect+popcount into a reusable set: the < 2 early-out is the
+	// common case across faces, and it costs no allocation.
+	if e.members.IntersectPopcountInto(f.Members, a.Subset) < 2 {
 		return faceCost{satisfied: true}
 	}
+	members := e.members
 	key := e.key(f, members, a)
 	if e.memo[fi] == nil {
 		e.memo[fi] = make(map[string]faceCost)
 	}
-	if fc, ok := e.memo[fi][key]; ok {
+	// string(key) in the index expression is recognized by the compiler and
+	// does not allocate; only a miss pays for materializing the key.
+	if fc, ok := e.memo[fi][string(key)]; ok {
 		e.Hits++
 		return fc
 	}
@@ -80,15 +94,16 @@ func (e *Evaluator) face(fi int, a Assignment) faceCost {
 		literals:  g.Literals(),
 		satisfied: faceSatisfied(f, a),
 	}
-	e.memo[fi][key] = fc
+	e.memo[fi][string(key)] = fc
 	return fc
 }
 
 // key canonically serializes the on/off/dc code multisets of one face
-// under the assignment. Codes are bucketed by role and sorted so
-// role-preserving permutations of symbols hit the same entry.
-func (e *Evaluator) key(f constraint.Face, members bitset.Set, a Assignment) string {
-	var on, off, dc []uint64
+// under the assignment into e.keyBuf. Codes are bucketed by role and sorted
+// so role-preserving permutations of symbols hit the same entry. The
+// returned slice is valid until the next key call.
+func (e *Evaluator) key(f constraint.Face, members bitset.Set, a Assignment) []byte {
+	on, off, dc := e.on[:0], e.off[:0], e.dc[:0]
 	a.Subset.ForEach(func(s int) bool {
 		c := uint64(a.Codes[s])
 		switch {
@@ -101,12 +116,13 @@ func (e *Evaluator) key(f constraint.Face, members bitset.Set, a Assignment) str
 		}
 		return true
 	})
+	e.on, e.off, e.dc = on, off, dc
 	sortU64(on)
 	sortU64(off)
 	sortU64(dc)
-	buf := make([]byte, 0, 8*(len(on)+len(off)+len(dc))+4)
+	buf := e.keyBuf[:0]
 	buf = append(buf, byte(a.Bits))
-	for _, group := range [][]uint64{on, off, dc} {
+	for _, group := range [...][]uint64{on, off, dc} {
 		buf = append(buf, 0xFF)
 		for _, c := range group {
 			var tmp [8]byte
@@ -114,7 +130,8 @@ func (e *Evaluator) key(f constraint.Face, members bitset.Set, a Assignment) str
 			buf = append(buf, tmp[:]...)
 		}
 	}
-	return string(buf)
+	e.keyBuf = buf
+	return buf
 }
 
 func sortU64(xs []uint64) {

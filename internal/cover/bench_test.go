@@ -24,9 +24,31 @@ func kernelProblem(rows, cols, perRow int, seed int64) *Problem {
 	return p
 }
 
-// BenchmarkUnateCoverKernel measures the exact branch-and-bound hot path:
-// allocations per op track the per-node row/col set cloning discipline.
+// BenchmarkUnateCoverKernel measures the exact branch-and-bound hot path in
+// its steady state: one reusable Solver, repeated solves. allocs/op is the
+// headline metric — the arena/slab/buffer-reuse discipline holds it at zero.
 func BenchmarkUnateCoverKernel(b *testing.B) {
+	p := kernelProblem(48, 36, 4, 11)
+	sv, err := NewSolver(p, Options{Parallelism: par.Workers(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sv.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnateCoverColdKernel is the one-shot path — Solver construction
+// (incidence matrix, dedupe, buffers) included in every op, as a caller of
+// Problem.SolveExact pays it.
+func BenchmarkUnateCoverColdKernel(b *testing.B) {
 	p := kernelProblem(48, 36, 4, 11)
 	opts := Options{Parallelism: par.Workers(1)}
 	if _, err := p.SolveExact(opts); err != nil {
@@ -41,19 +63,33 @@ func BenchmarkUnateCoverKernel(b *testing.B) {
 	}
 }
 
-// BenchmarkUnateCoverParallelKernel is the same instance through the
-// parallel engine with all CPUs.
+// BenchmarkUnateCoverParallelKernel runs the same solve with Workers(0) —
+// all CPUs — at a size below the adaptive cutoff (small: the engine falls
+// back to the sequential path, so `-j` costs nothing) and above it (large:
+// the parallel engine engages when more than one CPU is available). Either
+// way the op must never be slower than the sequential solve of the same
+// instance: that is exactly the contract ParallelCutoffCells pins.
 func BenchmarkUnateCoverParallelKernel(b *testing.B) {
-	p := kernelProblem(48, 36, 4, 11)
-	opts := Options{Parallelism: par.Workers(0)}
-	if _, err := p.SolveExact(opts); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := p.SolveExact(opts); err != nil {
-			b.Fatal(err)
+	run := func(p *Problem, maxNodes int) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts := Options{Parallelism: par.Workers(0), MaxNodes: maxNodes}
+			if _, err := p.SolveExact(opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.SolveExact(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
+	// 48×36 = 1728 cells: below ParallelCutoffCells, sequential fallback.
+	b.Run("small", run(kernelProblem(48, 36, 4, 11), 0))
+	// 96×64 = 6144 cells: above the cutoff, parallel engine (on multi-CPU
+	// machines; with GOMAXPROCS=1 WorkerCount is 1 and the fallback holds).
+	// The instance runs past any practical node budget, so the op is capped
+	// at 5k nodes and measures search throughput, not time-to-optimal.
+	b.Run("large", run(kernelProblem(96, 64, 4, 13), 5_000))
 }

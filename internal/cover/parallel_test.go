@@ -41,7 +41,17 @@ func randomFeasible(rng *rand.Rand, unitCost bool) *Problem {
 // the sequential solver on randomized instances, unit and weighted, with
 // and without a LowerBound stop. Run under -race this also exercises the
 // prefix-bound publication protocol.
+// forceParallel lowers the adaptive sequential-fallback cutoff for the
+// duration of a test so small instances still exercise the parallel engine.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parallelCutoffCells
+	parallelCutoffCells = 0
+	t.Cleanup(func() { parallelCutoffCells = old })
+}
+
 func TestParallelExactMatchesSequential(t *testing.T) {
+	forceParallel(t)
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 40; trial++ {
 		p := randomFeasible(rng, trial%2 == 0)
@@ -68,9 +78,49 @@ func TestParallelExactMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestAdaptiveThresholdDeterminism pins the sequential-fallback gate: with
+// the cutoff set between two instance sizes, the small instance takes the
+// transparent sequential path and the large one the parallel engine, and
+// both return byte-identical solutions across Workers(0), Workers(1) and
+// Workers(8). Run under -race this covers the fallback path's (absence of)
+// synchronization.
+func TestAdaptiveThresholdDeterminism(t *testing.T) {
+	old := parallelCutoffCells
+	parallelCutoffCells = 300
+	t.Cleanup(func() { parallelCutoffCells = old })
+
+	rng := rand.New(rand.NewSource(59))
+	instances := []*Problem{}
+	for len(instances) < 2 {
+		p := randomFeasible(rng, len(instances)%2 == 0)
+		cells := len(p.RowCols) * p.NumCols
+		if (len(instances) == 0) == (cells < parallelCutoffCells) {
+			instances = append(instances, p) // first below the cutoff, then above
+		}
+	}
+	for i, p := range instances {
+		var ref Solution
+		for j, workers := range []int{1, 0, 8} {
+			sol, err := p.SolveExact(Options{Parallelism: par.Workers(workers)})
+			if err != nil {
+				t.Fatalf("instance %d workers=%d: %v", i, workers, err)
+			}
+			if j == 0 {
+				ref = sol
+				continue
+			}
+			if !reflect.DeepEqual(sol, ref) {
+				t.Fatalf("instance %d (cells=%d) workers=%d: %+v != workers=1 %+v",
+					i, len(p.RowCols)*p.NumCols, workers, sol, ref)
+			}
+		}
+	}
+}
+
 // TestParallelExactCanceled asserts a canceled context still yields the
 // greedy incumbent with Optimal=false on both code paths.
 func TestParallelExactCanceled(t *testing.T) {
+	forceParallel(t)
 	rng := rand.New(rand.NewSource(43))
 	p := randomFeasible(rng, true)
 	ctx, cancel := context.WithCancel(context.Background())

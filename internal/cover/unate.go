@@ -91,6 +91,21 @@ const DefaultMaxNodes = 200_000
 // search nodes.
 const DefaultDominanceLimit = 400
 
+// ParallelCutoffCells is the incidence-matrix size (rows × columns) below
+// which the exact solver runs sequentially regardless of Options.Workers.
+// The parallel engine's fixed cost — the sequential frontier-expansion
+// prelude, per-worker scratch construction and goroutine spawn/join — was
+// measured against the kernel benchmarks: at the 48×36 (1728-cell) snapshot
+// instance the parallel engine ran ~25% slower than sequential even with
+// idle CPUs, so instances of that order always take the sequential path and
+// `-j` can only engage where the search is large enough to amortize the
+// fan-out.
+const ParallelCutoffCells = 4096
+
+// parallelCutoffCells is the live gate value; tests lower it to force the
+// parallel engine onto small instances.
+var parallelCutoffCells = ParallelCutoffCells
+
 // ErrInfeasible is returned when some row is covered by no column.
 var ErrInfeasible = errors.New("cover: infeasible (row with no covering column)")
 
@@ -213,7 +228,9 @@ func (s *solver) bound() int { return s.bestCost }
 func (s *solver) record(sel []int, cost int) {
 	if cost < s.bestCost || !s.found {
 		s.bestCost = cost
-		s.bestSel = append([]int(nil), sel...)
+		// Copy into the incumbent's own buffer: sel is walker scratch, and
+		// reusing the buffer keeps steady-state records allocation-free.
+		s.bestSel = append(s.bestSel[:0], sel...)
 		s.found = true
 		if s.lb > 0 && cost <= s.lb {
 			s.done = true
@@ -261,7 +278,14 @@ func (p *Problem) SolveExactCtx(ctx context.Context, opts Options) (Solution, er
 	ctx, cancel := opts.Context(ctx)
 	defer cancel()
 	sp := trace.StartSpan(ctx, "cover.solve")
-	sol, nodes, err := p.solveExactTraced(ctx, opts)
+	var (
+		sol   Solution
+		nodes int
+	)
+	sv, err := NewSolver(p, opts)
+	if err == nil {
+		sol, nodes, err = sv.solve(ctx)
+	}
 	if sp != nil {
 		sp.Set("rows", len(p.RowCols)).Set("cols", p.NumCols).Set("nodes", nodes).
 			SetBool("optimal", sol.Optimal).Set("cost", sol.Cost).SetBool("failed", err != nil)
@@ -270,91 +294,22 @@ func (p *Problem) SolveExactCtx(ctx context.Context, opts Options) (Solution, er
 	return sol, err
 }
 
-// solveExactTraced is the SolveExactCtx body, returning the search node
-// count alongside the solution for the trace span.
-func (p *Problem) solveExactTraced(ctx context.Context, opts Options) (Solution, int, error) {
-	m, err := newMatrix(p, opts.domLimit())
-	if err != nil {
-		return Solution{}, 0, err
-	}
-	nRows := len(p.RowCols)
-
-	activeRows := bitset.New(nRows)
-	for r := 0; r < nRows; r++ {
-		activeRows.Add(r)
-	}
-	activeCols := bitset.New(p.NumCols)
-	for c := 0; c < p.NumCols; c++ {
-		activeCols.Add(c)
-	}
-
-	// Root simplifications: drop duplicate columns (same row coverage) and
-	// empty columns before any search.
-	m.dedupeColumns(activeRows, activeCols)
-
-	// Upper bound: several randomized-greedy runs plus a
-	// multiplicative-weights greedy loop, each cover cleaned by redundancy
-	// elimination; the incumbent drives branch-and-bound pruning.
-	best, bestSel, found := -1, []int(nil), false
-	consider := func(g []int) {
-		if g == nil {
-			return
-		}
-		g = m.dropRedundant(activeRows, g)
-		if c := costOf(p, g); !found || c < best {
-			best, bestSel, found = c, g, true
-		}
-	}
-	for variant := 0; variant < 8; variant++ {
-		g := m.greedyVariant(activeRows, activeCols, variant)
-		if g == nil && variant == 0 {
-			return Solution{}, 0, ErrInfeasible
-		}
-		consider(g)
-	}
-	for _, g := range m.weightedGreedy(activeRows, activeCols, 24) {
-		consider(g)
-	}
-
-	s := &solver{
-		m:        m,
-		ctx:      ctx,
-		maxNodes: opts.maxNodes(),
-		lb:       opts.LowerBound,
-		bestCost: best,
-		bestSel:  bestSel,
-		found:    found,
-	}
-	if s.lb <= 0 || s.bestCost > s.lb {
-		if w := opts.workers(); w > 1 {
-			s.solveParallel(activeRows, activeCols, w)
-		} else {
-			// The selection buffer is pre-sized to the column count so the
-			// append chains down the search tree never reallocate.
-			m.branch(s, newScratch(m), activeRows, activeCols, make([]int, 0, p.NumCols), 0, true)
-		}
-	}
-
-	if !s.found {
-		return Solution{}, s.nodes, ErrInfeasible
-	}
-	sel := append([]int(nil), s.bestSel...)
-	sort.Ints(sel)
-	return Solution{Cols: sel, Cost: s.bestCost, Optimal: !s.budget}, s.nodes, nil
-}
-
 // newMatrix builds the incidence bitsets, validating column indices and
-// rejecting rows that no column covers.
+// rejecting rows that no column covers. The sets are carved out of two
+// slabs — one per index space — so a matrix costs a handful of block
+// allocations rather than one per row and column.
 func newMatrix(p *Problem, domLimit int) (*matrix, error) {
 	nRows := len(p.RowCols)
 	m := &matrix{p: p, domLimit: domLimit}
 	m.rowSets = make([]bitset.Set, nRows)
 	m.colSets = make([]bitset.Set, p.NumCols)
+	rowSlab := bitset.NewSlab(p.NumCols) // rowSets live in column space
+	colSlab := bitset.NewSlab(nRows)     // colSets live in row space
 	for c := 0; c < p.NumCols; c++ {
-		m.colSets[c] = bitset.New(nRows)
+		m.colSets[c] = colSlab.Get()
 	}
 	for r, cols := range p.RowCols {
-		m.rowSets[r] = bitset.New(p.NumCols)
+		m.rowSets[r] = rowSlab.Get()
 		for _, c := range cols {
 			if c < 0 || c >= p.NumCols {
 				return nil, fmt.Errorf("cover: row %d references column %d out of range", r, c)
@@ -655,18 +610,53 @@ func (m *matrix) lowerBound(sc *scratch, rows, cols bitset.Set) int {
 	return lb
 }
 
+// ubScratch is the reusable working memory of the greedy upper-bound
+// harness plus its incumbent. One instance lives in each Solver, so repeated
+// solves rebuild the pruning bound without allocating.
+type ubScratch struct {
+	remaining bitset.Set // uncovered-rows working set
+	gsel      []int      // current greedy cover under construction
+	weights   []float64  // weightedGreedy row weights
+	counts    []int      // weightedGreedy per-row coverage counts
+	order     []int      // dropRedundant's sorted scan order
+	kept      []bool     // dropRedundant's keep flags, indexed by column
+	dropBuf   []int      // dropRedundant's output buffer
+	sel       []int      // incumbent cover (owned copy)
+	cost      int
+	found     bool
+}
+
+// consider offers one greedy cover to the incumbent: redundancy-eliminate,
+// then keep it on strict improvement. g may alias any ub buffer except
+// ub.sel; the incumbent is copied out.
+func (m *matrix) consider(ub *ubScratch, rows bitset.Set, g []int) {
+	g = m.dropRedundant(ub, rows, g)
+	if c := costOf(m.p, g); !ub.found || c < ub.cost {
+		ub.cost = c
+		ub.sel = append(ub.sel[:0], g...)
+		ub.found = true
+	}
+}
+
 // greedy returns a feasible selection (nil when infeasible): repeatedly
 // pick the column covering the most uncovered rows per unit cost.
 func (m *matrix) greedy(rows, cols bitset.Set) []int {
-	return m.greedyVariant(rows, cols, 0)
+	sel, ok := m.greedyVariant(&ubScratch{}, rows, cols, 0)
+	if !ok {
+		return nil
+	}
+	return sel
 }
 
 // greedyVariant is greedy with deterministic tie-breaking diversity:
 // variant v picks the (v mod 3)-th best column on every (step+v)-th step,
-// giving the restart loop distinct feasible covers.
-func (m *matrix) greedyVariant(rows, cols bitset.Set, variant int) []int {
-	remaining := rows.Clone()
-	sel := []int{} // non-nil: nil is the infeasibility sentinel
+// giving the restart loop distinct feasible covers. The returned selection
+// lives in ub.gsel and is valid until the next greedy pass; ok=false means
+// some row is uncoverable.
+func (m *matrix) greedyVariant(ub *ubScratch, rows, cols bitset.Set, variant int) (selection []int, ok bool) {
+	ub.remaining.CopyFrom(rows)
+	remaining := ub.remaining
+	sel := ub.gsel[:0]
 	step := 0
 	for !remaining.IsEmpty() {
 		// Track the top three scoring columns.
@@ -693,7 +683,8 @@ func (m *matrix) greedyVariant(rows, cols bitset.Set, variant int) []int {
 			}
 		}
 		if top[0].c < 0 {
-			return nil
+			ub.gsel = sel
+			return nil, false
 		}
 		pick := 0
 		if variant > 0 && (step+variant)%3 == 0 {
@@ -706,23 +697,31 @@ func (m *matrix) greedyVariant(rows, cols bitset.Set, variant int) []int {
 		remaining.DifferenceWith(m.colSets[top[pick].c])
 		step++
 	}
-	return sel
+	ub.gsel = sel
+	return sel, true
 }
 
 // weightedGreedy runs a multiplicative-weights set-cover loop: rows that
 // keep ending up covered by a single selected column get their weight
 // bumped, steering subsequent greedy passes toward columns that cover the
-// chronically hard rows together. Returns every cover built.
-func (m *matrix) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
+// chronically hard rows together. Each cover built is offered to the
+// incumbent through consider, in construction order, so the loop runs out
+// of ub's reusable buffers without materializing a cover list.
+func (m *matrix) weightedGreedy(ub *ubScratch, rows, cols bitset.Set, iters int) {
 	nRows := len(m.rowSets)
-	weights := make([]float64, nRows)
+	if cap(ub.weights) < nRows {
+		ub.weights = make([]float64, nRows)
+		ub.counts = make([]int, nRows)
+	}
+	weights := ub.weights[:nRows]
+	counts := ub.counts[:nRows]
 	for r := range weights {
 		weights[r] = 1
 	}
-	var covers [][]int
 	for it := 0; it < iters; it++ {
-		remaining := rows.Clone()
-		var sel []int
+		remaining := ub.remaining
+		remaining.CopyFrom(rows)
+		sel := ub.gsel[:0]
 		for !remaining.IsEmpty() {
 			bestC, bestScore := -1, -1.0
 			for wi, wc := 0, cols.WordCount(); wi < wc; wi++ {
@@ -738,14 +737,16 @@ func (m *matrix) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
 				}
 			}
 			if bestC < 0 {
-				return covers
+				ub.gsel = sel
+				return
 			}
 			sel = append(sel, bestC)
 			remaining.DifferenceWith(m.colSets[bestC])
 		}
-		covers = append(covers, sel)
+		ub.gsel = sel
+		m.consider(ub, rows, sel)
 		// Bump rows covered exactly once by this cover.
-		counts := make([]int, nRows)
+		clear(counts)
 		for _, c := range sel {
 			bitset.IntersectForEach(m.colSets[c], rows, func(r int) bool {
 				counts[r]++
@@ -758,7 +759,6 @@ func (m *matrix) weightedGreedy(rows, cols bitset.Set, iters int) [][]int {
 			}
 		}
 	}
-	return covers
 }
 
 // weightedCoverage sums the weights of the rows in colSet ∩ remaining
@@ -778,16 +778,23 @@ func weightedCoverage(colSet, remaining bitset.Set, weights []float64) float64 {
 }
 
 // dropRedundant removes selected columns whose rows are covered by the
-// remaining selection, most expensive and least-covering first.
-func (m *matrix) dropRedundant(rows bitset.Set, sel []int) []int {
-	order := append([]int(nil), sel...)
+// remaining selection, most expensive and least-covering first. The result
+// lives in ub.dropBuf and is valid until the next call; sel itself is not
+// modified.
+func (m *matrix) dropRedundant(ub *ubScratch, rows bitset.Set, sel []int) []int {
+	ub.order = append(ub.order[:0], sel...)
+	order := ub.order
 	slices.SortFunc(order, func(ci, cj int) int {
 		if m.p.cost(ci) != m.p.cost(cj) {
 			return m.p.cost(cj) - m.p.cost(ci)
 		}
 		return bitset.IntersectLen(m.colSets[ci], rows) - bitset.IntersectLen(m.colSets[cj], rows)
 	})
-	kept := make([]bool, m.p.NumCols)
+	if len(ub.kept) < m.p.NumCols {
+		ub.kept = make([]bool, m.p.NumCols)
+	}
+	kept := ub.kept
+	clear(kept)
 	for _, c := range sel {
 		kept[c] = true
 	}
@@ -814,12 +821,13 @@ func (m *matrix) dropRedundant(rows bitset.Set, sel []int) []int {
 			kept[c] = true
 		}
 	}
-	var out []int
+	out := ub.dropBuf[:0]
 	for _, c := range sel {
 		if kept[c] {
 			out = append(out, c)
 		}
 	}
+	ub.dropBuf = out
 	return out
 }
 

@@ -75,6 +75,19 @@ func (o Options) workers() int {
 	return o.WorkerCount()
 }
 
+// ParallelCutoffSymbols is the symbol count below which the restart and
+// selection-scoring fan-outs run sequentially regardless of Options.Workers.
+// Below it a whole restart finishes in about a millisecond on the kernel
+// benchmark machine — the same order as the goroutine spawn/join plus the
+// private evaluator and scorer each parallel worker must construct — so the
+// fan-out cannot pay for itself; the scoring fan-out additionally keeps its
+// own pool-size gate (scoreChunk) for small enumerations.
+const ParallelCutoffSymbols = 16
+
+// parallelCutoffSymbols is the live gate value; tests lower it to force the
+// parallel fan-outs onto small instances.
+var parallelCutoffSymbols = ParallelCutoffSymbols
+
 // DefaultMaxEvaluations bounds the selection-phase search per subproblem.
 const DefaultMaxEvaluations = 2000
 
@@ -152,11 +165,12 @@ func EncodeCtx(ctx context.Context, cs *constraint.Set, opts Options) (*Result, 
 	}
 	rsp := trace.StartSpan(ctx, "heuristic.restarts")
 	runs := make([]*run, restarts)
-	forEachIndex(restarts, opts.workers(), func(r int) {
+	workers := opts.WorkersFor(n, parallelCutoffSymbols)
+	forEachIndex(restarts, workers, func(r int) {
 		if ctx.Err() != nil {
 			return
 		}
-		e := &encoder{cs: cs, opts: opts, variant: r, workers: opts.workers()}
+		e := &encoder{cs: cs, opts: opts, variant: r, workers: workers}
 		cols := e.solve(all, c)
 		enc := core.FromColumns(cs.Syms, cols)
 		ensureUnique(enc, c)
@@ -178,7 +192,7 @@ func EncodeCtx(ctx context.Context, cs *constraint.Set, opts Options) (*Result, 
 	}
 	if rsp != nil {
 		rsp.Set("restarts", restarts).Set("completed", completed).
-			Set("workers", opts.workers()).Set("bits", c)
+			Set("workers", workers).Set("bits", c)
 		if best != nil {
 			rsp.Set("best_cost", bestCost)
 		}
@@ -406,9 +420,9 @@ func (e *encoder) solve(p bitset.Set, c int) []dichotomy.D {
 // the uniqueness guarantee of the merge step, so faces suffice.
 func (e *encoder) nets(p bitset.Set) *partition.Hypergraph {
 	h := &partition.Hypergraph{N: e.cs.N()}
+	var m bitset.Set // reused across faces; Elems copies out the survivors
 	for _, f := range e.cs.Faces {
-		m := bitset.Intersect(f.Members, p)
-		if m.Len() >= 2 {
+		if m.IntersectPopcountInto(f.Members, p) >= 2 {
 			h.Nets = append(h.Nets, m.Elems())
 		}
 	}

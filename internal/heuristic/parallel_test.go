@@ -35,7 +35,18 @@ func randomConstraints(rng *rand.Rand, n int) *constraint.Set {
 // TestEncodeParallelMatchesSequential asserts the heuristic returns the
 // identical encoding and cost for any worker count: the restart fold and
 // the exhaustive-selection fold are both deterministic.
+// forceParallel lowers the adaptive sequential-fallback cutoff for the
+// duration of a test so small instances still exercise the parallel
+// fan-outs.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parallelCutoffSymbols
+	parallelCutoffSymbols = 0
+	t.Cleanup(func() { parallelCutoffSymbols = old })
+}
+
 func TestEncodeParallelMatchesSequential(t *testing.T) {
+	forceParallel(t)
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 10; trial++ {
 		cs := randomConstraints(rng, 5+rng.Intn(8))
@@ -55,6 +66,37 @@ func TestEncodeParallelMatchesSequential(t *testing.T) {
 			if par.Cost != seq.Cost {
 				t.Fatalf("trial %d workers=%d: cost %+v != sequential %+v",
 					trial, workers, par.Cost, seq.Cost)
+			}
+		}
+	}
+}
+
+// TestAdaptiveThresholdDeterminism pins the sequential-fallback gate: with
+// the cutoff set between two symbol counts, the small instance takes the
+// transparent sequential path and the large one the parallel fan-outs, and
+// both return the identical encoding and cost across Workers(0), Workers(1)
+// and Workers(8). Run under -race this covers the fallback path's (absence
+// of) synchronization.
+func TestAdaptiveThresholdDeterminism(t *testing.T) {
+	old := parallelCutoffSymbols
+	parallelCutoffSymbols = 8
+	t.Cleanup(func() { parallelCutoffSymbols = old })
+
+	rng := rand.New(rand.NewSource(79))
+	for i, n := range []int{6, 11} { // straddles the 8-symbol cutoff
+		cs := randomConstraints(rng, n)
+		var ref *Result
+		for j, workers := range []int{1, 0, 8} {
+			res, err := Encode(cs, Options{Parallelism: par.Workers(workers)})
+			if err != nil {
+				t.Fatalf("instance %d workers=%d: %v", i, workers, err)
+			}
+			if j == 0 {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Encoding.Codes, ref.Encoding.Codes) || res.Cost != ref.Cost {
+				t.Fatalf("instance %d (n=%d) workers=%d: encoding/cost differ from workers=1", i, n, workers)
 			}
 		}
 	}

@@ -46,6 +46,27 @@ func (p Parallelism) WorkerCount() int {
 	return p.Workers
 }
 
+// WorkersFor resolves the worker count a stage should actually use for a
+// problem of the given size: 1 — the sequential code path — when size is
+// below cutoff, WorkerCount() otherwise.
+//
+// Every parallel engine in this repository pays a fixed fan-out cost
+// (frontier expansion, per-worker scratch arenas, goroutine spawn and join)
+// on the order of 0.1–1 ms before any useful concurrent work happens.
+// Instances whose sequential solve time is comparable to that overhead are
+// strictly slower through the parallel engine no matter how many CPUs are
+// free, so each stage gates its engine on a size proxy measured against its
+// kernel benchmarks (see the ParallelCutoff* constants in cover, prime and
+// heuristic). Because every engine is deterministic in the worker count,
+// falling back to the sequential path never changes results — it only
+// removes the overhead, so `-j` never regresses small instances.
+func (p Parallelism) WorkersFor(size, cutoff int) int {
+	if size < cutoff {
+		return 1
+	}
+	return p.WorkerCount()
+}
+
 // FillFrom returns p with zero-valued fields filled from def: an explicit
 // per-stage setting always wins over the inherited pipeline default.
 func (p Parallelism) FillFrom(def Parallelism) Parallelism {

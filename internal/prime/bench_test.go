@@ -53,19 +53,32 @@ func BenchmarkBronKerboschKernel(b *testing.B) {
 	}
 }
 
-// BenchmarkBronKerboschParallelKernel is the same instance through the
-// frontier-peeling parallel engine with all CPUs.
+// BenchmarkBronKerboschParallelKernel runs clique enumeration with
+// Workers(0) — all CPUs — below the adaptive cutoff (small: the engine
+// falls back to the sequential path, so `-j` costs nothing) and above it
+// (large: the frontier-peeling parallel engine engages when more than one
+// CPU is available). Either way the op must never be slower than the
+// sequential enumeration of the same instance: that is the contract
+// ParallelCutoffSeeds pins.
 func BenchmarkBronKerboschParallelKernel(b *testing.B) {
-	seeds := kernelSeeds(48, 32, 7)
-	opts := Options{Parallelism: par.Workers(0), Limit: 1 << 30}
-	if _, err := GenerateSets(seeds, opts); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := GenerateSets(seeds, opts); err != nil {
-			b.Fatal(err)
+	run := func(seeds []dichotomy.D) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts := Options{Parallelism: par.Workers(0), Limit: 1 << 30}
+			if _, err := GenerateSets(seeds, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := GenerateSets(seeds, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
+	// 48 seeds: below ParallelCutoffSeeds (64), sequential fallback.
+	b.Run("small", run(kernelSeeds(48, 32, 7)))
+	// 96 seeds: above the cutoff, parallel engine (on multi-CPU machines;
+	// with GOMAXPROCS=1 WorkerCount is 1 and the fallback holds).
+	b.Run("large", run(kernelSeeds(96, 32, 9)))
 }

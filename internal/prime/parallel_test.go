@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/dichotomy"
 	"repro/internal/par"
 )
@@ -35,7 +36,17 @@ func randomSeeds(rng *rand.Rand, count, n int) []dichotomy.D {
 // engine returns exactly the sequential output — same primes, same order —
 // across randomized instances and worker counts. Run under -race this also
 // exercises the engine's synchronization.
+// forceParallel lowers the adaptive sequential-fallback cutoff for the
+// duration of a test so small instances still exercise the parallel engine.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parallelCutoffSeeds
+	parallelCutoffSeeds = 0
+	t.Cleanup(func() { parallelCutoffSeeds = old })
+}
+
 func TestParallelMatchesSequential(t *testing.T) {
+	forceParallel(t)
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 25; trial++ {
 		seeds := randomSeeds(rng, 8+rng.Intn(25), 6+rng.Intn(8))
@@ -62,9 +73,46 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestAdaptiveThresholdDeterminism pins the sequential-fallback gate: with
+// the cutoff set between two seed counts, the small instance takes the
+// transparent sequential path and the large one the parallel engine, and
+// both return the identical prime list in identical order across
+// Workers(0), Workers(1) and Workers(8). Run under -race this covers the
+// fallback path's (absence of) synchronization.
+func TestAdaptiveThresholdDeterminism(t *testing.T) {
+	old := parallelCutoffSeeds
+	parallelCutoffSeeds = 20
+	t.Cleanup(func() { parallelCutoffSeeds = old })
+
+	rng := rand.New(rand.NewSource(23))
+	for i, count := range []int{12, 30} { // straddles the 20-seed cutoff
+		seeds := randomSeeds(rng, count, 8)
+		var ref []bitset.Set
+		for j, workers := range []int{1, 0, 8} {
+			sets, err := GenerateSets(seeds, Options{Parallelism: par.Workers(workers)})
+			if err != nil {
+				t.Fatalf("instance %d workers=%d: %v", i, workers, err)
+			}
+			if j == 0 {
+				ref = sets
+				continue
+			}
+			if len(sets) != len(ref) {
+				t.Fatalf("instance %d workers=%d: %d primes, want %d", i, workers, len(sets), len(ref))
+			}
+			for k := range ref {
+				if !sets[k].Equal(ref[k]) {
+					t.Fatalf("instance %d workers=%d: prime %d differs", i, workers, k)
+				}
+			}
+		}
+	}
+}
+
 // TestParallelLimit asserts ErrLimit fires in the parallel engine under the
 // same condition as the sequential one: total maximal compatibles > limit.
 func TestParallelLimit(t *testing.T) {
+	forceParallel(t)
 	rng := rand.New(rand.NewSource(11))
 	seeds := randomSeeds(rng, 30, 10)
 	all, err := GenerateSets(seeds, Options{Parallelism: par.Workers(1)})

@@ -97,8 +97,28 @@ func (o Options) limit() int {
 	return o.Limit
 }
 
+// ParallelCutoffSeeds is the seed count below which the Bron–Kerbosch
+// engine and the compatibility pair sweep run sequentially regardless of
+// Options.Workers. The parallel engine's fixed cost — peeling the search
+// frontier, one scratch arena and result slab per worker, goroutine
+// spawn/join — was measured at the same order as the whole sequential solve
+// of the 48-seed kernel benchmark instance (~0.25 ms), where the snapshot
+// recorded the parallel engine *slower* than sequential; below this cutoff
+// fan-out cannot pay for itself on any machine.
+const ParallelCutoffSeeds = 64
+
+// parallelCutoffSeeds is the live gate value; tests lower it to force the
+// parallel engine onto small instances.
+var parallelCutoffSeeds = ParallelCutoffSeeds
+
 func (o Options) workers() int {
 	return o.WorkerCount()
+}
+
+// workersFor applies the adaptive sequential-fallback threshold for a
+// problem of n seeds.
+func (o Options) workersFor(n int) int {
+	return o.WorkersFor(n, parallelCutoffSeeds)
 }
 
 // compatible is the seed-pair compatibility test, routed through the
@@ -160,7 +180,7 @@ func GenerateSetsCtx(ctx context.Context, seeds []dichotomy.D, opts Options) ([]
 	case CSPS:
 		sets, err = csps(ctx, seeds, opts)
 	case BronKerbosch:
-		if opts.workers() > 1 {
+		if opts.workersFor(len(seeds)) > 1 {
 			sets, err = bronKerboschParallel(ctx, seeds, opts)
 		} else {
 			sets, err = bronKerbosch(ctx, seeds, opts)
@@ -206,7 +226,7 @@ func unionOf(seeds []dichotomy.D, members bitset.Set) dichotomy.D {
 // independent of the worker count.
 func compatibility(seeds []dichotomy.D, opts Options) []bitset.Set {
 	n := len(seeds)
-	workers := opts.workers()
+	workers := opts.workersFor(n)
 	// upper[i] holds the compatible j > i; each row has a single writer, so
 	// the first pass is embarrassingly parallel.
 	upper := make([]bitset.Set, n)
