@@ -31,11 +31,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The encoding service and its facade under the race detector: the
-# coalescing, backpressure and graceful-shutdown tests are concurrency
-# tests first and foremost.
+# The encoding service, job store and public client under the race
+# detector: the coalescing, backpressure, batch/async-job and
+# graceful-shutdown tests are concurrency tests first and foremost, and
+# the client suite ends with an end-to-end batch+async smoke against a
+# live server instance.
 test-server:
-	$(GO) test -race -count=1 ./internal/server/ ./encodingapi/
+	$(GO) test -race -count=1 ./internal/server/ ./internal/jobs/ ./encodingapi/
 
 # A small randomized differential sweep under the race detector: every
 # solver family on generated instances, cross-checked against the invariant

@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -54,14 +55,14 @@ func BenchmarkFigure3PrimeGeneration(b *testing.B) {
 	seeds := dichotomy.Initial(cs)
 	b.Run("BronKerbosch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := prime.Generate(seeds, prime.Options{Engine: prime.BronKerbosch}); err != nil {
+			if _, err := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.BronKerbosch}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("CSPS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := prime.Generate(seeds, prime.Options{Engine: prime.CSPS}); err != nil {
+			if _, err := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.CSPS}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -101,7 +102,7 @@ func BenchmarkFigure8Exact(b *testing.B) {
 		disj s0 = s1 | s3
 	`)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ExactEncode(cs, core.ExactOptions{}); err != nil {
+		if _, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -199,7 +200,7 @@ func BenchmarkDontCare(b *testing.B) {
 		face a b [ c d ] e
 	`)
 	for i := 0; i < b.N; i++ {
-		res, err := core.ExactEncode(cs, core.ExactOptions{})
+		res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 		if err != nil || res.Encoding.Bits != 3 {
 			b.Fatalf("res=%v err=%v", res, err)
 		}
@@ -213,7 +214,7 @@ func BenchmarkDistance2(b *testing.B) {
 		dist2 a b
 	`)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ExactEncodeExtended(cs, core.ExactOptions{}); err != nil {
+		if _, err := core.ExactEncodeExtendedCtx(context.Background(), cs, core.ExactOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -229,7 +230,7 @@ func BenchmarkNonFace(b *testing.B) {
 		nonface a b e
 	`)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ExactEncodeExtended(cs, core.ExactOptions{}); err != nil {
+		if _, err := core.ExactEncodeExtendedCtx(context.Background(), cs, core.ExactOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -292,14 +293,14 @@ func BenchmarkPrimeEngines(b *testing.B) {
 	seeds := dichotomy.ValidRaised(dichotomy.Initial(cs), cs)
 	b.Run("BronKerbosch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := prime.Generate(seeds, prime.Options{Engine: prime.BronKerbosch}); err != nil {
+			if _, err := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.BronKerbosch}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("CSPS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := prime.Generate(seeds, prime.Options{Engine: prime.CSPS}); err != nil {
+			if _, err := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.CSPS}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -308,7 +309,7 @@ func BenchmarkPrimeEngines(b *testing.B) {
 
 func BenchmarkUnateCover(b *testing.B) {
 	cs := bbsseConstraints(b)
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func BenchmarkUnateCover(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ExactEncode(cs, core.ExactOptions{}); err != nil {
+		if _, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -336,7 +337,7 @@ func BenchmarkBinateCover(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := tab.Solve(cover.Options{}); err != nil {
+		if _, err := tab.SolveCtx(context.Background(), cover.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -363,7 +364,7 @@ func BenchmarkParallelPrime(b *testing.B) {
 	for _, wc := range workerCounts {
 		b.Run(wc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := prime.Generate(seeds, prime.Options{Parallelism: par.Workers(wc.workers)}); err != nil {
+				if _, err := prime.GenerateCtx(context.Background(), seeds, prime.Options{Parallelism: par.Workers(wc.workers)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -379,7 +380,7 @@ func BenchmarkParallelExact(b *testing.B) {
 	for _, wc := range workerCounts {
 		b.Run(wc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.ExactEncode(cs, core.ExactOptions{Parallelism: par.Workers(wc.workers)}); err != nil {
+				if _, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{Parallelism: par.Workers(wc.workers)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -400,7 +401,7 @@ func BenchmarkParallelHeuristic(b *testing.B) {
 	for _, wc := range workerCounts {
 		b.Run(wc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes, Parallelism: par.Workers(wc.workers)}); err != nil {
+				if _, err := heuristic.EncodeCtx(context.Background(), cs, heuristic.Options{Metric: cost.Cubes, Parallelism: par.Workers(wc.workers)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -470,7 +471,7 @@ func BenchmarkHeuristicEncode(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Cubes}); err != nil {
+		if _, err := heuristic.EncodeCtx(context.Background(), cs, heuristic.Options{Metric: cost.Cubes}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,11 @@
 //	encode -bits 4 -metric cubes f  P-3: bounded-length heuristic encoding
 //
 // With no file argument, constraints are read from standard input.
+//
+// With -remote, the same problems are sent to a running served instance
+// instead of solved in-process; -async additionally submits the solve as
+// a job and long-polls for the result, exercising the service's async
+// surface from the command line.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/encodingapi"
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -36,6 +42,9 @@ func main() {
 	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
 	verbose := flag.Bool("v", false, "print pipeline details")
 	traceFlag := flag.Bool("trace", false, "print a per-stage time table to stderr after solving")
+	remote := flag.String("remote", "", "solve via a running served instance at this base URL (e.g. http://localhost:8080)")
+	async := flag.Bool("async", false, "with -remote: submit as an async job and long-poll for the result")
+	apiKey := flag.String("api-key", "", "with -remote: tenant credential sent as the bearer token")
 	flag.Parse()
 	if err := profiling.Start(); err != nil {
 		fatal(err)
@@ -59,7 +68,31 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	cs, err := constraint.Parse(in)
+	text, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *remote != "" {
+		runRemote(ctx, remoteOptions{
+			baseURL: *remote,
+			apiKey:  *apiKey,
+			async:   *async,
+			text:    string(text),
+			check:   *check,
+			bits:    *bits,
+			metric:  *metric,
+			primes:  *primeLimit,
+			timeout: *timeout,
+			workers: *jobs,
+		})
+		return
+	}
+	if *async {
+		fatal(fmt.Errorf("-async requires -remote"))
+	}
+
+	cs, err := constraint.ParseString(string(text))
 	if err != nil {
 		fatal(err)
 	}
@@ -126,6 +159,89 @@ func main() {
 	}
 	fmt.Printf("# exact minimum-length encoding, %d bits\n", res.Encoding.Bits)
 	fmt.Print(res.Encoding)
+}
+
+// remoteOptions carries the CLI flags that shape a remote solve.
+type remoteOptions struct {
+	baseURL, apiKey string
+	async           bool
+	text            string
+	check           bool
+	bits            int
+	metric          string
+	primes          int
+	timeout         time.Duration
+	workers         int
+}
+
+// runRemote routes the solve through a served instance. The synchronous
+// path is one POST /v1/encode; the async path submits a job and
+// long-polls until it is terminal, so arbitrarily slow solves survive
+// client-side HTTP timeouts.
+func runRemote(ctx context.Context, opt remoteOptions) {
+	c := encodingapi.NewClient(opt.baseURL)
+	c.APIKey = opt.apiKey
+	req := encodingapi.EncodeRequest{
+		Constraints: opt.text,
+		PrimeLimit:  opt.primes,
+		TimeoutMS:   int(opt.timeout / time.Millisecond),
+		Workers:     opt.workers,
+	}
+	switch {
+	case opt.check:
+		req.Mode = "feasible"
+	case opt.bits > 0:
+		req.Mode = "heuristic"
+		req.Bits = opt.bits
+		req.Metric = opt.metric
+	default:
+		req.Mode = "exact"
+	}
+
+	var res *encodingapi.EncodeResult
+	if opt.async {
+		job, err := c.Submit(ctx, encodingapi.JobRequest{Encode: &req})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "encode: job %s submitted, waiting\n", job.ID)
+		done, err := c.Wait(ctx, job.ID)
+		if err != nil {
+			fatal(err)
+		}
+		if err := done.Err(); err != nil {
+			fatal(err)
+		}
+		res = done.Result
+	} else {
+		var err error
+		if res, err = c.Encode(ctx, req); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch req.Mode {
+	case "feasible":
+		if res.Feasible {
+			fmt.Println("SATISFIABLE")
+			return
+		}
+		fmt.Println("UNSATISFIABLE")
+		for _, u := range res.Uncovered {
+			fmt.Printf("uncovered: %s\n", u)
+		}
+		os.Exit(1)
+	case "heuristic":
+		fmt.Printf("# bounded-length heuristic, %d bits, metric %s\n", res.Bits, opt.metric)
+		if res.Cost != nil {
+			fmt.Printf("# violations=%d cubes=%d literals=%d\n",
+				res.Cost.Violations, res.Cost.Cubes, res.Cost.Literals)
+		}
+		fmt.Print(res.Text)
+	default:
+		fmt.Printf("# exact minimum-length encoding, %d bits\n", res.Bits)
+		fmt.Print(res.Text)
+	}
 }
 
 func parseMetric(s string) (cost.Metric, bool) {

@@ -6,13 +6,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/encode     solve a constraint set (modes: feasible, exact, heuristic)
-//	GET  /v1/healthz    liveness (503 while draining)
-//	GET  /v1/stats      service metrics as JSON
-//	GET  /v1/trace      recent solve traces (stage spans), newest first
-//	GET  /v1/trace/{id} one solve trace by the id from the encode response
-//	GET  /debug/vars    expvar, including encoding_server_stats (-debug only)
-//	GET  /debug/pprof/  Go profiling endpoints (-debug only)
+//	POST   /v1/encode       solve a constraint set (modes: feasible, exact, heuristic)
+//	POST   /v1/encode/batch solve N constraint sets; duplicates coalesce to one solve
+//	POST   /v1/pipeline     run the KISS2 synthesis pipeline
+//	POST   /v1/jobs         submit an async encode/pipeline job (202 + job id)
+//	GET    /v1/jobs         list the calling tenant's jobs
+//	GET    /v1/jobs/{id}    poll one job; ?wait=5s long-polls until terminal
+//	DELETE /v1/jobs/{id}    cancel a queued or running job
+//	GET    /v1/healthz      liveness (503 while draining)
+//	GET    /v1/stats        service metrics as JSON
+//	GET    /v1/trace        recent solve traces (stage spans), newest first
+//	GET    /v1/trace/{id}   one solve trace by the id from the encode response
+//	GET    /debug/vars      expvar, including encoding_server_stats (-debug only)
+//	GET    /debug/pprof/    Go profiling endpoints (-debug only)
+//
+// Tenants are keyed by bearer token (Authorization: Bearer <tok> or
+// X-API-Key); requests without credentials share the anonymous tenant.
+// -tenant-active and -tenant-jobs bound each tenant's concurrent solves
+// and live jobs; exhausted quotas answer 429 with Retry-After.
 //
 // Solves slower than -slow-solve emit one structured log line with the
 // stage breakdown and trace id.
@@ -47,6 +58,12 @@ func main() {
 	debug := flag.Bool("debug", false, "mount /debug/pprof and /debug/vars on the service listener")
 	slowSolve := flag.Duration("slow-solve", server.DefaultSlowSolve, "log solves slower than this (negative disables)")
 	traceBuffer := flag.Int("trace-buffer", server.DefaultTraceBuffer, "recent solve traces retained for /v1/trace (negative disables)")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatchItems, "items accepted per /v1/encode/batch request")
+	jobTTL := flag.Duration("job-ttl", 0, "retention of finished jobs before eviction (0 = default 10m)")
+	maxJobs := flag.Int("max-jobs", 0, "jobs retained in the store before submits shed with 429 (0 = default 1024)")
+	maxJobWait := flag.Duration("max-job-wait", server.DefaultMaxJobWait, "ceiling on ?wait= long-poll windows")
+	tenantActive := flag.Int("tenant-active", 0, "concurrent solves per tenant before shedding with 429 (0 = unlimited)")
+	tenantJobs := flag.Int("tenant-jobs", 0, "live jobs per tenant before submits shed with 429 (0 = unlimited)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -60,6 +77,12 @@ func main() {
 		Debug:              *debug,
 		SlowSolveThreshold: *slowSolve,
 		TraceBuffer:        *traceBuffer,
+		MaxBatchItems:      *maxBatch,
+		JobTTL:             *jobTTL,
+		MaxJobs:            *maxJobs,
+		MaxJobWait:         *maxJobWait,
+		TenantMaxActive:    *tenantActive,
+		TenantMaxJobs:      *tenantJobs,
 	})
 	srv.PublishExpvar()
 

@@ -1,0 +1,368 @@
+// Client-side surface of the encoding service: a typed HTTP client for
+// the v1 API served by internal/server (cmd/served), covering the
+// synchronous endpoints, batch submission and the async job lifecycle.
+// Service errors decode into RemoteError, which unwraps infeasibility
+// back into the same typed errors the in-process entry points return —
+// errors.Is(err, ErrInfeasible) and AsInfeasible work identically against
+// a remote server.
+package encodingapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client calls a served instance. The zero value is not usable; set
+// BaseURL (e.g. "http://localhost:8080"). Safe for concurrent use.
+type Client struct {
+	// BaseURL is the service root, without a trailing slash.
+	BaseURL string
+	// HTTPClient performs the requests; nil means http.DefaultClient.
+	// Long-poll calls (Wait) need a client timeout above the poll window
+	// or none at all.
+	HTTPClient *http.Client
+	// APIKey, when non-empty, is sent as the Bearer token identifying
+	// the tenant for the service's admission control.
+	APIKey string
+}
+
+// NewClient returns a Client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// EncodeRequest is the body of POST /v1/encode (and of one batch item,
+// where TimeoutMS must stay 0 — the batch carries the budget).
+type EncodeRequest struct {
+	Constraints string `json:"constraints"`
+	// Mode is "feasible", "exact" (default) or "heuristic".
+	Mode       string `json:"mode,omitempty"`
+	Bits       int    `json:"bits,omitempty"`
+	Metric     string `json:"metric,omitempty"`
+	PrimeLimit int    `json:"prime_limit,omitempty"`
+	TimeoutMS  int    `json:"timeout_ms,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+}
+
+// PipelineRequest is the body of POST /v1/pipeline.
+type PipelineRequest struct {
+	Kiss           string `json:"kiss"`
+	Strategy       string `json:"strategy,omitempty"`
+	MinimizeStates bool   `json:"minimize_states,omitempty"`
+	TimeoutMS      int    `json:"timeout_ms,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
+}
+
+// CostBreakdown mirrors the heuristic mode's evaluated metrics.
+type CostBreakdown struct {
+	Violations int `json:"violations"`
+	Cubes      int `json:"cubes"`
+	Literals   int `json:"literals"`
+}
+
+// EncodeResult is a successful solve answer: the mode-independent result
+// plus the service's delivery metadata. Pipeline reports stay raw JSON —
+// their schema belongs to internal/pipeline and is documented in
+// docs/openapi.yaml.
+type EncodeResult struct {
+	Mode      string            `json:"mode"`
+	Feasible  bool              `json:"feasible"`
+	Bits      int               `json:"bits"`
+	Codes     map[string]string `json:"codes,omitempty"`
+	Text      string            `json:"text,omitempty"`
+	Optimal   bool              `json:"optimal,omitempty"`
+	Cost      *CostBreakdown    `json:"cost,omitempty"`
+	Uncovered []string          `json:"uncovered,omitempty"`
+	Pipeline  json.RawMessage   `json:"pipeline,omitempty"`
+
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	TraceID   uint64  `json:"trace_id,omitempty"`
+}
+
+// ErrorBody is the service's versioned error shape, shared by every v1
+// endpoint: {"error":{"code","message","retry_after_s","conflict"}}.
+type ErrorBody struct {
+	Code        string   `json:"code"`
+	Message     string   `json:"message"`
+	RetryAfterS int64    `json:"retry_after_s,omitempty"`
+	Conflict    []string `json:"conflict,omitempty"`
+}
+
+// RemoteError is a non-2xx service answer. It preserves the full error
+// body, and Unwrap reconstructs typed infeasibility: errors.Is(err,
+// ErrInfeasible) holds and AsInfeasible returns an InfeasibleError whose
+// Conflict is re-parsed from the body's conflict lines, exactly as the
+// in-process solvers would have reported it.
+type RemoteError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Body is the decoded error body; for a malformed error response
+	// only Message is set (to the raw body text).
+	Body ErrorBody
+}
+
+func (e *RemoteError) Error() string {
+	if e.Body.Code != "" {
+		return fmt.Sprintf("server: %s (%d): %s", e.Body.Code, e.Status, e.Body.Message)
+	}
+	return fmt.Sprintf("server: status %d: %s", e.Status, e.Body.Message)
+}
+
+// Unwrap maps the error code back to the library's sentinel errors.
+func (e *RemoteError) Unwrap() error {
+	if e.Body.Code != "infeasible" {
+		return nil
+	}
+	ie := &InfeasibleError{}
+	if len(e.Body.Conflict) > 0 {
+		if cs, err := ParseString(strings.Join(e.Body.Conflict, "\n") + "\n"); err == nil {
+			ie.Conflict = cs
+		}
+	}
+	return ie
+}
+
+// BatchRequest is the body of POST /v1/encode/batch: N constraint-solve
+// items under one shared budget.
+type BatchRequest struct {
+	Items     []EncodeRequest `json:"items"`
+	TimeoutMS int             `json:"timeout_ms,omitempty"`
+}
+
+// BatchItemResult is one item's outcome; exactly one of Result and Error
+// is set.
+type BatchItemResult struct {
+	Index  int           `json:"index"`
+	Status int           `json:"status"`
+	Result *EncodeResult `json:"result,omitempty"`
+	Error  *ErrorBody    `json:"error,omitempty"`
+}
+
+// Err returns the item's failure as a *RemoteError; nil for a successful
+// item. An infeasible item's error unwraps to ErrInfeasible like any
+// other service error.
+func (it *BatchItemResult) Err() error {
+	if it.Error == nil {
+		return nil
+	}
+	return &RemoteError{Status: it.Status, Body: *it.Error}
+}
+
+// BatchResult is the batch answer. Per-item failures live inside Items;
+// the batch call itself only fails when the whole request was rejected.
+type BatchResult struct {
+	Items []BatchItemResult `json:"items"`
+	// UniqueItems counts distinct canonical problems dispatched; Deduped
+	// counts items answered by an identical sibling in the same batch.
+	UniqueItems int     `json:"unique_items"`
+	Deduped     int     `json:"deduped"`
+	TraceID     uint64  `json:"trace_id,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// JobState is a job's lifecycle state as rendered by the service.
+type JobState string
+
+// The job lifecycle: queued → running → done/failed/cancelled. A job
+// answered from the result cache may go queued → done without running.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobRequest is the body of POST /v1/jobs: exactly one of Encode or
+// Pipeline names the workload. The workload's TimeoutMS bounds the solve
+// itself (clamped by the server), not any HTTP response — that is the
+// point of submitting asynchronously.
+type JobRequest struct {
+	Encode   *EncodeRequest   `json:"encode,omitempty"`
+	Pipeline *PipelineRequest `json:"pipeline,omitempty"`
+}
+
+// Job is one job's rendered state. Result is set only in state "done";
+// Error only in "failed" and "cancelled".
+type Job struct {
+	ID       string        `json:"id"`
+	Kind     string        `json:"kind"`
+	State    JobState      `json:"state"`
+	Created  time.Time     `json:"created"`
+	Started  *time.Time    `json:"started,omitempty"`
+	Finished *time.Time    `json:"finished,omitempty"`
+	Result   *EncodeResult `json:"result,omitempty"`
+	Error    *ErrorBody    `json:"error,omitempty"`
+}
+
+// Err returns a terminal failure as a *RemoteError; nil while the job is
+// active or when it succeeded.
+func (j *Job) Err() error {
+	if j.Error == nil {
+		return nil
+	}
+	status := http.StatusInternalServerError
+	switch j.State {
+	case JobCancelled:
+		status = http.StatusServiceUnavailable
+	case JobFailed:
+		if j.Error.Code == "timeout" {
+			status = http.StatusGatewayTimeout
+		}
+	}
+	return &RemoteError{Status: status, Body: *j.Error}
+}
+
+// Encode solves one constraint set synchronously via POST /v1/encode.
+func (c *Client) Encode(ctx context.Context, req EncodeRequest) (*EncodeResult, error) {
+	var out EncodeResult
+	if err := c.do(ctx, http.MethodPost, "/v1/encode", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Pipeline runs the KISS2 synthesis pipeline synchronously via
+// POST /v1/pipeline.
+func (c *Client) Pipeline(ctx context.Context, req PipelineRequest) (*EncodeResult, error) {
+	var out EncodeResult
+	if err := c.do(ctx, http.MethodPost, "/v1/pipeline", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EncodeBatch submits N items via POST /v1/encode/batch. The returned
+// error covers batch-level rejection only; inspect each item's Err for
+// per-item outcomes.
+func (c *Client) EncodeBatch(ctx context.Context, req BatchRequest) (*BatchResult, error) {
+	var out BatchResult
+	if err := c.do(ctx, http.MethodPost, "/v1/encode/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit creates an async job via POST /v1/jobs and returns it in state
+// "queued" (the service answers 202).
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Poll fetches the job's current state via GET /v1/jobs/{id}.
+func (c *Client) Poll(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Wait long-polls GET /v1/jobs/{id}?wait=... until the job is terminal
+// or ctx is done. It never fails on a terminal job state — a failed job
+// is returned as a Job whose Err reports the failure.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	for {
+		var out Job
+		if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait=30s", nil, &out); err != nil {
+			return nil, err
+		}
+		if out.State.Terminal() {
+			return &out, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return &out, err
+		}
+	}
+}
+
+// Cancel requests cancellation via DELETE /v1/jobs/{id} and returns the
+// resulting state: "cancelled" for a job caught while queued, "running"
+// for one whose solve is still observing the cancellation (Poll or Wait
+// for the terminal state), unchanged for an already-terminal job.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists the calling tenant's retained jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var out struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// do performs one JSON round trip; non-2xx answers become *RemoteError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var er struct {
+			Error ErrorBody `json:"error"`
+		}
+		if json.Unmarshal(data, &er) != nil || er.Error.Code == "" {
+			er.Error.Message = strings.TrimSpace(string(data))
+		}
+		return &RemoteError{Status: resp.StatusCode, Body: er.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}

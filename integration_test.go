@@ -41,7 +41,7 @@ func TestEndToEndStateAssignment(t *testing.T) {
 				}
 			}
 			cs := mv.GenerateConstraints(m, outOpts)
-			res, err := core.ExactEncode(cs, core.ExactOptions{})
+			res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,7 +72,7 @@ func TestRandomFSMFlow(t *testing.T) {
 		if !core.CheckFeasible(cs).Feasible {
 			t.Fatalf("trial %d: generated constraints infeasible:\n%s", trial, cs)
 		}
-		res, err := core.ExactEncode(cs, core.ExactOptions{})
+		res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 		if err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, cs)
 		}
@@ -82,7 +82,7 @@ func TestRandomFSMFlow(t *testing.T) {
 		// The heuristic and NOVA must both produce injective encodings.
 		input := mv.InputConstraints(m)
 		if len(input.Faces) > 0 {
-			h, err := heuristic.Encode(input, heuristic.Options{Metric: cost.Violations})
+			h, err := heuristic.EncodeCtx(context.Background(), input, heuristic.Options{Metric: cost.Violations})
 			if err != nil {
 				t.Fatalf("trial %d: heuristic: %v", trial, err)
 			}
@@ -157,7 +157,7 @@ func TestKissRoundTripThroughFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := mv.GenerateConstraints(m, mv.OutputOptions{})
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +178,11 @@ func TestHeuristicVsExactBits(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := mv.InputConstraints(m)
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := heuristic.Encode(cs, heuristic.Options{
+	h, err := heuristic.EncodeCtx(context.Background(), cs, heuristic.Options{
 		Metric: cost.Violations,
 		Bits:   res.Encoding.Bits,
 	})

@@ -30,7 +30,7 @@ func Figure1() (string, error) {
 	b.WriteString("Figure 1: satisfaction of constraints as binate covering\n")
 	b.WriteString("constraints: (a,b), b > c, b = a | c\n\n")
 	b.WriteString(tab.Render())
-	pats, err := tab.Solve(cover.Options{})
+	pats, err := tab.SolveCtx(context.Background(), cover.Options{})
 	if err != nil {
 		return "", err
 	}

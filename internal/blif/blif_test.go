@@ -1,6 +1,7 @@
 package blif
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestWriteEncodedSuite(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := mv.GenerateConstraints(m, mv.OutputOptions{MaxDominance: 8, MaxDisjunctive: 3})
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -108,17 +108,10 @@ func dichotomyOfPattern(pat uint64, n int) dichotomy.D {
 	return d
 }
 
-// Solve finds a minimum set of encoding columns satisfying the table via
-// the binate covering solver; the selected column patterns are returned.
-//
-// Deprecated: use SolveCtx, the canonical context-first form; Solve remains
-// as a thin wrapper over context.Background().
-func (t *BinateTable) Solve(opts cover.Options) ([]uint64, error) {
-	return t.SolveCtx(context.Background(), opts)
-}
-
-// SolveCtx is Solve under a caller-supplied context, polled by the binate
-// branch and bound every 256 nodes.
+// SolveCtx finds a minimum set of encoding columns satisfying the table
+// via the binate covering solver; the selected column patterns are
+// returned. The context is polled by the binate branch and bound every
+// 256 nodes.
 func (t *BinateTable) SolveCtx(ctx context.Context, opts cover.Options) ([]uint64, error) {
 	p := cover.BinateProblem{NumCols: len(t.Columns)}
 	for _, row := range t.Rows {

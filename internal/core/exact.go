@@ -68,7 +68,7 @@ type ExactResult struct {
 	Trace trace.Trace
 }
 
-// ExactEncode solves P-2: it finds codes of minimum length satisfying all
+// ExactEncodeCtx solves P-2: it finds codes of minimum length satisfying all
 // input and output constraints (Figure 7), or returns ErrInfeasible.
 //
 // Pipeline: generate initial encoding-dichotomies; delete invalid ones;
@@ -84,24 +84,17 @@ type ExactResult struct {
 // when each piece is individually realizable, so retaining the pieces
 // guarantees a cover exists whenever CheckFeasible succeeds.
 //
-// Deprecated: use ExactEncodeCtx, the canonical context-first form;
-// ExactEncode remains as a thin wrapper over context.Background().
-func ExactEncode(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
-	return ExactEncodeCtx(context.Background(), cs, opts)
-}
-
-// ExactEncodeCtx is ExactEncode under a caller-supplied context, which is
-// threaded into prime generation (cooperative cancellation of the
-// exponential search) and the covering solve (anytime: cancellation yields
-// the incumbent with Optimal=false). Prime-generation cancellation aborts
-// the pipeline with the wrapped context error (or prime.ErrTimeout on a
-// missed deadline).
+// The context is threaded into prime generation (cooperative cancellation
+// of the exponential search) and the covering solve (anytime:
+// cancellation yields the incumbent with Optimal=false). Prime-generation
+// cancellation aborts the pipeline with the wrapped context error (or
+// prime.ErrTimeout on a missed deadline).
 func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 	if err := cs.Validate(); err != nil {
 		return nil, err
 	}
 	if cs.HasExtensionConstraints() {
-		return nil, fmt.Errorf("core: ExactEncode does not handle distance-2/non-face/chain constraints; use ExactEncodeExtended")
+		return nil, fmt.Errorf("core: ExactEncodeCtx does not handle distance-2/non-face/chain constraints; use ExactEncodeExtendedCtx")
 	}
 	n := cs.N()
 	if n == 0 {

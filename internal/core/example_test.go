@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/constraint"
@@ -35,7 +36,7 @@ func ExampleCheckFeasible() {
 }
 
 // ExampleExactEncode solves the Figure-8 instance to minimum length.
-func ExampleExactEncode() {
+func ExampleExactEncodeCtx() {
 	cs := constraint.MustParse(`
 		symbols s0 s1 s2 s3
 		face s0 s1
@@ -43,7 +44,7 @@ func ExampleExactEncode() {
 		dom s1 > s2
 		disj s0 = s1 | s3
 	`)
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -19,7 +19,7 @@ import (
 // restricted pool is kept and the result no longer claims optimality.
 const extendedExhaustiveLimit = 10
 
-// ExactEncodeExtended solves P-2 in the presence of the Section-8 extension
+// ExactEncodeExtendedCtx solves P-2 in the presence of the Section-8 extension
 // constraints. Distance-2 and non-face constraints are lowered to extra
 // binate clauses on the final covering step, as sketched in Sections 8.2
 // and 8.3:
@@ -36,15 +36,8 @@ const extendedExhaustiveLimit = 10
 // Chain constraints are *not* lowered — the paper leaves them open
 // (Section 8.4); SolveWithChains provides a direct small-scale search.
 //
-// Deprecated: use ExactEncodeExtendedCtx, the canonical context-first form;
-// ExactEncodeExtended remains as a thin wrapper over context.Background().
-func ExactEncodeExtended(cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
-	return ExactEncodeExtendedCtx(context.Background(), cs, opts)
-}
-
-// ExactEncodeExtendedCtx is ExactEncodeExtended under a caller-supplied
-// context; see ExactEncodeCtx for the cancellation contract. The binate
-// covering stage polls the context every 256 nodes.
+// See ExactEncodeCtx for the cancellation contract; the binate covering
+// stage polls the context every 256 nodes.
 func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) (*ExactResult, error) {
 	if err := cs.Validate(); err != nil {
 		return nil, err

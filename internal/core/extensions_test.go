@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -21,7 +22,7 @@ func TestSection83NonFace(t *testing.T) {
 		face d f
 		nonface a b e
 	`)
-	res, err := ExactEncodeExtended(cs, ExactOptions{})
+	res, err := ExactEncodeExtendedCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestDistance2(t *testing.T) {
 		face a b
 		dist2 a b
 	`)
-	res, err := ExactEncodeExtended(cs, ExactOptions{})
+	res, err := ExactEncodeExtendedCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestDistance2WithOutputConstraints(t *testing.T) {
 		dom a > c
 		dist2 c d
 	`)
-	res, err := ExactEncodeExtended(cs, ExactOptions{})
+	res, err := ExactEncodeExtendedCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +80,11 @@ func TestExtendedMatchesExact(t *testing.T) {
 		dom s1 > s2
 		disj s0 = s1 | s3
 	`)
-	plain, err := ExactEncode(cs, ExactOptions{})
+	plain, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext, err := ExactEncodeExtended(cs, ExactOptions{})
+	ext, err := ExactEncodeExtendedCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestExtendedMatchesExact(t *testing.T) {
 
 func TestExtendedRejectsChains(t *testing.T) {
 	cs := constraint.MustParse("symbols a b\nchain a b\n")
-	if _, err := ExactEncodeExtended(cs, ExactOptions{}); err == nil {
+	if _, err := ExactEncodeExtendedCtx(context.Background(), cs, ExactOptions{}); err == nil {
 		t.Fatal("chains are not expressible; must be rejected")
 	}
 }
@@ -152,8 +153,8 @@ func TestExhaustiveAgreesWithPrimes(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	for trial := 0; trial < 60; trial++ {
 		cs := randomConstraints(rng, 4+rng.Intn(2))
-		ref, errRef := ExactEncode(cs, ExactOptions{Exhaustive: true})
-		got, errGot := ExactEncode(cs, ExactOptions{})
+		ref, errRef := ExactEncodeCtx(context.Background(), cs, ExactOptions{Exhaustive: true})
+		got, errGot := ExactEncodeCtx(context.Background(), cs, ExactOptions{})
 		if (errRef == nil) != (errGot == nil) {
 			t.Fatalf("trial %d: feasibility disagreement: exhaustive=%v primes=%v\n%s",
 				trial, errRef, errGot, cs)
@@ -214,7 +215,7 @@ func TestFeasibilityAgreesWithExhaustive(t *testing.T) {
 		n := 3 + rng.Intn(2)
 		cs := randomConstraints(rng, n)
 		feasible := CheckFeasible(cs).Feasible
-		_, err := ExactEncode(cs, ExactOptions{Exhaustive: true})
+		_, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{Exhaustive: true})
 		bruteFeasible := err == nil
 		if feasible != bruteFeasible {
 			t.Fatalf("trial %d: CheckFeasible=%v but exhaustive=%v\n%s",
@@ -233,7 +234,7 @@ func TestBinateAbstractionLimits(t *testing.T) {
 
 func TestEmptyConstraintSet(t *testing.T) {
 	cs := constraint.NewSet(nil)
-	res, err := ExactEncode(cs, ExactOptions{})
+	res, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{})
 	if err != nil || res.Encoding.Bits != 0 {
 		t.Fatalf("empty set: %+v, %v", res, err)
 	}
@@ -245,7 +246,7 @@ func TestUniquenessOnly(t *testing.T) {
 	for _, s := range []string{"a", "b", "c", "d", "e"} {
 		cs.Syms.Intern(s)
 	}
-	res, err := ExactEncode(cs, ExactOptions{})
+	res, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestUniquenessOnly(t *testing.T) {
 
 func TestExactEncodeRejectsExtensions(t *testing.T) {
 	cs := constraint.MustParse("symbols a b\nface a b\ndist2 a b\n")
-	if _, err := ExactEncode(cs, ExactOptions{}); err == nil {
+	if _, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{}); err == nil {
 		t.Fatal("ExactEncode must defer extension constraints to ExactEncodeExtended")
 	}
 }
@@ -274,7 +275,7 @@ func TestExhaustivePanicsOnLargeUniverse(t *testing.T) {
 			t.Fatal("exhaustive enumeration beyond 22 symbols must panic")
 		}
 	}()
-	_, _ = ExactEncode(cs, ExactOptions{Exhaustive: true})
+	_, _ = ExactEncodeCtx(context.Background(), cs, ExactOptions{Exhaustive: true})
 }
 
 func TestSolveWithChainsRejectsLarge(t *testing.T) {
@@ -298,7 +299,7 @@ func TestDistance2InfeasibleWhenNoSeparators(t *testing.T) {
 		dom b > a
 		dist2 a b
 	`)
-	if _, err := ExactEncodeExtended(cs, ExactOptions{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := ExactEncodeExtendedCtx(context.Background(), cs, ExactOptions{}); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("want ErrInfeasible, got %v", err)
 	}
 }
@@ -318,7 +319,7 @@ func TestExtendedOptimalityWithDistance2(t *testing.T) {
 		dist2 s5 s4
 		dist2 s0 s4
 	`)
-	res, err := ExactEncodeExtended(cs, ExactOptions{})
+	res, err := ExactEncodeExtendedCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

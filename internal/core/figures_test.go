@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestSection1Example(t *testing.T) {
 		dom a > c
 		disj a = b | d
 	`)
-	res, err := ExactEncode(cs, ExactOptions{})
+	res, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatalf("ExactEncode: %v", err)
 	}
@@ -75,7 +76,7 @@ func TestFigure1Abstraction(t *testing.T) {
 		t.Errorf("dominance b>c should forbid patterns 100 and 101, got %v", forbidden)
 	}
 
-	pats, err := tab.Solve(cover.Options{})
+	pats, err := tab.SolveCtx(context.Background(), cover.Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -98,7 +99,7 @@ func TestFigure3InputEncoding(t *testing.T) {
 		face s1 s2 s3
 		face s1 s3 s4
 	`)
-	res, err := ExactEncode(cs, ExactOptions{})
+	res, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatalf("ExactEncode: %v", err)
 	}
@@ -109,7 +110,7 @@ func TestFigure3InputEncoding(t *testing.T) {
 		t.Fatalf("verification failed: %v\n%s", v, res.Encoding)
 	}
 	// Cross-check against exhaustive column enumeration.
-	ex, err := ExactEncode(cs, ExactOptions{Exhaustive: true})
+	ex, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{Exhaustive: true})
 	if err != nil {
 		t.Fatalf("exhaustive: %v", err)
 	}
@@ -138,7 +139,7 @@ func TestFigure4Infeasible(t *testing.T) {
 	if len(f.Uncovered) != 2 {
 		t.Errorf("paper reports exactly 2 uncovered initial dichotomies, got %d", len(f.Uncovered))
 	}
-	if _, err := ExactEncode(cs, ExactOptions{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{}); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("ExactEncode must report infeasibility, got %v", err)
 	}
 }
@@ -198,7 +199,7 @@ func TestFigure8ExactEncode(t *testing.T) {
 		dom s1 > s2
 		disj s0 = s1 | s3
 	`)
-	res, err := ExactEncode(cs, ExactOptions{})
+	res, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{})
 	if err != nil {
 		t.Fatalf("ExactEncode: %v", err)
 	}
@@ -243,7 +244,7 @@ func TestSection81DontCares(t *testing.T) {
 	forcedOut := constraint.MustParse(base + "face a b e\n")
 
 	solve := func(cs *constraint.Set) int {
-		res, err := ExactEncode(cs, ExactOptions{})
+		res, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{})
 		if err != nil {
 			t.Fatalf("ExactEncode: %v", err)
 		}

@@ -39,7 +39,7 @@ func TestExactEncodeWorkersDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(101))
 	for trial := 0; trial < 8; trial++ {
 		cs := randomFaceSet(rng, 5+rng.Intn(5))
-		seq, err := ExactEncode(cs, ExactOptions{Parallelism: par.Workers(1)})
+		seq, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{Parallelism: par.Workers(1)})
 		if err != nil {
 			if errors.Is(err, ErrInfeasible) {
 				continue
@@ -47,7 +47,7 @@ func TestExactEncodeWorkersDeterministic(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for _, workers := range []int{2, 4} {
-			par, err := ExactEncode(cs, ExactOptions{Parallelism: par.Workers(workers)})
+			par, err := ExactEncodeCtx(context.Background(), cs, ExactOptions{Parallelism: par.Workers(workers)})
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
 			}

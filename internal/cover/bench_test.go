@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -51,13 +52,13 @@ func BenchmarkUnateCoverKernel(b *testing.B) {
 func BenchmarkUnateCoverColdKernel(b *testing.B) {
 	p := kernelProblem(48, 36, 4, 11)
 	opts := Options{Parallelism: par.Workers(1)}
-	if _, err := p.SolveExact(opts); err != nil {
+	if _, err := p.SolveExactCtx(context.Background(), opts); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.SolveExact(opts); err != nil {
+		if _, err := p.SolveExactCtx(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,13 +74,13 @@ func BenchmarkUnateCoverParallelKernel(b *testing.B) {
 	run := func(p *Problem, maxNodes int) func(b *testing.B) {
 		return func(b *testing.B) {
 			opts := Options{Parallelism: par.Workers(0), MaxNodes: maxNodes}
-			if _, err := p.SolveExact(opts); err != nil {
+			if _, err := p.SolveExactCtx(context.Background(), opts); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := p.SolveExact(opts); err != nil {
+				if _, err := p.SolveExactCtx(context.Background(), opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -62,22 +62,15 @@ type binateSolver struct {
 	stopped  bool // node budget exhausted or context done
 }
 
-// Solve runs branch-and-bound minimization. Variables left unassigned in a
-// satisfying partial assignment default to false (cost 0). Not parallelized:
-// the assignment trail makes the recursion inherently stateful, and every
-// binate instance the framework builds (Section-4 abstraction, Section-8
-// extensions) is small; Options.Workers is ignored.
-//
-// Deprecated: use SolveCtx, the canonical context-first form; Solve remains
-// as a thin wrapper over context.Background().
-func (p *BinateProblem) Solve(opts Options) (BinateSolution, error) {
-	return p.SolveCtx(context.Background(), opts)
-}
-
-// SolveCtx is Solve under a caller-supplied context, polled every 256
-// nodes. Like the unate solver it is anytime: on expiry or cancellation the
-// best assignment found so far is returned with Optimal=false (or
-// ErrBinateInfeasible when none was found yet).
+// SolveCtx runs branch-and-bound minimization under the caller's context,
+// polled every 256 nodes. Variables left unassigned in a satisfying
+// partial assignment default to false (cost 0). Like the unate solver it
+// is anytime: on expiry or cancellation the best assignment found so far
+// is returned with Optimal=false (or ErrBinateInfeasible when none was
+// found yet). Not parallelized: the assignment trail makes the recursion
+// inherently stateful, and every binate instance the framework builds
+// (Section-4 abstraction, Section-8 extensions) is small; Options.Workers
+// is ignored.
 func (p *BinateProblem) SolveCtx(ctx context.Context, opts Options) (BinateSolution, error) {
 	ctx, cancel := opts.Context(ctx)
 	defer cancel()

@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -64,7 +65,7 @@ func TestExactOptimalVsBrute(t *testing.T) {
 			}
 		}
 		want, feasible := bruteMinCover(p)
-		sol, err := p.SolveExact(Options{})
+		sol, err := p.SolveExactCtx(context.Background(), Options{})
 		if !feasible {
 			if !errors.Is(err, ErrInfeasible) {
 				t.Fatalf("trial %d: want ErrInfeasible, got %v", trial, err)
@@ -132,7 +133,7 @@ func TestGreedyFeasible(t *testing.T) {
 func TestLowerBoundEarlyExit(t *testing.T) {
 	// 4 disjoint rows each with one column: optimum 4 = lower bound.
 	p := &Problem{NumCols: 4, RowCols: [][]int{{0}, {1}, {2}, {3}}}
-	sol, err := p.SolveExact(Options{LowerBound: 4})
+	sol, err := p.SolveExactCtx(context.Background(), Options{LowerBound: 4})
 	if err != nil || sol.Cost != 4 {
 		t.Fatalf("sol=%+v err=%v", sol, err)
 	}
@@ -151,7 +152,7 @@ func TestNodeBudgetReturnsFeasible(t *testing.T) {
 			p.RowCols[r] = append(p.RowCols[r], 0)
 		}
 	}
-	sol, err := p.SolveExact(Options{MaxNodes: 1})
+	sol, err := p.SolveExactCtx(context.Background(), Options{MaxNodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestNodeBudgetReturnsFeasible(t *testing.T) {
 
 func TestTimeLimitReturnsFeasible(t *testing.T) {
 	p := &Problem{NumCols: 3, RowCols: [][]int{{0, 1}, {1, 2}}}
-	sol, err := p.SolveExact(Options{Parallelism: par.Budget(time.Hour)})
+	sol, err := p.SolveExactCtx(context.Background(), Options{Parallelism: par.Budget(time.Hour)})
 	if err != nil || sol.Cost != 1 {
 		t.Fatalf("sol=%+v err=%v (column 1 covers both rows)", sol, err)
 	}
@@ -168,7 +169,7 @@ func TestTimeLimitReturnsFeasible(t *testing.T) {
 
 func TestBadColumnIndex(t *testing.T) {
 	p := &Problem{NumCols: 1, RowCols: [][]int{{5}}}
-	if _, err := p.SolveExact(Options{}); err == nil {
+	if _, err := p.SolveExactCtx(context.Background(), Options{}); err == nil {
 		t.Fatal("out-of-range column must error")
 	}
 }
@@ -235,7 +236,7 @@ func TestBinateVsBrute(t *testing.T) {
 			}
 		}
 		want, feasible := bruteBinate(p)
-		sol, err := p.Solve(Options{})
+		sol, err := p.SolveCtx(context.Background(), Options{})
 		if !feasible {
 			if !errors.Is(err, ErrBinateInfeasible) {
 				t.Fatalf("trial %d: want infeasible, got %v", trial, err)
@@ -270,7 +271,7 @@ func TestBinateVsBrute(t *testing.T) {
 
 func TestBinateEmptyClauseInfeasible(t *testing.T) {
 	p := &BinateProblem{NumCols: 2, Clauses: [][]Lit{{}}}
-	if _, err := p.Solve(Options{}); !errors.Is(err, ErrBinateInfeasible) {
+	if _, err := p.SolveCtx(context.Background(), Options{}); !errors.Is(err, ErrBinateInfeasible) {
 		t.Fatalf("empty clause must be infeasible, got %v", err)
 	}
 }
@@ -278,7 +279,7 @@ func TestBinateEmptyClauseInfeasible(t *testing.T) {
 func TestBinateNegativeOnly(t *testing.T) {
 	// ¬a alone: optimum selects nothing.
 	p := &BinateProblem{NumCols: 1, Clauses: [][]Lit{{{Col: 0, Neg: true}}}}
-	sol, err := p.Solve(Options{})
+	sol, err := p.SolveCtx(context.Background(), Options{})
 	if err != nil || len(sol.Selected) != 0 || sol.Cost != 0 {
 		t.Fatalf("sol=%+v err=%v", sol, err)
 	}

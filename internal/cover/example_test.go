@@ -1,13 +1,14 @@
 package cover_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cover"
 )
 
 // ExampleProblem_SolveExact solves a small unate covering problem exactly.
-func ExampleProblem_SolveExact() {
+func ExampleProblem_SolveExactCtx() {
 	p := cover.Problem{
 		NumCols: 4,
 		RowCols: [][]int{
@@ -16,7 +17,7 @@ func ExampleProblem_SolveExact() {
 			{2, 3},
 		},
 	}
-	sol, _ := p.SolveExact(cover.Options{})
+	sol, _ := p.SolveExactCtx(context.Background(), cover.Options{})
 	fmt.Println("cost:", sol.Cost, "optimal:", sol.Optimal)
 	// Output:
 	// cost: 2 optimal: true
@@ -24,7 +25,7 @@ func ExampleProblem_SolveExact() {
 
 // ExampleBinateProblem_Solve solves a binate problem: selecting column 0
 // forbids column 1.
-func ExampleBinateProblem_Solve() {
+func ExampleBinateProblem_SolveCtx() {
 	p := cover.BinateProblem{
 		NumCols: 3,
 		Clauses: [][]cover.Lit{
@@ -33,7 +34,7 @@ func ExampleBinateProblem_Solve() {
 			{{Col: 1, Neg: true}, {Col: 2, Neg: true}}, // c1 and c2 exclusive
 		},
 	}
-	sol, _ := p.Solve(cover.Options{})
+	sol, _ := p.SolveCtx(context.Background(), cover.Options{})
 	fmt.Println("selected:", sol.Selected)
 	// Output:
 	// selected: [1]

@@ -58,14 +58,14 @@ func TestParallelExactMatchesSequential(t *testing.T) {
 		for _, lb := range []int{0, 2} {
 			base := Options{LowerBound: lb}
 			base.Workers = 1
-			seq, err := p.SolveExact(base)
+			seq, err := p.SolveExactCtx(context.Background(), base)
 			if err != nil {
 				t.Fatalf("trial %d lb=%d: sequential: %v", trial, lb, err)
 			}
 			for _, workers := range []int{2, 3, 8} {
 				opts := base
 				opts.Workers = workers
-				par, err := p.SolveExact(opts)
+				par, err := p.SolveExactCtx(context.Background(), opts)
 				if err != nil {
 					t.Fatalf("trial %d lb=%d workers=%d: parallel: %v", trial, lb, workers, err)
 				}
@@ -101,7 +101,7 @@ func TestAdaptiveThresholdDeterminism(t *testing.T) {
 	for i, p := range instances {
 		var ref Solution
 		for j, workers := range []int{1, 0, 8} {
-			sol, err := p.SolveExact(Options{Parallelism: par.Workers(workers)})
+			sol, err := p.SolveExactCtx(context.Background(), Options{Parallelism: par.Workers(workers)})
 			if err != nil {
 				t.Fatalf("instance %d workers=%d: %v", i, workers, err)
 			}

@@ -255,20 +255,12 @@ func (s *solver) expired() bool {
 	return false
 }
 
-// SolveExact solves the problem with branch and bound. If a budget is
-// exhausted, the best feasible solution found is returned with
-// Optimal=false. ErrInfeasible is returned when no cover exists.
-//
-// Deprecated: use SolveExactCtx, the canonical context-first form;
-// SolveExact remains as a thin wrapper over context.Background().
-func (p *Problem) SolveExact(opts Options) (Solution, error) {
-	return p.SolveExactCtx(context.Background(), opts)
-}
-
-// SolveExactCtx is SolveExact under a caller-supplied context. The solver is
-// anytime: when ctx expires or is canceled mid-search, the best feasible
-// solution found so far is returned with Optimal=false and a nil error,
-// matching the TimeLimit semantics.
+// SolveExactCtx solves the problem with branch and bound under the
+// caller's context. ErrInfeasible is returned when no cover exists. The
+// solver is anytime: when a budget is exhausted, or ctx expires or is
+// canceled mid-search, the best feasible solution found so far is
+// returned with Optimal=false and a nil error, matching the TimeLimit
+// semantics.
 //
 // When the context carries a trace recorder (internal/trace), the solve
 // records one "cover.solve" span with row/column counts, branch-and-bound

@@ -92,20 +92,12 @@ func countMinterms(n int, c Cube) int {
 	return count
 }
 
-// MinimizeExact computes a minimum-cube cover of the on-set f with
+// MinimizeExactCtx computes a minimum-cube cover of the on-set f with
 // don't-cares dc, by prime generation and exact unate covering
 // (Quine–McCluskey). Exponential; intended as ground truth for the
-// espresso-lite heuristic on small functions.
-//
-// Deprecated: use MinimizeExactCtx, the canonical context-first form;
-// MinimizeExact remains as a thin wrapper over context.Background().
-func MinimizeExact(f, dc *Cover, opts cover.Options) (*Cover, error) {
-	return MinimizeExactCtx(context.Background(), f, dc, opts)
-}
-
-// MinimizeExactCtx is MinimizeExact under a caller-supplied context, which
-// is threaded into the covering solve (anytime: cancellation yields the
-// incumbent cover). When the context carries a trace recorder
+// espresso-lite heuristic on small functions. The context is threaded
+// into the covering solve (anytime: cancellation yields the incumbent
+// cover). When the context carries a trace recorder
 // (internal/trace) the prime-implicant stage records an "espresso.primes"
 // span; the covering stage records its own "cover.solve" span.
 func MinimizeExactCtx(ctx context.Context, f, dc *Cover, opts cover.Options) (*Cover, error) {

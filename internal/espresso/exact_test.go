@@ -1,6 +1,7 @@
 package espresso
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestMinimizeExactIsOptimalAndHeuristicClose(t *testing.T) {
 		}
 		f := FromMinterms(n, on)
 		d := FromMinterms(n, dc)
-		exact, err := MinimizeExact(f, d, cover.Options{})
+		exact, err := MinimizeExactCtx(context.Background(), f, d, cover.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

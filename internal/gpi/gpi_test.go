@@ -1,6 +1,7 @@
 package gpi
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -130,7 +131,7 @@ func TestSelectAndConstraints(t *testing.T) {
 	if err := cs.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestEndToEndLargerFunction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		t.Fatalf("encode: %v\nconstraints:\n%s", err, cs)
 	}
@@ -335,7 +336,7 @@ func TestMergedGPITagCoversSupercube(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.ExactEncodeExtended(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeExtendedCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		t.Fatalf("exact encode of the induced constraints: %v\n%s", err, cs)
 	}

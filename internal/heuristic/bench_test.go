@@ -1,6 +1,7 @@
 package heuristic
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -72,13 +73,13 @@ func BenchmarkHeuristicScoringKernel(b *testing.B) {
 func BenchmarkHeuristicEncodeKernel(b *testing.B) {
 	cs, _, _ := kernelSelection(10, 12, 5)
 	opts := Options{Metric: cost.Violations, Parallelism: par.Workers(1), Restarts: 1}
-	if _, err := Encode(cs, opts); err != nil {
+	if _, err := EncodeCtx(context.Background(), cs, opts); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Encode(cs, opts); err != nil {
+		if _, err := EncodeCtx(context.Background(), cs, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package heuristic
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestExactBoundedOnSection7Example(t *testing.T) {
 	if exact.Cost.Violations < 1 {
 		t.Fatalf("3 bits cannot satisfy all constraints; exact says %d violations", exact.Cost.Violations)
 	}
-	h, err := Encode(cs, Options{Metric: cost.Violations})
+	h, err := EncodeCtx(context.Background(), cs, Options{Metric: cost.Violations})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestHeuristicNearExactRandom(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		h, err := Encode(cs, Options{Metric: cost.Violations})
+		h, err := EncodeCtx(context.Background(), cs, Options{Metric: cost.Violations})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

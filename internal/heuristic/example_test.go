@@ -1,6 +1,7 @@
 package heuristic_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/constraint"
@@ -19,7 +20,7 @@ func Example() {
 		face a b d
 		face a g f d
 	`)
-	res, err := heuristic.Encode(cs, heuristic.Options{Metric: cost.Violations})
+	res, err := heuristic.EncodeCtx(context.Background(), cs, heuristic.Options{Metric: cost.Violations})
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -110,20 +110,13 @@ type Result struct {
 	Trace trace.Trace
 }
 
-// Encode runs the split/merge/select heuristic on the input constraints of
-// cs and returns an encoding of the requested length. Output constraints
-// are not handled by this algorithm (the paper presents it for input
-// constraints); they are ignored if present.
-//
-// Deprecated: use EncodeCtx, the canonical context-first form; Encode
-// remains as a thin wrapper over context.Background().
-func Encode(cs *constraint.Set, opts Options) (*Result, error) {
-	return EncodeCtx(context.Background(), cs, opts)
-}
-
-// EncodeCtx is Encode under a caller-supplied context; see the package
-// documentation for the (coarse-grained) cancellation contract.
-// Options.TimeLimit, when set, is layered under ctx as a deadline.
+// EncodeCtx runs the split/merge/select heuristic on the input
+// constraints of cs and returns an encoding of the requested length.
+// Output constraints are not handled by this algorithm (the paper
+// presents it for input constraints); they are ignored if present. See
+// the package documentation for the (coarse-grained) cancellation
+// contract; Options.TimeLimit, when set, is layered under ctx as a
+// deadline.
 func EncodeCtx(ctx context.Context, cs *constraint.Set, opts Options) (*Result, error) {
 	ctx, cancel := opts.Parallelism.Context(ctx)
 	defer cancel()

@@ -1,6 +1,7 @@
 package heuristic
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/constraint"
@@ -33,7 +34,7 @@ func TestSection7Example(t *testing.T) {
 		face a g f d
 	`)
 	for _, metric := range []cost.Metric{cost.Violations, cost.Cubes, cost.Literals} {
-		res, err := Encode(cs, Options{Metric: metric})
+		res, err := EncodeCtx(context.Background(), cs, Options{Metric: metric})
 		if err != nil {
 			t.Fatalf("%v: %v", metric, err)
 		}
@@ -71,7 +72,7 @@ func TestFourBitsSatisfiesAll(t *testing.T) {
 		face a b d
 		face a g f d
 	`)
-	res, err := Encode(cs, Options{Metric: cost.Violations, Bits: 4})
+	res, err := EncodeCtx(context.Background(), cs, Options{Metric: cost.Violations, Bits: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestSingleConstraint(t *testing.T) {
 		symbols a b c d
 		face a b
 	`)
-	res, err := Encode(cs, Options{Metric: cost.Violations})
+	res, err := EncodeCtx(context.Background(), cs, Options{Metric: cost.Violations})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestTwoSymbols(t *testing.T) {
 		symbols a b
 		face a b
 	`)
-	res, err := Encode(cs, Options{})
+	res, err := EncodeCtx(context.Background(), cs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestGreedySelectionPath(t *testing.T) {
 		face b e h
 		face c f j
 	`)
-	res, err := Encode(cs, Options{Metric: cost.Violations, MaxEvaluations: 10, Restarts: 2, PolishBudget: 50})
+	res, err := EncodeCtx(context.Background(), cs, Options{Metric: cost.Violations, MaxEvaluations: 10, Restarts: 2, PolishBudget: 50})
 	if err != nil {
 		t.Fatal(err)
 	}

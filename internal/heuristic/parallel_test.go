@@ -50,12 +50,12 @@ func TestEncodeParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 10; trial++ {
 		cs := randomConstraints(rng, 5+rng.Intn(8))
-		seq, err := Encode(cs, Options{Parallelism: par.Workers(1)})
+		seq, err := EncodeCtx(context.Background(), cs, Options{Parallelism: par.Workers(1)})
 		if err != nil {
 			t.Fatalf("trial %d: sequential: %v", trial, err)
 		}
 		for _, workers := range []int{2, 4} {
-			par, err := Encode(cs, Options{Parallelism: par.Workers(workers)})
+			par, err := EncodeCtx(context.Background(), cs, Options{Parallelism: par.Workers(workers)})
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
 			}
@@ -87,7 +87,7 @@ func TestAdaptiveThresholdDeterminism(t *testing.T) {
 		cs := randomConstraints(rng, n)
 		var ref *Result
 		for j, workers := range []int{1, 0, 8} {
-			res, err := Encode(cs, Options{Parallelism: par.Workers(workers)})
+			res, err := EncodeCtx(context.Background(), cs, Options{Parallelism: par.Workers(workers)})
 			if err != nil {
 				t.Fatalf("instance %d workers=%d: %v", i, workers, err)
 			}

@@ -1,0 +1,380 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced clock for retention tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestLifecycleDone(t *testing.T) {
+	s := NewMemStore(Config{})
+	defer s.Close()
+	snap, ctx, err := s.Create(context.Background(), "tenA", "encode")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if snap.State != Queued || snap.ID == "" || snap.Tenant != "tenA" || snap.Kind != "encode" {
+		t.Fatalf("created snapshot = %+v", snap)
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("job context already dead: %v", ctx.Err())
+	}
+	if !s.Start(snap.ID) {
+		t.Fatal("Start on queued job failed")
+	}
+	if got, _ := s.Get(snap.ID); got.State != Running || got.Started.IsZero() {
+		t.Fatalf("after Start: %+v", got)
+	}
+	fin, ok := s.Finish(snap.ID, "the-result", nil)
+	if !ok || fin.State != Done || fin.Result != "the-result" || fin.Finished.IsZero() {
+		t.Fatalf("Finish = %+v, %v", fin, ok)
+	}
+	// Terminal transitions are final: a second Finish and a Cancel no-op.
+	if _, ok := s.Finish(snap.ID, "other", nil); ok {
+		t.Fatal("double Finish succeeded")
+	}
+	if got, changed := s.Cancel(snap.ID); changed || got.State != Done {
+		t.Fatalf("Cancel after Done: %+v changed=%v", got, changed)
+	}
+}
+
+func TestFinishWithoutStart(t *testing.T) {
+	// A job answered from a result cache finishes without ever running.
+	s := NewMemStore(Config{})
+	defer s.Close()
+	snap, _, err := s.Create(context.Background(), "", "encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, ok := s.Finish(snap.ID, 42, nil)
+	if !ok || fin.State != Done || !fin.Started.IsZero() {
+		t.Fatalf("cache-hit finish = %+v, %v", fin, ok)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	s := NewMemStore(Config{})
+	defer s.Close()
+	snap, ctx, err := s.Create(context.Background(), "", "encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, changed := s.Cancel(snap.ID)
+	if !changed || got.State != Cancelled {
+		t.Fatalf("Cancel queued = %+v changed=%v", got, changed)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("queued cancel did not cancel the job context")
+	}
+	// The runner arriving late must not resurrect the job.
+	if s.Start(snap.ID) {
+		t.Fatal("Start succeeded on a cancelled job")
+	}
+	if _, ok := s.Finish(snap.ID, "late", nil); ok {
+		t.Fatal("Finish succeeded on a cancelled job")
+	}
+	if got, _ := s.Get(snap.ID); got.State != Cancelled || got.Result != nil {
+		t.Fatalf("cancelled job mutated by late runner: %+v", got)
+	}
+}
+
+func TestCancelWhileRunning(t *testing.T) {
+	s := NewMemStore(Config{})
+	defer s.Close()
+	snap, ctx, err := s.Create(context.Background(), "", "encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(snap.ID)
+	got, changed := s.Cancel(snap.ID)
+	if !changed || got.State != Running {
+		// Cancel of a running job only requests: the runner completes it.
+		t.Fatalf("Cancel running = %+v changed=%v", got, changed)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("running cancel did not cancel the job context")
+	}
+	// The runner observes ctx.Err() and finishes with it: state must land
+	// on Cancelled, not Failed.
+	fin, ok := s.Finish(snap.ID, nil, ctx.Err())
+	if !ok || fin.State != Cancelled {
+		t.Fatalf("Finish after running-cancel = %+v, %v", fin, ok)
+	}
+}
+
+func TestCancelRaceSolveWins(t *testing.T) {
+	// A solve that completes successfully despite a cancellation request
+	// reports Done with its (valid) result: cancellation only wins when the
+	// runner actually observed it.
+	s := NewMemStore(Config{})
+	defer s.Close()
+	snap, _, _ := s.Create(context.Background(), "", "encode")
+	s.Start(snap.ID)
+	s.Cancel(snap.ID)
+	fin, ok := s.Finish(snap.ID, "made-it", nil)
+	if !ok || fin.State != Done || fin.Result != "made-it" {
+		t.Fatalf("finish-after-cancel-race = %+v, %v", fin, ok)
+	}
+}
+
+func TestFinishFailed(t *testing.T) {
+	s := NewMemStore(Config{})
+	defer s.Close()
+	snap, _, _ := s.Create(context.Background(), "", "encode")
+	s.Start(snap.ID)
+	boom := errors.New("boom")
+	fin, ok := s.Finish(snap.ID, nil, boom)
+	if !ok || fin.State != Failed || !errors.Is(fin.Err, boom) {
+		t.Fatalf("Finish(err) = %+v, %v", fin, ok)
+	}
+	// A plain context error without a cancel request is a failure (e.g. a
+	// budget deadline), not a cancellation.
+	snap2, _, _ := s.Create(context.Background(), "", "encode")
+	s.Start(snap2.ID)
+	fin2, _ := s.Finish(snap2.ID, nil, context.DeadlineExceeded)
+	if fin2.State != Failed {
+		t.Fatalf("deadline finish state = %v, want failed", fin2.State)
+	}
+}
+
+func TestWaitNotification(t *testing.T) {
+	s := NewMemStore(Config{})
+	defer s.Close()
+	snap, _, _ := s.Create(context.Background(), "", "encode")
+
+	got := make(chan Snapshot, 1)
+	go func() {
+		w, err := s.Wait(context.Background(), snap.ID)
+		if err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		got <- w
+	}()
+	// The waiter must block while the job is active.
+	select {
+	case w := <-got:
+		t.Fatalf("Wait returned early: %+v", w)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Start(snap.ID)
+	s.Finish(snap.ID, "r", nil)
+	select {
+	case w := <-got:
+		if w.State != Done {
+			t.Fatalf("notified snapshot = %+v", w)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never woke after the terminal transition")
+	}
+
+	// Wait on a terminal job returns immediately.
+	w, err := s.Wait(context.Background(), snap.ID)
+	if err != nil || w.State != Done {
+		t.Fatalf("Wait on terminal = %+v, %v", w, err)
+	}
+
+	// Wait with an expiring context returns the still-active snapshot.
+	snap2, _, _ := s.Create(context.Background(), "", "encode")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	w2, err := s.Wait(ctx, snap2.ID)
+	if err != nil || w2.State != Queued {
+		t.Fatalf("timed-out Wait = %+v, %v", w2, err)
+	}
+
+	// Unknown job.
+	if _, err := s.Wait(context.Background(), "j-nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Wait unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	clock := newFakeClock()
+	s := NewMemStore(Config{TTL: time.Minute, Now: clock.Now})
+	defer s.Close()
+
+	early, _, _ := s.Create(context.Background(), "", "encode")
+	s.Start(early.ID)
+	s.Finish(early.ID, "r", nil)
+
+	clock.Advance(30 * time.Second)
+	late, _, _ := s.Create(context.Background(), "", "encode")
+	s.Start(late.ID)
+	s.Finish(late.ID, "r", nil)
+	active, _, _ := s.Create(context.Background(), "", "encode")
+
+	// 59s after `early` finished: nothing is past TTL yet.
+	clock.Advance(29 * time.Second)
+	if n := s.Sweep(); n != 0 {
+		t.Fatalf("premature sweep evicted %d", n)
+	}
+	// 61s after `early` finished, 31s after `late`: only `early` goes.
+	clock.Advance(2 * time.Second)
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+	if _, ok := s.Get(early.ID); ok {
+		t.Fatal("expired job still retained")
+	}
+	if _, ok := s.Get(late.ID); !ok {
+		t.Fatal("unexpired job evicted")
+	}
+	// Active jobs are never TTL-evicted, no matter the clock.
+	clock.Advance(24 * time.Hour)
+	s.Sweep()
+	if _, ok := s.Get(active.ID); !ok {
+		t.Fatal("active job evicted by TTL sweep")
+	}
+	if _, ok := s.Get(late.ID); ok {
+		t.Fatal("expired job survived the big sweep")
+	}
+}
+
+func TestCreateSweepsAndEvictsAtCapacity(t *testing.T) {
+	clock := newFakeClock()
+	s := NewMemStore(Config{TTL: time.Minute, MaxJobs: 2, Now: clock.Now})
+	defer s.Close()
+
+	a, _, _ := s.Create(context.Background(), "", "encode")
+	s.Finish(a.ID, nil, nil)
+	b, _, _ := s.Create(context.Background(), "", "encode")
+	s.Finish(b.ID, nil, nil)
+
+	// At capacity with two finished jobs: Create evicts the oldest (a).
+	if _, _, err := s.Create(context.Background(), "", "encode"); err != nil {
+		t.Fatalf("Create at capacity with evictable jobs: %v", err)
+	}
+	if _, ok := s.Get(a.ID); ok {
+		t.Fatal("oldest finished job not evicted to make room")
+	}
+	if _, ok := s.Get(b.ID); !ok {
+		t.Fatal("newer finished job evicted instead of oldest")
+	}
+
+	// b is still finished: one more Create evicts it for an active job...
+	if _, _, err := s.Create(context.Background(), "", "encode"); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// ...after which all retained jobs are active.
+	if _, _, err := s.Create(context.Background(), "", "encode"); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("Create on all-active store = %v, want ErrStoreFull", err)
+	}
+}
+
+func TestListAndActive(t *testing.T) {
+	s := NewMemStore(Config{})
+	defer s.Close()
+	a, _, _ := s.Create(context.Background(), "t1", "encode")
+	b, _, _ := s.Create(context.Background(), "t2", "pipeline")
+	c, _, _ := s.Create(context.Background(), "t1", "encode")
+	s.Start(a.ID)
+	s.Finish(a.ID, nil, nil)
+
+	if got := s.Active("t1"); got != 1 {
+		t.Fatalf("Active(t1) = %d, want 1", got)
+	}
+	if got := s.Active(""); got != 2 {
+		t.Fatalf("Active(all) = %d, want 2", got)
+	}
+	l := s.List("t1")
+	if len(l) != 2 || l[0].ID != c.ID || l[1].ID != a.ID {
+		t.Fatalf("List(t1) = %+v, want [c a] newest first", l)
+	}
+	if l := s.List(""); len(l) != 3 || l[0].ID != c.ID || l[2].ID != a.ID {
+		t.Fatalf("List(all) = %+v", l)
+	}
+	_ = b
+}
+
+func TestParentContextCancellation(t *testing.T) {
+	// Server shutdown cancels the parent: every job context dies with it.
+	s := NewMemStore(Config{})
+	defer s.Close()
+	parent, cancel := context.WithCancel(context.Background())
+	_, ctx, _ := s.Create(parent, "", "encode")
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("job context survived parent cancellation")
+	}
+}
+
+func TestCloseCancelsActiveJobs(t *testing.T) {
+	s := NewMemStore(Config{})
+	_, ctx, _ := s.Create(context.Background(), "", "encode")
+	s.Close()
+	if ctx.Err() == nil {
+		t.Fatal("Close left an active job context alive")
+	}
+	if _, _, err := s.Create(context.Background(), "", "encode"); err == nil {
+		t.Fatal("Create succeeded on a closed store")
+	}
+}
+
+// TestConcurrentLifecycle hammers the store from many goroutines; run under
+// -race this is the store's data-race check.
+func TestConcurrentLifecycle(t *testing.T) {
+	s := NewMemStore(Config{MaxJobs: 4096})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tenant := fmt.Sprintf("t%d", g%3)
+				snap, ctx, err := s.Create(context.Background(), tenant, "encode")
+				if err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					s.Start(snap.ID)
+					s.Finish(snap.ID, i, nil)
+				case 1:
+					s.Cancel(snap.ID)
+				case 2:
+					s.Start(snap.ID)
+					s.Cancel(snap.ID)
+					<-ctx.Done()
+					s.Finish(snap.ID, nil, ctx.Err())
+				}
+				if w, err := s.Wait(context.Background(), snap.ID); err != nil || !w.State.Terminal() {
+					t.Errorf("Wait after terminal: %+v, %v", w, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Active(""); n != 0 {
+		t.Fatalf("active jobs after drain = %d", n)
+	}
+}

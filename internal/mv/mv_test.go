@@ -1,6 +1,7 @@
 package mv
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/constraint"
@@ -250,7 +251,7 @@ func TestSymbolicInputConstraints(t *testing.T) {
 	}
 	// The resulting constraints must be encodable, and the encoding must
 	// verify.
-	res, err := core.ExactEncode(cs, core.ExactOptions{})
+	res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package prime
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -41,13 +42,13 @@ func kernelSeeds(count, n int, seed int64) []dichotomy.D {
 func BenchmarkBronKerboschKernel(b *testing.B) {
 	seeds := kernelSeeds(48, 32, 7)
 	opts := Options{Parallelism: par.Workers(1), Limit: 1 << 30}
-	if _, err := GenerateSets(seeds, opts); err != nil {
+	if _, err := GenerateSetsCtx(context.Background(), seeds, opts); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := GenerateSets(seeds, opts); err != nil {
+		if _, err := GenerateSetsCtx(context.Background(), seeds, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,13 +65,13 @@ func BenchmarkBronKerboschParallelKernel(b *testing.B) {
 	run := func(seeds []dichotomy.D) func(b *testing.B) {
 		return func(b *testing.B) {
 			opts := Options{Parallelism: par.Workers(0), Limit: 1 << 30}
-			if _, err := GenerateSets(seeds, opts); err != nil {
+			if _, err := GenerateSetsCtx(context.Background(), seeds, opts); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := GenerateSets(seeds, opts); err != nil {
+				if _, err := GenerateSetsCtx(context.Background(), seeds, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

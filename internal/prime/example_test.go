@@ -1,6 +1,7 @@
 package prime_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/constraint"
@@ -17,8 +18,8 @@ func Example() {
 		face c d
 	`)
 	seeds := dichotomy.Initial(cs)
-	bk, _ := prime.Generate(seeds, prime.Options{Engine: prime.BronKerbosch})
-	cp, _ := prime.Generate(seeds, prime.Options{Engine: prime.CSPS})
+	bk, _ := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.BronKerbosch})
+	cp, _ := prime.GenerateCtx(context.Background(), seeds, prime.Options{Engine: prime.CSPS})
 	fmt.Println("seeds:", len(seeds))
 	fmt.Println("primes:", len(bk), "==", len(cp))
 	// Output:

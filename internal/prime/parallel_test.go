@@ -50,12 +50,12 @@ func TestParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 25; trial++ {
 		seeds := randomSeeds(rng, 8+rng.Intn(25), 6+rng.Intn(8))
-		seq, err := GenerateSets(seeds, Options{Parallelism: par.Workers(1)})
+		seq, err := GenerateSetsCtx(context.Background(), seeds, Options{Parallelism: par.Workers(1)})
 		if err != nil {
 			t.Fatalf("trial %d: sequential: %v", trial, err)
 		}
 		for _, workers := range []int{2, 3, 8} {
-			par, err := GenerateSets(seeds, Options{Parallelism: par.Workers(workers)})
+			par, err := GenerateSetsCtx(context.Background(), seeds, Options{Parallelism: par.Workers(workers)})
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: parallel: %v", trial, workers, err)
 			}
@@ -89,7 +89,7 @@ func TestAdaptiveThresholdDeterminism(t *testing.T) {
 		seeds := randomSeeds(rng, count, 8)
 		var ref []bitset.Set
 		for j, workers := range []int{1, 0, 8} {
-			sets, err := GenerateSets(seeds, Options{Parallelism: par.Workers(workers)})
+			sets, err := GenerateSetsCtx(context.Background(), seeds, Options{Parallelism: par.Workers(workers)})
 			if err != nil {
 				t.Fatalf("instance %d workers=%d: %v", i, workers, err)
 			}
@@ -115,7 +115,7 @@ func TestParallelLimit(t *testing.T) {
 	forceParallel(t)
 	rng := rand.New(rand.NewSource(11))
 	seeds := randomSeeds(rng, 30, 10)
-	all, err := GenerateSets(seeds, Options{Parallelism: par.Workers(1)})
+	all, err := GenerateSetsCtx(context.Background(), seeds, Options{Parallelism: par.Workers(1)})
 	if err != nil {
 		t.Fatalf("sequential: %v", err)
 	}
@@ -123,10 +123,10 @@ func TestParallelLimit(t *testing.T) {
 		t.Skip("instance too small to exercise the limit")
 	}
 	for _, workers := range []int{1, 4} {
-		if _, err := GenerateSets(seeds, Options{Parallelism: par.Workers(workers), Limit: len(all) - 1}); !errors.Is(err, ErrLimit) {
+		if _, err := GenerateSetsCtx(context.Background(), seeds, Options{Parallelism: par.Workers(workers), Limit: len(all) - 1}); !errors.Is(err, ErrLimit) {
 			t.Fatalf("workers=%d limit=%d: got %v, want ErrLimit", workers, len(all)-1, err)
 		}
-		if got, err := GenerateSets(seeds, Options{Parallelism: par.Workers(workers), Limit: len(all)}); err != nil || len(got) != len(all) {
+		if got, err := GenerateSetsCtx(context.Background(), seeds, Options{Parallelism: par.Workers(workers), Limit: len(all)}); err != nil || len(got) != len(all) {
 			t.Fatalf("workers=%d limit=%d: got %d primes, err %v", workers, len(all), len(got), err)
 		}
 	}
@@ -146,7 +146,7 @@ func TestCancellation(t *testing.T) {
 			t.Fatalf("engine %d: canceled ctx: got %v, want context.Canceled", engine, err)
 		}
 	}
-	_, err := GenerateSets(seeds, Options{Parallelism: par.Budget(time.Nanosecond)})
+	_, err := GenerateSetsCtx(context.Background(), seeds, Options{Parallelism: par.Budget(time.Nanosecond)})
 	if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("TimeLimit: got %v", err)
 	}
@@ -162,11 +162,11 @@ func TestCachedGenerationMatchesDirect(t *testing.T) {
 	seeds := randomSeeds(rng, 20, 9)
 	cache := dichotomy.NewCompatCache()
 	for _, engine := range []Engine{BronKerbosch, CSPS} {
-		plain, err := GenerateSets(seeds, Options{Engine: engine, Parallelism: par.Workers(1)})
+		plain, err := GenerateSetsCtx(context.Background(), seeds, Options{Engine: engine, Parallelism: par.Workers(1)})
 		if err != nil {
 			t.Fatalf("engine %d: %v", engine, err)
 		}
-		cached, err := GenerateSets(seeds, Options{Engine: engine, Parallelism: par.Workers(1), Cache: cache})
+		cached, err := GenerateSetsCtx(context.Background(), seeds, Options{Engine: engine, Parallelism: par.Workers(1), Cache: cache})
 		if err != nil {
 			t.Fatalf("engine %d cached: %v", engine, err)
 		}

@@ -130,19 +130,11 @@ func (o Options) compatible(d, e dichotomy.D) bool {
 	return d.Compatible(e)
 }
 
-// Generate returns the prime encoding-dichotomies of seeds: the unions of
-// every maximal compatible subset. The seed order determines the output
-// order deterministically.
-//
-// Deprecated: use GenerateCtx, the canonical context-first form; Generate
-// remains as a thin wrapper over context.Background().
-func Generate(seeds []dichotomy.D, opts Options) ([]dichotomy.D, error) {
-	return GenerateCtx(context.Background(), seeds, opts)
-}
-
-// GenerateCtx is Generate under a caller-supplied context: generation stops
-// with ErrTimeout when the context deadline expires and with the context's
-// error when it is canceled.
+// GenerateCtx returns the prime encoding-dichotomies of seeds: the unions
+// of every maximal compatible subset. The seed order determines the output
+// order deterministically. Generation stops with ErrTimeout when the
+// context deadline expires and with the context's error when it is
+// canceled.
 func GenerateCtx(ctx context.Context, seeds []dichotomy.D, opts Options) ([]dichotomy.D, error) {
 	sets, err := GenerateSetsCtx(ctx, seeds, opts)
 	if err != nil {
@@ -155,16 +147,8 @@ func GenerateCtx(ctx context.Context, seeds []dichotomy.D, opts Options) ([]dich
 	return primes, nil
 }
 
-// GenerateSets returns the maximal compatibles themselves, each as a set of
-// seed indices.
-//
-// Deprecated: use GenerateSetsCtx, the canonical context-first form.
-func GenerateSets(seeds []dichotomy.D, opts Options) ([]bitset.Set, error) {
-	return GenerateSetsCtx(context.Background(), seeds, opts)
-}
-
-// GenerateSetsCtx is GenerateSets under a caller-supplied context; see
-// GenerateCtx for the cancellation contract.
+// GenerateSetsCtx returns the maximal compatibles themselves, each as a
+// set of seed indices; see GenerateCtx for the cancellation contract.
 //
 // When the context carries a trace recorder (internal/trace), generation
 // records one "prime.generate" span with seed/prime counts and — when a

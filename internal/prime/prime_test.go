@@ -1,6 +1,7 @@
 package prime
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -43,11 +44,11 @@ func sortedKeys(sets []bitset.Set) []string {
 // paper's seven maximal compatibles on the Figure-3 instance.
 func TestFigure3MaximalCompatibles(t *testing.T) {
 	seeds := figure3Seeds()
-	bk, err := GenerateSets(seeds, Options{Engine: BronKerbosch})
+	bk, err := GenerateSetsCtx(context.Background(), seeds, Options{Engine: BronKerbosch})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp, err := GenerateSets(seeds, Options{Engine: CSPS})
+	cp, err := GenerateSetsCtx(context.Background(), seeds, Options{Engine: CSPS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestMaximalCompatibleProperty(t *testing.T) {
 			seen[d.Key()] = true
 			seeds = append(seeds, d)
 		}
-		got, err := GenerateSets(seeds, Options{})
+		got, err := GenerateSetsCtx(context.Background(), seeds, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestMaximalCompatibleProperty(t *testing.T) {
 			}
 		}
 		// CSPS engine must agree too.
-		cp, err := GenerateSets(seeds, Options{Engine: CSPS})
+		cp, err := GenerateSetsCtx(context.Background(), seeds, Options{Engine: CSPS})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func TestGenerateUnions(t *testing.T) {
 		dichotomy.Of([]int{2}, []int{1}),
 		dichotomy.Of([]int{1}, []int{0}),
 	}
-	primes, err := Generate(seeds, Options{})
+	primes, err := GenerateCtx(context.Background(), seeds, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,16 +204,16 @@ func TestLimit(t *testing.T) {
 		seeds = append(seeds, dichotomy.Of([]int{2 * i}, []int{2*i + 1}))
 		seeds = append(seeds, dichotomy.Of([]int{2*i + 1}, []int{2 * i}))
 	}
-	_, err := Generate(seeds, Options{Limit: 100})
+	_, err := GenerateCtx(context.Background(), seeds, Options{Limit: 100})
 	if !errors.Is(err, ErrLimit) {
 		t.Fatalf("want ErrLimit, got %v", err)
 	}
-	_, err = GenerateSets(seeds, Options{Limit: 100, Engine: CSPS})
+	_, err = GenerateSetsCtx(context.Background(), seeds, Options{Limit: 100, Engine: CSPS})
 	if !errors.Is(err, ErrLimit) {
 		t.Fatalf("cs/ps: want ErrLimit, got %v", err)
 	}
 	// Under a generous limit the count is exactly 2^8.
-	sets, err := GenerateSets(seeds, Options{Limit: 1000})
+	sets, err := GenerateSetsCtx(context.Background(), seeds, Options{Limit: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,14 +228,14 @@ func TestTimeLimit(t *testing.T) {
 		seeds = append(seeds, dichotomy.Of([]int{2 * i}, []int{2*i + 1}))
 		seeds = append(seeds, dichotomy.Of([]int{2*i + 1}, []int{2 * i}))
 	}
-	_, err := Generate(seeds, Options{Limit: 1 << 30, Parallelism: par.Budget(time.Nanosecond)})
+	_, err := GenerateCtx(context.Background(), seeds, Options{Limit: 1 << 30, Parallelism: par.Budget(time.Nanosecond)})
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 }
 
 func TestEmptySeeds(t *testing.T) {
-	primes, err := Generate(nil, Options{})
+	primes, err := GenerateCtx(context.Background(), nil, Options{})
 	if err != nil || len(primes) != 0 {
 		t.Fatalf("empty seeds: %v, %v", primes, err)
 	}
@@ -253,7 +254,7 @@ func TestUnconstrainedPrimeCount(t *testing.T) {
 				}
 			}
 		}
-		primes, err := Generate(seeds, Options{Limit: 1 << 20})
+		primes, err := GenerateCtx(context.Background(), seeds, Options{Limit: 1 << 20})
 		if err != nil {
 			t.Fatal(err)
 		}

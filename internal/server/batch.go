@@ -1,0 +1,215 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// batchRequest is the JSON body of POST /v1/encode/batch: N independent
+// constraint-solve items under one shared budget. Items are
+// encodeRequests minus the per-request timeout (the batch owns the
+// budget, so one slow item cannot silently extend its siblings').
+type batchRequest struct {
+	Items []encodeRequest `json:"items"`
+	// TimeoutMS is the whole batch's solve budget; 0 means the server
+	// default, clamped to the server maximum.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// batchItemResult is one item's outcome. Exactly one of Result and Error
+// is set; Status is the HTTP status the item would have received from
+// POST /v1/encode.
+type batchItemResult struct {
+	Index  int             `json:"index"`
+	Status int             `json:"status"`
+	Result *encodeResponse `json:"result,omitempty"`
+	Error  *errorBody      `json:"error,omitempty"`
+}
+
+// batchResponse is the body of a 200 batch answer. The batch itself
+// succeeds whenever it was well-formed; per-item failures (including
+// infeasibility) live inside Items and never fail their siblings.
+type batchResponse struct {
+	Items []batchItemResult `json:"items"`
+	// UniqueItems counts the distinct canonical problems the batch
+	// dispatched; Deduped counts the items answered by an identical
+	// sibling (UniqueItems + Deduped + parse failures = len(Items)).
+	UniqueItems int `json:"unique_items"`
+	Deduped     int `json:"deduped"`
+	// TraceID names the batch's parent trace entry; every item entry
+	// links back to it via its parent field.
+	TraceID   uint64  `json:"trace_id,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// handleBatch serves POST /v1/encode/batch. Items are parsed
+// individually (a malformed item fails that item, not the batch), deduped
+// by canonical request key so duplicate items cost exactly one solve, and
+// the unique problems run concurrently through the shared execute spine —
+// cache, singleflight, pool backpressure and tenant admission all apply
+// per item, with batch items waiting out contention rather than shedding.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	end := s.beginRequest()
+	defer end()
+	start := time.Now()
+	if !s.intake(w, r, http.MethodPost) {
+		return
+	}
+
+	dec := newBodyDecoder(w, r, s.cfg.MaxBodyBytes)
+	var body batchRequest
+	if err := dec.Decode(&body); err != nil {
+		s.writeError(w, apiErr(http.StatusBadRequest, codeBadRequest, fmt.Sprintf("decoding request: %v", err)))
+		return
+	}
+	if len(body.Items) == 0 {
+		s.writeError(w, apiErr(http.StatusBadRequest, codeBadRequest, "batch needs at least one item"))
+		return
+	}
+	if len(body.Items) > s.cfg.MaxBatchItems {
+		s.writeError(w, apiErr(http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("batch has %d items, limit is %d", len(body.Items), s.cfg.MaxBatchItems)))
+		return
+	}
+	if body.TimeoutMS < 0 {
+		s.writeError(w, apiErr(http.StatusBadRequest, codeBadRequest, "timeout_ms must be non-negative"))
+		return
+	}
+	s.metrics.BatchRequests.Add(1)
+	s.metrics.BatchItems.Add(int64(len(body.Items)))
+	tenant := tenantFrom(r)
+
+	// Parse every item up front; failures stay per-item.
+	parsed := make([]*solveRequest, len(body.Items))
+	itemErrs := make([]*apiError, len(body.Items))
+	for i := range body.Items {
+		it := &body.Items[i]
+		if it.TimeoutMS != 0 {
+			itemErrs[i] = apiErr(http.StatusBadRequest, codeBadRequest,
+				"timeout_ms is per-batch: set it at the top level, not on items")
+			continue
+		}
+		sreq, err := s.parseRequest(it)
+		if err != nil {
+			itemErrs[i] = apiErr(http.StatusBadRequest, codeBadRequest, err.Error())
+			continue
+		}
+		parsed[i] = sreq
+	}
+
+	// Dedupe by canonical key: duplicate items are the same question and
+	// must cost one solve. dupOf maps a duplicate to the sibling whose
+	// outcome it shares; -1 marks leaders and parse failures.
+	leaderOf := make(map[requestKey]int)
+	dupOf := make([]int, len(parsed))
+	deduped := 0
+	for i, sreq := range parsed {
+		dupOf[i] = -1
+		if sreq == nil {
+			continue
+		}
+		k := sreq.key()
+		if j, ok := leaderOf[k]; ok {
+			dupOf[i] = j
+			deduped++
+			s.metrics.BatchDeduped.Add(1)
+		} else {
+			leaderOf[k] = i
+		}
+	}
+
+	// The parent trace entry is published before the items run so their
+	// entries can point at its id; its elapsed time is completed below.
+	parentID := s.traces.add(&traceEntry{Mode: modeBatch, Items: len(body.Items), Start: start})
+
+	budget := s.budget(time.Duration(body.TimeoutMS) * time.Millisecond)
+	ctx, cancel := context.WithTimeout(s.baseCtx, budget)
+	defer cancel()
+
+	type outcome struct {
+		res  *solveResult
+		meta execMeta
+		err  error
+	}
+	outs := make([]*outcome, len(parsed))
+	var wg sync.WaitGroup
+	for i, sreq := range parsed {
+		if sreq == nil || dupOf[i] >= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sreq *solveRequest) {
+			defer wg.Done()
+			res, meta, err := s.execute(ctx, sreq, tenant, parentID, true)
+			outs[i] = &outcome{res: res, meta: meta, err: err}
+		}(i, sreq)
+	}
+	wg.Wait()
+
+	elapsedMS := float64(time.Since(start).Microseconds()) / 1000
+	resp := batchResponse{
+		Items:       make([]batchItemResult, len(parsed)),
+		UniqueItems: len(leaderOf),
+		Deduped:     deduped,
+		TraceID:     parentID,
+		ElapsedMS:   elapsedMS,
+	}
+	for i := range parsed {
+		item := batchItemResult{Index: i}
+		switch {
+		case itemErrs[i] != nil:
+			item.Status = itemErrs[i].status
+			item.Error = &itemErrs[i].body
+		default:
+			src, dup := i, false
+			if dupOf[i] >= 0 {
+				src, dup = dupOf[i], true
+			}
+			out := outs[src]
+			if out.err != nil {
+				ae := s.asAPIError(out.err)
+				item.Status = ae.status
+				item.Error = &ae.body
+				break
+			}
+			// Every successful item gets its own trace id: leaders that
+			// solved already have one; cache hits, coalesced followers
+			// and in-batch duplicates get a stub entry whose parent and
+			// origin say where the answer came from.
+			traceID := out.meta.traceID
+			if dup || traceID == 0 {
+				origin := "cache"
+				switch {
+				case dup:
+					origin = "duplicate"
+				case out.meta.coalesced:
+					origin = "coalesced"
+				}
+				traceID = s.traces.add(&traceEntry{
+					Mode:   parsed[i].mode,
+					Parent: parentID,
+					Origin: origin,
+					Start:  start,
+				})
+			}
+			item.Status = http.StatusOK
+			item.Result = &encodeResponse{
+				solveResult: *out.res,
+				Cached:      out.meta.cached,
+				Coalesced:   out.meta.coalesced || dup,
+				ElapsedMS:   elapsedMS,
+				TraceID:     traceID,
+			}
+		}
+		resp.Items[i] = item
+	}
+
+	s.traces.complete(parentID, func(e *traceEntry) {
+		e.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	})
+	s.metrics.OK.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -5,6 +5,22 @@ import (
 	"sync"
 )
 
+// Cache is the result-cache seam of the solve spine. The in-process
+// resultCache is the default; Config.Cache replaces it, which is the
+// hook for the roadmap's shared cache tier (a remote cache keyed by the
+// same canonical hashes, shared across shards). Implementations must be
+// safe for concurrent use; Get must return results that are never
+// mutated afterwards (the server treats cached solveResults as
+// immutable).
+type Cache interface {
+	// Get returns the cached result for k, if any.
+	Get(k requestKey) (*solveResult, bool)
+	// Add stores res under k, evicting as the implementation sees fit.
+	Add(k requestKey, res *solveResult)
+	// Len reports the number of cached entries (for /v1/stats).
+	Len() int
+}
+
 // resultCache is a bounded LRU of finished solve results keyed by the
 // request's canonical key. It sits behind the singleflight layer: a hit
 // answers without queueing, a miss falls through to coalescing and the
@@ -33,7 +49,8 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-func (c *resultCache) get(k requestKey) (*solveResult, bool) {
+// Get implements Cache.
+func (c *resultCache) Get(k requestKey) (*solveResult, bool) {
 	if c.cap <= 0 {
 		return nil, false
 	}
@@ -47,7 +64,8 @@ func (c *resultCache) get(k requestKey) (*solveResult, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-func (c *resultCache) add(k requestKey, res *solveResult) {
+// Add implements Cache.
+func (c *resultCache) Add(k requestKey, res *solveResult) {
 	if c.cap <= 0 {
 		return
 	}
@@ -66,7 +84,8 @@ func (c *resultCache) add(k requestKey, res *solveResult) {
 	}
 }
 
-func (c *resultCache) len() int {
+// Len implements Cache.
+func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()

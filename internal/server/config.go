@@ -67,6 +67,43 @@ type Config struct {
 	// empty list / 404).
 	TraceBuffer int
 
+	// MaxBatchItems bounds the items of one POST /v1/encode/batch
+	// request; 0 means DefaultMaxBatchItems.
+	MaxBatchItems int
+
+	// JobTTL is how long finished async jobs stay pollable before
+	// eviction; 0 means jobs.DefaultTTL.
+	JobTTL time.Duration
+
+	// MaxJobs bounds retained jobs (active + finished); 0 means
+	// jobs.DefaultMaxJobs. Submissions finding the store full of active
+	// jobs are shed with 429.
+	MaxJobs int
+
+	// MaxJobWait caps the ?wait= long-poll duration of GET /v1/jobs/{id};
+	// 0 means DefaultMaxJobWait.
+	MaxJobWait time.Duration
+
+	// TenantMaxActive is the per-tenant concurrent-solve quota (slots
+	// held across sync requests, batch items and running jobs); 0 means
+	// unlimited. The sync path sheds over-quota requests with 429
+	// quota_exhausted; batch items and jobs wait for a slot instead.
+	TenantMaxActive int
+
+	// TenantMaxJobs caps one tenant's outstanding (queued + running)
+	// async jobs; 0 means unlimited.
+	TenantMaxJobs int
+
+	// Cache replaces the in-process LRU result cache — the seam for a
+	// shared remote cache tier. nil means a fresh LRU bounded by
+	// CacheEntries.
+	Cache Cache
+
+	// Jobs replaces the in-process job store — the seam for a sharded or
+	// replicated store. nil means a jobs.MemStore configured from JobTTL
+	// and MaxJobs. A store passed in here is still Closed by Shutdown.
+	Jobs JobStore
+
 	// Logger receives the service's structured log lines (slow solves).
 	// nil means slog.Default().
 	Logger *slog.Logger
@@ -74,14 +111,16 @@ type Config struct {
 
 // Defaults for the zero Config.
 const (
-	DefaultQueueDepth   = 64
-	DefaultCacheEntries = 256
-	DefaultTimeout      = 30 * time.Second
-	DefaultMaxTimeout   = 2 * time.Minute
-	DefaultMaxBodyBytes = 1 << 20
-	DefaultRetryAfter   = time.Second
-	DefaultSlowSolve    = time.Second
-	DefaultTraceBuffer  = 64
+	DefaultQueueDepth    = 64
+	DefaultCacheEntries  = 256
+	DefaultTimeout       = 30 * time.Second
+	DefaultMaxTimeout    = 2 * time.Minute
+	DefaultMaxBodyBytes  = 1 << 20
+	DefaultRetryAfter    = time.Second
+	DefaultSlowSolve     = time.Second
+	DefaultTraceBuffer   = 64
+	DefaultMaxBatchItems = 64
+	DefaultMaxJobWait    = 30 * time.Second
 )
 
 // Normalize returns cfg with zero fields replaced by defaults.
@@ -118,6 +157,18 @@ func (cfg Config) Normalize() Config {
 	}
 	if cfg.TraceBuffer == 0 {
 		cfg.TraceBuffer = DefaultTraceBuffer
+	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = DefaultMaxBatchItems
+	}
+	if cfg.MaxJobWait <= 0 {
+		cfg.MaxJobWait = DefaultMaxJobWait
+	}
+	if cfg.TenantMaxActive < 0 {
+		cfg.TenantMaxActive = 0
+	}
+	if cfg.TenantMaxJobs < 0 {
+		cfg.TenantMaxJobs = 0
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()

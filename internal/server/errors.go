@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/encodingapi"
+	"repro/internal/jobs"
+)
+
+// Error codes of the v1 error body. The code is the machine-readable
+// contract: messages may be reworded, codes may only be added.
+const (
+	codeBadRequest       = "bad_request"        // 400: malformed body, unknown fields, invalid knobs
+	codeNotFound         = "not_found"          // 404: unknown job or trace id
+	codeMethodNotAllowed = "method_not_allowed" // 405
+	codeInfeasible       = "infeasible"         // 422: constraints admit no encoding
+	codeOverloaded       = "overloaded"         // 429: queue or job store full — global backpressure
+	codeQuotaExhausted   = "quota_exhausted"    // 429: this tenant's quota, not the server's capacity
+	codeInternal         = "internal"           // 500: panic, verification failure, replay divergence
+	codeDraining         = "draining"           // 503: shutdown in progress
+	codeCanceled         = "canceled"           // 503: solve aborted by forced shutdown
+	codeTimeout          = "timeout"            // 504: solve budget exceeded
+)
+
+// errorBody is the one versioned error shape every v1 endpoint renders,
+// wrapped as {"error": {...}}. Conflict carries the minimal infeasible
+// constraint subset (one constraint per line, re-parseable by
+// encodingapi.ParseString) when the solver could compute one.
+type errorBody struct {
+	Code        string   `json:"code"`
+	Message     string   `json:"message"`
+	RetryAfterS int64    `json:"retry_after_s,omitempty"`
+	Conflict    []string `json:"conflict,omitempty"`
+}
+
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+// apiError pairs an errorBody with the HTTP status that delivers it. It
+// implements error so the batch and job paths can carry it through
+// result channels and render it per-item.
+type apiError struct {
+	status int
+	body   errorBody
+}
+
+func (e *apiError) Error() string { return e.body.Message }
+
+// apiErr builds a plain apiError.
+func apiErr(status int, code, msg string) *apiError {
+	return &apiError{status: status, body: errorBody{Code: code, Message: msg}}
+}
+
+// withRetry attaches a Retry-After hint (rendered both as the header and
+// the body's retry_after_s field).
+func (e *apiError) withRetry(d time.Duration) *apiError {
+	e.body.RetryAfterS = retryAfterSeconds(d)
+	return e
+}
+
+// writeError renders e, counts it into the status-class metrics and sets
+// Retry-After when the error carries a hint.
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	switch {
+	case e.status == http.StatusTooManyRequests:
+		s.metrics.Overloads.Add(1)
+	case e.status == http.StatusServiceUnavailable:
+		s.metrics.Rejected.Add(1)
+	case e.status == http.StatusGatewayTimeout:
+		s.metrics.Timeouts.Add(1)
+	case e.status >= 500:
+		s.metrics.ServerError.Add(1)
+	default:
+		s.metrics.ClientError.Add(1)
+	}
+	if e.body.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(e.body.RetryAfterS, 10))
+	}
+	writeJSON(w, e.status, errorResponse{Error: e.body})
+}
+
+// asAPIError maps any solve-path error to its apiError: infeasibility is
+// the client's problem (422, with the minimized conflict subset when the
+// solver produced one), a full queue or job store is load shedding (429
+// with Retry-After), a tenant over quota is 429 with its own code, an
+// expired budget is 504, shutdown cancellation is 503, and anything else
+// (including recovered panics) is 500. Errors that already are apiErrors
+// pass through unchanged, so handlers can pre-shape special cases.
+func (s *Server) asAPIError(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, encodingapi.ErrInfeasible):
+		e := apiErr(http.StatusUnprocessableEntity, codeInfeasible, err.Error())
+		if ie, ok := encodingapi.AsInfeasible(err); ok && ie.Conflict != nil {
+			e.body.Conflict = strings.Split(strings.TrimRight(ie.Conflict.String(), "\n"), "\n")
+		}
+		return e
+	case errors.Is(err, errOverloaded):
+		return apiErr(http.StatusTooManyRequests, codeOverloaded,
+			"server overloaded, retry later").withRetry(s.cfg.RetryAfter)
+	case errors.Is(err, errTenantBusy):
+		return apiErr(http.StatusTooManyRequests, codeQuotaExhausted,
+			err.Error()).withRetry(s.cfg.RetryAfter)
+	case errors.Is(err, jobs.ErrStoreFull):
+		return apiErr(http.StatusTooManyRequests, codeOverloaded,
+			"job store full, retry later").withRetry(s.cfg.RetryAfter)
+	case errors.Is(err, errPoolClosed):
+		return apiErr(http.StatusServiceUnavailable, codeDraining, "server is shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		return apiErr(http.StatusGatewayTimeout, codeTimeout, "solve budget exceeded")
+	case errors.Is(err, context.Canceled):
+		return apiErr(http.StatusServiceUnavailable, codeCanceled, "solve canceled by shutdown")
+	default:
+		return apiErr(http.StatusInternalServerError, codeInternal, err.Error())
+	}
+}
+
+// retryAfterSeconds renders a Retry-After duration in whole seconds,
+// rounding up and clamping to at least 1: the header's unit is seconds, so
+// truncation would turn any sub-second hint into "Retry-After: 0", which
+// well-behaved clients read as "retry immediately" — the opposite of load
+// shedding.
+func retryAfterSeconds(d time.Duration) int64 {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
-	"strconv"
 	"time"
 
 	"repro/encodingapi"
@@ -25,9 +24,10 @@ const (
 	modeExact     = "exact"
 	modeHeuristic = "heuristic"
 	modePipeline  = "pipeline"
+	modeBatch     = "batch" // trace-entry mode for the batch parent span
 )
 
-// encodeRequest is the JSON body of POST /v1/encode.
+// encodeRequest is the JSON body of POST /v1/encode and of one batch item.
 type encodeRequest struct {
 	// Constraints is the textual constraint language (same grammar as the
 	// encode CLI input files).
@@ -45,7 +45,8 @@ type encodeRequest struct {
 	// 0 means the engine default.
 	PrimeLimit int `json:"prime_limit"`
 	// TimeoutMS is the solve budget in milliseconds; 0 means the server
-	// default, and values above the server maximum are clamped.
+	// default, and values above the server maximum are clamped. Batch
+	// items must leave it 0 (the batch carries one shared budget).
 	TimeoutMS int `json:"timeout_ms"`
 	// Workers sets the engine worker count (0 = all CPUs). Results are
 	// identical for any value, so this never affects caching.
@@ -100,6 +101,12 @@ type solveRequest struct {
 	kissHash core.Hash128
 	strategy pipeline.Strategy
 	minimize bool
+
+	// onStart, when non-nil, fires when a pool worker actually begins
+	// this request's solve (async jobs hook their queued → running
+	// transition here). It never fires for cache hits or coalesced
+	// followers — their solve ran elsewhere or not at all.
+	onStart func()
 }
 
 func (r *solveRequest) key() requestKey {
@@ -169,8 +176,12 @@ type encodeResponse struct {
 	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// newBodyDecoder wraps a request body in the size guard and strict-field
+// decoder every POST endpoint shares.
+func newBodyDecoder(w http.ResponseWriter, r *http.Request, maxBytes int64) *json.Decoder {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	return dec
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -179,22 +190,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
-	switch {
-	case status == http.StatusTooManyRequests:
-		s.metrics.Overloads.Add(1)
-	case status == http.StatusServiceUnavailable:
-		s.metrics.Rejected.Add(1)
-	case status == http.StatusGatewayTimeout:
-		s.metrics.Timeouts.Add(1)
-	case status >= 500:
-		s.metrics.ServerError.Add(1)
-	default:
-		s.metrics.ClientError.Add(1)
-	}
-	writeJSON(w, status, errorResponse{Error: msg})
 }
 
 // parseRequest validates the decoded body into a solveRequest. Errors are
@@ -455,125 +450,160 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// serveSolve is the shared request path behind every solve endpoint:
-// intake checks, body decoding via parse, then cache → singleflight →
-// bounded pool, with per-request tracing and the common error mapping.
-func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, parse func(*json.Decoder) (*solveRequest, int, error)) {
+// beginRequest performs the per-request bookkeeping every endpoint shares
+// (in-flight gauge, end-to-end latency, the shutdown drain's waitgroup)
+// and returns the matching teardown. The waitgroup is joined before the
+// pool and job store close, which is what makes submitWait and the job
+// runners shutdown-safe.
+func (s *Server) beginRequest() (end func()) {
 	s.reqWG.Add(1)
-	defer s.reqWG.Done()
 	s.metrics.InFlight.Add(1)
-	defer s.metrics.InFlight.Add(-1)
 	start := time.Now()
-	defer func() { s.metrics.observeLatency(time.Since(start)) }()
+	return func() {
+		s.metrics.observeLatency(time.Since(start))
+		s.metrics.InFlight.Add(-1)
+		s.reqWG.Done()
+	}
+}
 
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
-		return
+// intake runs the shared front-door checks (method, drain) and counts the
+// accepted request; it reports false when the request was already
+// answered.
+func (s *Server) intake(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		s.writeError(w, apiErr(http.StatusMethodNotAllowed, codeMethodNotAllowed, "use "+method))
+		return false
 	}
 	if s.isDraining() {
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
+		s.writeError(w, apiErr(http.StatusServiceUnavailable, codeDraining, "server is shutting down"))
+		return false
 	}
 	s.metrics.Requests.Add(1)
+	return true
+}
 
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	sreq, timeoutMS, err := parse(dec)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
+// execMeta is the delivery metadata of one spine execution: how the
+// answer was produced, for the response fields and trace correlation.
+type execMeta struct {
+	cached    bool
+	coalesced bool
+	traceID   uint64
+}
+
+// execute is the one solve spine shared by the sync endpoints, batch
+// items and async jobs: admit (per-tenant quota) → cache → coalesce
+// (singleflight) → bounded pool → render metadata. The context carries
+// the solve budget and must be derived from the server's base context.
+//
+// wait selects the admission flavor: the sync path sheds immediately on
+// an exhausted tenant quota or a full pool queue, while batch items and
+// async jobs block for their turn — absorbing contention is what the
+// batch/async surface is for. parent, when non-zero, links the solve's
+// trace entry to an enclosing batch span.
+func (s *Server) execute(ctx context.Context, sreq *solveRequest, tenant string, parent uint64, wait bool) (*solveResult, execMeta, error) {
+	var meta execMeta
 	key := sreq.key()
 
-	if res, ok := s.cache.get(key); ok {
+	if res, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
-		s.metrics.OK.Add(1)
-		writeJSON(w, http.StatusOK, encodeResponse{
-			solveResult: *res,
-			Cached:      true,
-			ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
-		})
-		return
+		meta.cached = true
+		return res, meta, nil
 	}
 	s.metrics.CacheMisses.Add(1)
 
-	// The solve runs under the server's base context, not the client
-	// connection: a leader's disconnect must not abort a solve that
-	// coalesced followers are waiting on. The client connection is only
-	// consulted while a follower waits (inside flightGroup.do's select).
-	// Every solve is traced: the recorder belongs to this request, so a
-	// follower's recorder simply stays empty (its solve ran elsewhere).
-	budget := s.budget(time.Duration(timeoutMS) * time.Millisecond)
-	ctx, cancel := context.WithTimeout(s.baseCtx, budget)
-	defer cancel()
+	// Tenant admission guards the expensive stages only: a cache hit
+	// above costs nothing and bypasses the quota. A coalesced follower
+	// still holds a slot while waiting — concurrent identical requests
+	// from one tenant count against its share even though they run one
+	// solve.
+	var release func()
+	var err error
+	if wait {
+		release, err = s.tenants.acquire(ctx, tenant)
+	} else {
+		release, err = s.tenants.tryAcquire(tenant)
+	}
+	if err != nil {
+		if errors.Is(err, errTenantBusy) {
+			s.metrics.QuotaRejections.Add(1)
+		}
+		return nil, meta, err
+	}
+	defer release()
+
+	// The solve is traced per leader: the recorder belongs to this
+	// execution, so a follower's recorder simply stays empty (its solve
+	// ran elsewhere).
+	start := time.Now()
 	rec := trace.New()
 	ctx = trace.NewContext(ctx, rec)
 
 	res, err, leader := s.flights.do(ctx, key,
 		func() { s.metrics.Coalesced.Add(1) },
-		func() (*solveResult, error) { return s.runSolve(ctx, sreq) },
+		func() (*solveResult, error) { return s.runSolve(ctx, sreq, wait) },
 	)
-	var traceID uint64
+	meta.coalesced = !leader
 	if leader {
-		traceID = s.publishTrace(sreq, rec, start, time.Since(start), err)
+		meta.traceID = s.publishTrace(sreq, rec, start, time.Since(start), parent, err)
 	}
 	if err != nil {
-		s.writeSolveError(w, err)
-		return
+		return nil, meta, err
 	}
 	if leader && cacheable(res) {
-		s.cache.add(key, res)
+		s.cache.Add(key, res)
+	}
+	return res, meta, nil
+}
+
+// serveSolve is the synchronous request path behind POST /v1/encode and
+// POST /v1/pipeline: intake checks, body decoding via parse, then the
+// shared execute spine with the common error mapping.
+func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, parse func(*json.Decoder) (*solveRequest, int, error)) {
+	end := s.beginRequest()
+	defer end()
+	start := time.Now()
+	if !s.intake(w, r, http.MethodPost) {
+		return
+	}
+
+	dec := newBodyDecoder(w, r, s.cfg.MaxBodyBytes)
+	sreq, timeoutMS, err := parse(dec)
+	if err != nil {
+		s.writeError(w, apiErr(http.StatusBadRequest, codeBadRequest, err.Error()))
+		return
+	}
+
+	// The solve runs under the server's base context, not the client
+	// connection: a leader's disconnect must not abort a solve that
+	// coalesced followers are waiting on. The client connection is only
+	// consulted while a follower waits (inside flightGroup.do's select).
+	budget := s.budget(time.Duration(timeoutMS) * time.Millisecond)
+	ctx, cancel := context.WithTimeout(s.baseCtx, budget)
+	defer cancel()
+
+	res, meta, err := s.execute(ctx, sreq, tenantFrom(r), 0, false)
+	if err != nil {
+		s.writeError(w, s.asAPIError(err))
+		return
 	}
 	s.metrics.OK.Add(1)
 	writeJSON(w, http.StatusOK, encodeResponse{
 		solveResult: *res,
-		Coalesced:   !leader,
+		Cached:      meta.cached,
+		Coalesced:   meta.coalesced,
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
-		TraceID:     traceID,
+		TraceID:     meta.traceID,
 	})
 }
 
-// writeSolveError maps solve-path errors to HTTP statuses: infeasibility is
-// the client's problem (422), a full queue is load shedding (429 with
-// Retry-After), an expired budget is 504, shutdown cancellation is 503, and
-// anything else (including recovered panics) is 500.
-func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, encodingapi.ErrInfeasible):
-		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
-	case errors.Is(err, errOverloaded):
-		w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(s.cfg.RetryAfter), 10))
-		s.writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
-	case errors.Is(err, errPoolClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-	case errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, http.StatusGatewayTimeout, "solve budget exceeded")
-	case errors.Is(err, context.Canceled):
-		s.writeError(w, http.StatusServiceUnavailable, "solve canceled by shutdown")
-	default:
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-	}
-}
-
-// retryAfterSeconds renders a Retry-After duration in whole seconds,
-// rounding up and clamping to at least 1: the header's unit is seconds, so
-// truncation would turn any sub-second hint into "Retry-After: 0", which
-// well-behaved clients read as "retry immediately" — the opposite of load
-// shedding.
-func retryAfterSeconds(d time.Duration) int64 {
-	secs := int64((d + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
-}
-
 // publishTrace retains one finished solve's trace, counts and logs it when
-// slow, and returns the trace id for the response.
-func (s *Server) publishTrace(req *solveRequest, rec *trace.Recorder, start time.Time, elapsed time.Duration, solveErr error) uint64 {
+// slow, and returns the trace id for the response. parent links the entry
+// to an enclosing batch span (0 for standalone solves).
+func (s *Server) publishTrace(req *solveRequest, rec *trace.Recorder, start time.Time, elapsed time.Duration, parent uint64, solveErr error) uint64 {
 	t := rec.Snapshot()
 	e := &traceEntry{
 		Mode:      req.mode,
+		Parent:    parent,
 		Start:     start,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 		Spans:     summarizeSpans(t),

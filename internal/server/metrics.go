@@ -109,6 +109,22 @@ type Metrics struct {
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
 
+	// Batch accounting.
+	BatchRequests atomic.Int64 // POST /v1/encode/batch requests accepted
+	BatchItems    atomic.Int64 // items across all accepted batches
+	BatchDeduped  atomic.Int64 // items answered by an identical sibling's solve
+
+	// Async job accounting (terminal counters; the active gauge comes
+	// from the job store).
+	JobsSubmitted atomic.Int64
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+
+	// QuotaRejections counts 429s caused by per-tenant quotas (as
+	// opposed to Overloads, the server-wide backpressure).
+	QuotaRejections atomic.Int64
+
 	// Gauges.
 	InFlight atomic.Int64 // requests currently inside the handler
 	Queued   atomic.Int64 // solves waiting for a pool slot
@@ -168,6 +184,24 @@ type Stats struct {
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 	CacheEntries  int     `json:"cache_entries"`
 
+	BatchRequests int64 `json:"batch_requests"`
+	BatchItems    int64 `json:"batch_items"`
+	BatchDeduped  int64 `json:"batch_deduped"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	// JobsActive and JobsRetained are job-store gauges: queued+running
+	// jobs, and total retained jobs (terminal included, pre-TTL).
+	JobsActive   int `json:"jobs_active"`
+	JobsRetained int `json:"jobs_retained"`
+
+	QuotaRejections int64 `json:"quota_rejections"`
+	// Tenants breaks admission control down per tenant key; omitted when
+	// no tenant has been tracked.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+
 	InFlight int64 `json:"in_flight"`
 	Queued   int64 `json:"queued"`
 
@@ -200,8 +234,20 @@ func (m *Metrics) snapshot(cacheLen int) Stats {
 		CacheHits:     m.CacheHits.Load(),
 		CacheMisses:   m.CacheMisses.Load(),
 		CacheEntries:  cacheLen,
-		InFlight:      m.InFlight.Load(),
-		Queued:        m.Queued.Load(),
+
+		BatchRequests: m.BatchRequests.Load(),
+		BatchItems:    m.BatchItems.Load(),
+		BatchDeduped:  m.BatchDeduped.Load(),
+
+		JobsSubmitted: m.JobsSubmitted.Load(),
+		JobsDone:      m.JobsDone.Load(),
+		JobsFailed:    m.JobsFailed.Load(),
+		JobsCancelled: m.JobsCancelled.Load(),
+
+		QuotaRejections: m.QuotaRejections.Load(),
+
+		InFlight: m.InFlight.Load(),
+		Queued:   m.Queued.Load(),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRatio = float64(s.CacheHits) / float64(lookups)

@@ -298,10 +298,10 @@ func TestTraceRingEviction(t *testing.T) {
 	id1 := r.add(&traceEntry{Mode: "a"})
 	id2 := r.add(&traceEntry{Mode: "b"})
 	id3 := r.add(&traceEntry{Mode: "c"}) // evicts id1
-	if got := r.get(id1); got != nil {
+	if got, ok := r.get(id1); ok {
 		t.Fatalf("evicted id %d still served: %+v", id1, got)
 	}
-	if got := r.get(id2); got == nil || got.Mode != "b" {
+	if got, ok := r.get(id2); !ok || got.Mode != "b" {
 		t.Fatalf("get(%d) = %+v, want mode b", id2, got)
 	}
 	l := r.list()
@@ -315,7 +315,7 @@ func TestTraceRingEviction(t *testing.T) {
 	if id := off.add(&traceEntry{}); id == 0 {
 		t.Fatal("disabled ring must still assign ids")
 	}
-	if off.get(1) != nil || len(off.list()) != 0 {
+	if _, ok := off.get(1); ok || len(off.list()) != 0 {
 		t.Fatal("disabled ring must serve no entries")
 	}
 }

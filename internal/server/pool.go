@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -72,6 +73,28 @@ func (p *pool) submit(task func()) error {
 		return nil
 	default:
 		return errOverloaded
+	}
+}
+
+// submitWait enqueues task, waiting for queue space instead of shedding:
+// the asynchronous surface's contract is to absorb the contention the
+// sync path rejects. Holding the read lock across the blocked send is
+// what makes this close-safe (close takes the write lock, so the channel
+// cannot be closed mid-send); it cannot deadlock close because workers
+// keep draining the queue until the channel is closed, and the server
+// additionally orders close after the request waitgroup that tracks
+// every submitWait caller.
+func (p *pool) submitWait(ctx context.Context, task func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errPoolClosed
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -1,30 +1,45 @@
 // Package server turns the encoding library into a long-running service:
 // an HTTP/JSON API over the P-1/P-2/P-3 solvers with bounded concurrency,
-// load shedding, request coalescing, result caching and first-class
+// load shedding, per-tenant admission control, request coalescing, result
+// caching, batch submission, an async job lifecycle and first-class
 // observability.
 //
 // # Request lifecycle
 //
-//	POST /v1/encode
-//	  → decode + validate + parse constraints
-//	  → canonical 128-bit request key (core.HashSet + mode/bits/metric/limits)
-//	  → LRU result cache — hit answers immediately
-//	  → singleflight — identical in-flight problems share one solve
-//	  → bounded worker pool — full queue sheds load with 429 + Retry-After
-//	  → encoding engines (encodingapi) under a per-request context deadline
+// Every solve — synchronous, batch item or async job — flows through one
+// spine (execute):
+//
+//	parse    → decode + validate (constraints or KISS2)
+//	admit    → per-tenant concurrency quota (429 quota_exhausted; batch
+//	           items and jobs wait for a slot instead of shedding)
+//	cache    → LRU keyed by the canonical 128-bit request key — hit
+//	           answers immediately
+//	coalesce → singleflight: identical in-flight problems share one solve
+//	solve    → bounded worker pool (sync: full queue sheds with 429 +
+//	           Retry-After; async: waits) → encoding engines under a
+//	           context deadline
+//	render   → mode-specific JSON + delivery metadata (cached, coalesced,
+//	           trace id)
+//
+// The endpoints differ only in how they enter and leave the spine:
+// POST /v1/encode and /v1/pipeline run it inline; POST /v1/encode/batch
+// fans N items through it concurrently (duplicate items dedupe to one
+// solve before the spine ever runs); POST /v1/jobs runs it from a runner
+// goroutine with the outcome parked in the job store for GET /v1/jobs/{id}
+// polling (?wait= long-poll) and DELETE cancellation.
 //
 // Every stage is observable through /v1/stats (and expvar): request
-// outcomes, queue depth, cache hit ratio, coalescing counts and a latency
-// histogram.
+// outcomes, queue depth, cache hit ratio, coalescing counts, batch/job
+// counters, per-tenant admission and a latency histogram.
 //
 // # Lifecycle
 //
 // New builds a Server; Handler exposes it to any http mux; ListenAndServe
 // runs it standalone. Shutdown is graceful: intake stops (new requests get
-// 503), in-flight requests drain, the pool finishes accepted work, and only
-// when the shutdown context expires are running solves canceled through
-// their contexts. A panicking solve is isolated to its request (500) and
-// never takes down a worker.
+// 503), in-flight requests and job runners drain, the pool finishes
+// accepted work, and only when the shutdown context expires are running
+// solves canceled through their contexts. A panicking solve is isolated to
+// its request (500) and never takes down a worker.
 package server
 
 import (
@@ -38,17 +53,26 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/trace"
 )
+
+// JobStore is the job-storage seam of the async surface, re-exported so
+// Config.Jobs can be satisfied without importing internal/jobs: MemStore
+// in-process today, a sharded/replicated store behind the same contract
+// later.
+type JobStore = jobs.Store
 
 // Server is the encoding service. Create with New; safe for concurrent use.
 type Server struct {
 	cfg     Config
 	metrics *Metrics
-	cache   *resultCache
+	cache   Cache
 	flights *flightGroup
 	pool    *pool
 	traces  *traceRing
+	jobs    JobStore
+	tenants *tenantLimiter
 
 	// baseCtx parents every solve context, so canceling it aborts all
 	// running solves during a forced shutdown.
@@ -80,18 +104,29 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
-		cache:   newResultCache(cfg.CacheEntries),
+		cache:   cfg.Cache,
 		flights: newFlightGroup(),
 		pool:    newPool(workers, cfg.QueueDepth),
 		traces:  newTraceRing(cfg.TraceBuffer),
+		jobs:    cfg.Jobs,
+		tenants: newTenantLimiter(cfg.TenantMaxActive),
 		drained: make(chan struct{}),
+	}
+	if s.cache == nil {
+		s.cache = newResultCache(cfg.CacheEntries)
+	}
+	if s.jobs == nil {
+		s.jobs = jobs.NewMemStore(jobs.Config{TTL: cfg.JobTTL, MaxJobs: cfg.MaxJobs})
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.solveFn = s.solveLibrary
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/encode", s.handleEncode)
+	s.mux.HandleFunc("/v1/encode/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/pipeline", s.handlePipeline)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/trace", s.handleTraceList)
@@ -114,8 +149,25 @@ func New(cfg Config) *Server {
 // existing server or httptest.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Stats snapshots the service metrics.
-func (s *Server) Stats() Stats { return s.metrics.snapshot(s.cache.len()) }
+// Stats snapshots the service metrics, including the job-store gauges
+// and the per-tenant admission breakdown.
+func (s *Server) Stats() Stats {
+	s.jobs.Sweep() // retention is observed here; evict before reporting
+	st := s.metrics.snapshot(s.cache.Len())
+	st.JobsActive = s.jobs.Active("")
+	st.JobsRetained = s.jobs.Len()
+	if tenants := s.tenants.seen(); len(tenants) > 0 {
+		st.Tenants = make(map[string]TenantStats, len(tenants))
+		for _, t := range tenants {
+			st.Tenants[t] = TenantStats{
+				ActiveSolves:    s.tenants.active(t),
+				ActiveJobs:      s.jobs.Active(t),
+				QuotaRejections: s.tenants.rejections(t),
+			}
+		}
+	}
+	return st
+}
 
 // expvarOnce guards the process-global expvar name: only the first Server
 // to call PublishExpvar is exported (one service per process in practice).
@@ -151,11 +203,13 @@ func (s *Server) isDraining() bool {
 }
 
 // Shutdown drains the service: intake stops immediately (new requests are
-// answered 503), in-flight requests and accepted pool work run to
-// completion, and the pool is torn down. If ctx expires before the drain
-// finishes, running solves are canceled through their contexts and the
-// drain completes promptly; ctx.Err() is then returned. Safe to call more
-// than once; later calls wait for the same drain.
+// answered 503), in-flight requests, job runners and accepted pool work
+// run to completion, and the pool and job store are torn down. If ctx
+// expires before the drain finishes, running solves are canceled through
+// their contexts (job contexts included — outstanding jobs finish
+// Cancelled or Failed, never dangle) and the drain completes promptly;
+// ctx.Err() is then returned. Safe to call more than once; later calls
+// wait for the same drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Do(func() { close(s.drained) })
 
@@ -181,6 +235,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.pool.close()
+	s.jobs.Close()
 	s.cancelBase()
 	return err
 }
@@ -212,13 +267,15 @@ func (s *Server) budget(requested time.Duration) time.Duration {
 // enqueue on the bounded pool and wait for the outcome or the context. The
 // queued task re-checks the context before starting, so budgets burned
 // waiting in the queue never start a doomed solve; a panic inside the
-// engines is recovered and surfaced as an error.
+// engines is recovered and surfaced as an error. wait selects blocking
+// submission (async jobs) over shed-on-full (sync requests); see
+// pool.submitWait.
 //
 // Instrumentation: queue wait and engine execution are observed into
 // separate histograms (Stats decomposes latency into contention vs. solve
 // time), and when ctx carries a trace recorder the same split is recorded
 // as "server.queue" and "server.solve" spans bracketing the engine stages.
-func (s *Server) runSolve(ctx context.Context, req *solveRequest) (*solveResult, error) {
+func (s *Server) runSolve(ctx context.Context, req *solveRequest, wait bool) (*solveResult, error) {
 	type outcome struct {
 		res *solveResult
 		err error
@@ -240,6 +297,9 @@ func (s *Server) runSolve(ctx context.Context, req *solveRequest) (*solveResult,
 			done <- outcome{err: err}
 			return
 		}
+		if req.onStart != nil {
+			req.onStart()
+		}
 		s.metrics.Solves.Add(1)
 		solveStart := time.Now()
 		ssp := trace.StartSpan(ctx, "server.solve")
@@ -249,7 +309,11 @@ func (s *Server) runSolve(ctx context.Context, req *solveRequest) (*solveResult,
 		done <- outcome{res: res, err: err}
 	}
 	s.metrics.Queued.Add(1)
-	if err := s.pool.submit(task); err != nil {
+	submit := s.pool.submit
+	if wait {
+		submit = func(t func()) error { return s.pool.submitWait(ctx, t) }
+	}
+	if err := submit(task); err != nil {
 		s.metrics.Queued.Add(-1)
 		return nil, err
 	}

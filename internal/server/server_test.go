@@ -601,8 +601,8 @@ func TestInfeasibleInputsReturn422(t *testing.T) {
 		if err := json.Unmarshal(body, &er); err != nil {
 			t.Fatalf("case %d: 422 body is not the structured error shape: %v: %s", i, err, body)
 		}
-		if !strings.Contains(er.Error, "infeasible") {
-			t.Fatalf("case %d: error does not name infeasibility: %q", i, er.Error)
+		if er.Error.Code != codeInfeasible || !strings.Contains(er.Error.Message, "infeasible") {
+			t.Fatalf("case %d: error does not name infeasibility: %+v", i, er.Error)
 		}
 
 		resp, body = post(t, ts, fmt.Sprintf(`{"constraints": %q, "mode": "feasible"}`, text))
@@ -621,8 +621,16 @@ func TestInfeasibleInputsReturn422(t *testing.T) {
 	if err := json.Unmarshal(body, &er); err != nil {
 		t.Fatalf("422 body is not the structured error shape: %v: %s", err, body)
 	}
-	if !strings.Contains(er.Error, "minimal conflicting subset") ||
-		!strings.Contains(er.Error, "dom a > b") {
+	if !strings.Contains(er.Error.Message, "minimal conflicting subset") ||
+		!strings.Contains(er.Error.Message, "dom a > b") {
 		t.Fatalf("422 body does not carry the conflict subset: %s", body)
+	}
+	// The machine-readable conflict field carries the same subset, one
+	// re-parseable constraint per line.
+	if len(er.Error.Conflict) == 0 {
+		t.Fatalf("422 body has no conflict field: %s", body)
+	}
+	if _, err := encodingapi.ParseString(strings.Join(er.Error.Conflict, "\n") + "\n"); err != nil {
+		t.Fatalf("conflict lines do not re-parse: %v: %q", err, er.Error.Conflict)
 	}
 }

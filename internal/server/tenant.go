@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// errTenantBusy is returned when a tenant's concurrent-solve quota is
+// exhausted; the handler maps it to 429 quota_exhausted + Retry-After.
+// Distinct from errOverloaded: the server has capacity, this tenant used
+// its share.
+var errTenantBusy = errors.New("tenant concurrency quota exhausted, retry later")
+
+// anonymousTenant buckets requests that carry no credential. Quotas apply
+// to it like any other tenant, so unauthenticated traffic cannot starve
+// identified tenants.
+const anonymousTenant = "anonymous"
+
+// tenantFrom extracts the requester's tenant key: the token of an
+// "Authorization: Bearer ..." header, else the X-API-Key header, else
+// anonymousTenant. The service performs admission control, not
+// authentication — the token is an identity for fair-share accounting,
+// verified (if at all) by the deployment in front.
+func tenantFrom(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if tok, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			if tok = strings.TrimSpace(tok); tok != "" {
+				return tok
+			}
+		}
+	}
+	if key := strings.TrimSpace(r.Header.Get("X-API-Key")); key != "" {
+		return key
+	}
+	return anonymousTenant
+}
+
+// tenantLimiter enforces per-tenant concurrency quotas over the solve
+// path: each tenant owns maxActive slots; a solve (sync, batch item or
+// job) holds one slot for its duration. The sync path sheds immediately
+// on an exhausted quota (tryAcquire → 429), while batch items and async
+// jobs absorb the wait (acquire blocks until a slot frees or the context
+// dies) — that asymmetry is the point of having an async surface.
+type tenantLimiter struct {
+	maxActive int // 0 = unlimited
+
+	mu       sync.Mutex
+	sems     map[string]chan struct{}
+	rejected map[string]int64 // cumulative quota rejections per tenant
+}
+
+func newTenantLimiter(maxActive int) *tenantLimiter {
+	return &tenantLimiter{
+		maxActive: maxActive,
+		sems:      make(map[string]chan struct{}),
+		rejected:  make(map[string]int64),
+	}
+}
+
+// sem lazily creates the tenant's slot channel.
+func (l *tenantLimiter) sem(tenant string) chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.sems[tenant]
+	if !ok {
+		c = make(chan struct{}, l.maxActive)
+		l.sems[tenant] = c
+	}
+	return c
+}
+
+// tryAcquire claims a slot without waiting; errTenantBusy when the
+// tenant is at its limit. The returned release is non-nil only on
+// success.
+func (l *tenantLimiter) tryAcquire(tenant string) (release func(), err error) {
+	if l.maxActive <= 0 {
+		return func() {}, nil
+	}
+	c := l.sem(tenant)
+	select {
+	case c <- struct{}{}:
+		return func() { <-c }, nil
+	default:
+		l.noteRejection(tenant)
+		return nil, errTenantBusy
+	}
+}
+
+// noteRejection counts one quota rejection against tenant. The job
+// submit path calls this directly for its per-tenant job-count quota,
+// which is enforced outside the slot semaphore.
+func (l *tenantLimiter) noteRejection(tenant string) {
+	l.mu.Lock()
+	l.rejected[tenant]++
+	l.mu.Unlock()
+}
+
+// acquire claims a slot, waiting until one frees or ctx is done.
+func (l *tenantLimiter) acquire(ctx context.Context, tenant string) (release func(), err error) {
+	if l.maxActive <= 0 {
+		return func() {}, nil
+	}
+	c := l.sem(tenant)
+	select {
+	case c <- struct{}{}:
+		return func() { <-c }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// active reports the slots currently held by tenant.
+func (l *tenantLimiter) active(tenant string) int {
+	if l.maxActive <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	c, ok := l.sems[tenant]
+	l.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return len(c)
+}
+
+// TenantStats is one tenant's row in Stats.Tenants.
+type TenantStats struct {
+	// ActiveSolves is the tenant's currently held concurrency slots
+	// (always 0 when quotas are disabled — nothing is tracked then).
+	ActiveSolves int `json:"active_solves"`
+	// ActiveJobs is the tenant's queued+running jobs.
+	ActiveJobs int `json:"active_jobs"`
+	// QuotaRejections counts this tenant's 429 quota_exhausted responses.
+	QuotaRejections int64 `json:"quota_rejections"`
+}
+
+// seen returns every tenant the limiter has tracked, sorted for
+// deterministic Stats rendering.
+func (l *tenantLimiter) seen() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.sems)+len(l.rejected))
+	for t := range l.sems {
+		names = append(names, t)
+	}
+	for t := range l.rejected {
+		if _, ok := l.sems[t]; !ok {
+			names = append(names, t)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// rejections reports the tenant's cumulative quota rejections.
+func (l *tenantLimiter) rejections(tenant string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rejected[tenant]
+}

@@ -14,8 +14,21 @@ import (
 // engines plus the delivery metadata an operator needs to correlate it with
 // logs and stats.
 type traceEntry struct {
-	ID        uint64        `json:"id"`
-	Mode      string        `json:"mode"`
+	ID   uint64 `json:"id"`
+	Mode string `json:"mode"`
+	// Parent links a batch item's entry to its batch's parent entry, so
+	// slow-solve triage can walk from a batch span to the item that
+	// burned the time; 0 for standalone solves and the parents
+	// themselves.
+	Parent uint64 `json:"parent,omitempty"`
+	// Origin explains an entry with no spans of its own: "cache" (the
+	// item hit the LRU), "coalesced" (it attached to an in-flight
+	// solve), "duplicate" (an identical sibling in the same batch ran
+	// the solve) or "error" (the item failed before solving). Empty for
+	// entries that ran a solve.
+	Origin string `json:"origin,omitempty"`
+	// Items is the item count of a batch parent entry; 0 otherwise.
+	Items     int           `json:"items,omitempty"`
 	Start     time.Time     `json:"start"`
 	ElapsedMS float64       `json:"elapsed_ms"`
 	QueueMS   float64       `json:"queue_wait_ms"`
@@ -103,29 +116,50 @@ func (r *traceRing) add(e *traceEntry) uint64 {
 	return e.ID
 }
 
-// get returns the entry with the given id if it is still retained.
-func (r *traceRing) get(id uint64) *traceEntry {
+// complete finalizes a still-retained entry's scalar fields after the
+// fact — a batch parent is published before its items run (the items need
+// its id) and only learns its elapsed time when the batch finishes. The
+// mutation happens under the ring lock, and readers copy entries out, so
+// late completion never races a concurrent list.
+func (r *traceRing) complete(id uint64, mutate func(*traceEntry)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.buf) == 0 || id == 0 || id > r.next {
-		return nil
+		return
 	}
 	e := r.buf[(id-1)%uint64(len(r.buf))]
 	if e == nil || e.ID != id {
-		return nil // evicted
+		return // evicted
 	}
-	return e
+	mutate(e)
 }
 
-// list returns the retained entries, newest first.
-func (r *traceRing) list() []*traceEntry {
+// get returns a copy of the entry with the given id if it is still
+// retained. Copies are shallow — Spans is shared — which is safe because
+// spans are immutable once published; only scalar fields may be mutated
+// later (see complete).
+func (r *traceRing) get(id uint64) (traceEntry, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*traceEntry, 0, r.n)
+	if len(r.buf) == 0 || id == 0 || id > r.next {
+		return traceEntry{}, false
+	}
+	e := r.buf[(id-1)%uint64(len(r.buf))]
+	if e == nil || e.ID != id {
+		return traceEntry{}, false // evicted
+	}
+	return *e, true
+}
+
+// list returns copies of the retained entries, newest first.
+func (r *traceRing) list() []traceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]traceEntry, 0, r.n)
 	for i := 0; i < r.n; i++ {
 		e := r.buf[(r.next-1-uint64(i))%uint64(len(r.buf))]
 		if e != nil {
-			out = append(out, e)
+			out = append(out, *e)
 		}
 	}
 	return out
@@ -135,7 +169,7 @@ func (r *traceRing) list() []*traceEntry {
 // first.
 func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		s.writeError(w, apiErr(http.StatusMethodNotAllowed, codeMethodNotAllowed, "use GET"))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.list()})
@@ -144,18 +178,18 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 // handleTraceGet serves GET /v1/trace/{id}: one retained solve trace.
 func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		s.writeError(w, apiErr(http.StatusMethodNotAllowed, codeMethodNotAllowed, "use GET"))
 		return
 	}
 	idStr := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
 	id, err := strconv.ParseUint(idStr, 10, 64)
 	if err != nil || id == 0 {
-		s.writeError(w, http.StatusBadRequest, "trace id must be a positive integer")
+		s.writeError(w, apiErr(http.StatusBadRequest, codeBadRequest, "trace id must be a positive integer"))
 		return
 	}
-	e := s.traces.get(id)
-	if e == nil {
-		s.writeError(w, http.StatusNotFound, "trace not found (never existed, evicted, or retention disabled)")
+	e, ok := s.traces.get(id)
+	if !ok {
+		s.writeError(w, apiErr(http.StatusNotFound, codeNotFound, "trace not found (never existed, evicted, or retention disabled)"))
 		return
 	}
 	writeJSON(w, http.StatusOK, e)

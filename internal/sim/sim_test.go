@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -93,7 +94,7 @@ func TestEncodedSuiteEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			cs := mv.GenerateConstraints(m, mv.OutputOptions{MaxDominance: budgets[name], MaxDisjunctive: 3})
-			res, err := core.ExactEncode(cs, core.ExactOptions{})
+			res, err := core.ExactEncodeCtx(context.Background(), cs, core.ExactOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
