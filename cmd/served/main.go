@@ -10,7 +10,7 @@
 //	POST   /v1/encode/batch solve N constraint sets; duplicates coalesce to one solve
 //	POST   /v1/pipeline     run the KISS2 synthesis pipeline
 //	POST   /v1/jobs         submit an async encode/pipeline job (202 + job id)
-//	GET    /v1/jobs         list the calling tenant's jobs
+//	GET    /v1/jobs         list the calling tenant's jobs (credential required)
 //	GET    /v1/jobs/{id}    poll one job; ?wait=5s long-polls until terminal
 //	DELETE /v1/jobs/{id}    cancel a queued or running job
 //	GET    /v1/healthz      liveness (503 while draining)

@@ -305,7 +305,9 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	return &out, nil
 }
 
-// Jobs lists the calling tenant's retained jobs, newest first.
+// Jobs lists the calling tenant's retained jobs, newest first. The
+// listing requires a credential (set APIKey): the service refuses it for
+// anonymous callers, whose jobs are reachable only by id.
 func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
 	var out struct {
 		Jobs []Job `json:"jobs"`

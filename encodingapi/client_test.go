@@ -108,6 +108,9 @@ func TestClientBatchDedupesAndReportsPerItem(t *testing.T) {
 
 func TestClientJobLifecycle(t *testing.T) {
 	c := startService(t, server.Config{})
+	// The Jobs listing below requires a credential (anonymous jobs are
+	// reachable only by id).
+	c.APIKey = "lifecycle-tenant"
 	ctx := context.Background()
 
 	job, err := c.Submit(ctx, encodingapi.JobRequest{

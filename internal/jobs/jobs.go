@@ -24,9 +24,11 @@
 //
 // Every terminal transition closes the job's notification channel, so Wait
 // long-polls without spinning. Finished jobs are retained for the
-// configured TTL and then evicted; Create also evicts the oldest finished
-// job when the store is at capacity, and fails with ErrStoreFull only when
-// every retained job is still active.
+// configured TTL and then evicted; Create at capacity evicts the
+// submitting tenant's own oldest finished job first (the global oldest
+// only when that tenant has none, so one tenant's flood cannot shorten
+// another's retention), and fails with ErrStoreFull only when every
+// retained job is still active.
 package jobs
 
 import (
@@ -197,7 +199,7 @@ func (s *MemStore) Create(parent context.Context, tenant, kind string) (Snapshot
 		return Snapshot{}, nil, errors.New("jobs: store closed")
 	}
 	s.sweepLocked(now)
-	if len(s.jobs) >= s.cfg.MaxJobs && !s.evictOldestFinishedLocked() {
+	if len(s.jobs) >= s.cfg.MaxJobs && !s.evictOldestFinishedLocked(tenant) {
 		return Snapshot{}, nil, ErrStoreFull
 	}
 	ctx, cancel := context.WithCancel(parent)
@@ -388,19 +390,29 @@ func (s *MemStore) sweepLocked(now time.Time) int {
 	return evicted
 }
 
-// evictOldestFinishedLocked frees one slot by dropping the
-// longest-finished terminal job; it reports false when every job is still
+// evictOldestFinishedLocked frees one slot by dropping the submitting
+// tenant's own longest-finished terminal job, falling back to the global
+// oldest only when that tenant has none — so one tenant flooding the
+// store reclaims its own retained results before it can shorten any
+// other tenant's retention. It reports false when every job is still
 // active.
-func (s *MemStore) evictOldestFinishedLocked() bool {
-	var victim string
-	var victimSeq uint64
+func (s *MemStore) evictOldestFinishedLocked(tenant string) bool {
+	var own, any string
+	var ownSeq, anySeq uint64
 	for id, j := range s.jobs {
 		if !j.snap.State.Terminal() {
 			continue
 		}
-		if victim == "" || j.seq < victimSeq {
-			victim, victimSeq = id, j.seq
+		if any == "" || j.seq < anySeq {
+			any, anySeq = id, j.seq
 		}
+		if j.snap.Tenant == tenant && (own == "" || j.seq < ownSeq) {
+			own, ownSeq = id, j.seq
+		}
+	}
+	victim := any
+	if own != "" {
+		victim = own
 	}
 	if victim == "" {
 		return false

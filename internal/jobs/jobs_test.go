@@ -286,6 +286,39 @@ func TestCreateSweepsAndEvictsAtCapacity(t *testing.T) {
 	}
 }
 
+// TestCapacityEvictionPrefersOwnTenant: a tenant submitting at capacity
+// reclaims its own finished jobs first, so its flood cannot evict another
+// tenant's finished-but-unfetched results ahead of their TTL.
+func TestCapacityEvictionPrefersOwnTenant(t *testing.T) {
+	clock := newFakeClock()
+	s := NewMemStore(Config{TTL: time.Hour, MaxJobs: 2, Now: clock.Now})
+	defer s.Close()
+
+	other, _, _ := s.Create(context.Background(), "victim", "encode")
+	s.Finish(other.ID, nil, nil)
+	own, _, _ := s.Create(context.Background(), "flooder", "encode")
+	s.Finish(own.ID, nil, nil)
+
+	// "victim"'s job is globally oldest, but "flooder" must evict its own.
+	if _, _, err := s.Create(context.Background(), "flooder", "encode"); err != nil {
+		t.Fatalf("Create at capacity: %v", err)
+	}
+	if _, ok := s.Get(own.ID); ok {
+		t.Fatal("flooder's own finished job not evicted")
+	}
+	if _, ok := s.Get(other.ID); !ok {
+		t.Fatal("another tenant's finished job evicted while the submitter had its own")
+	}
+
+	// With no finished job of its own left, the global fallback applies.
+	if _, _, err := s.Create(context.Background(), "flooder", "encode"); err != nil {
+		t.Fatalf("Create with global fallback: %v", err)
+	}
+	if _, ok := s.Get(other.ID); ok {
+		t.Fatal("global-oldest fallback did not evict")
+	}
+}
+
 func TestListAndActive(t *testing.T) {
 	s := NewMemStore(Config{})
 	defer s.Close()

@@ -87,18 +87,22 @@ func sortKeys(v any) any {
 func TestAPICompatGolden(t *testing.T) {
 	s, ts := newTestServer(t, Config{Debug: false})
 
-	// A blocking solve lets us pin a cancelled-job error shape.
+	// A blocking solve lets us pin a cancelled-job error shape. The async
+	// steps carry a credential: the job listing refuses anonymous callers
+	// (job ids are capabilities and anonymous traffic shares one tenant).
+	const tenant = "golden-tenant"
 	type step struct {
 		name         string
 		method, path string
 		body         string
 		wantStatus   int
+		tenant       string
 	}
 
 	var jobID string
 	run := func(st step) []byte {
 		t.Helper()
-		resp, data := doReq(t, ts, st.method, st.path, st.body, "")
+		resp, data := doReq(t, ts, st.method, st.path, st.body, st.tenant)
 		if resp.StatusCode != st.wantStatus {
 			t.Fatalf("%s: status = %d, want %d: %s", st.name, resp.StatusCode, st.wantStatus, data)
 		}
@@ -116,22 +120,22 @@ func TestAPICompatGolden(t *testing.T) {
 
 	// Synchronous surface.
 	encodeOK := fmt.Sprintf(`{"constraints": %q}`, feasibleText)
-	record("encode ok", 200, run(step{"encode ok", http.MethodPost, "/v1/encode", encodeOK, 200}))
+	record("encode ok", 200, run(step{"encode ok", http.MethodPost, "/v1/encode", encodeOK, 200, ""}))
 	record("encode infeasible", 422, run(step{"encode infeasible", http.MethodPost, "/v1/encode",
-		fmt.Sprintf(`{"constraints": %q}`, infeasibleText), 422}))
-	record("encode bad request", 400, run(step{"encode bad request", http.MethodPost, "/v1/encode", "{", 400}))
+		fmt.Sprintf(`{"constraints": %q}`, infeasibleText), 422, ""}))
+	record("encode bad request", 400, run(step{"encode bad request", http.MethodPost, "/v1/encode", "{", 400, ""}))
 
 	// Batch: one success and one per-item error in the same response
 	// pins both item shapes? No — arrays keep the first element only, so
 	// two batches: success-first and error-first.
 	record("batch ok", 200, run(step{"batch ok", http.MethodPost, "/v1/encode/batch",
-		fmt.Sprintf(`{"items": [{"constraints": %q}, {"constraints": %q}]}`, feasibleText, feasibleText), 200}))
+		fmt.Sprintf(`{"items": [{"constraints": %q}, {"constraints": %q}]}`, feasibleText, feasibleText), 200, ""}))
 	record("batch item error", 200, run(step{"batch item error", http.MethodPost, "/v1/encode/batch",
-		fmt.Sprintf(`{"items": [{"constraints": %q}]}`, infeasibleText), 200}))
+		fmt.Sprintf(`{"items": [{"constraints": %q}]}`, infeasibleText), 200, ""}))
 
 	// Async surface: submit, wait to done, list, then a cancelled shape.
 	{
-		resp, data := postJSON(t, ts, "/v1/jobs", fmt.Sprintf(`{"encode": {"constraints": %q}}`, feasibleText), "")
+		resp, data := postJSON(t, ts, "/v1/jobs", fmt.Sprintf(`{"encode": {"constraints": %q}}`, feasibleText), tenant)
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("submit: %d: %s", resp.StatusCode, data)
 		}
@@ -146,8 +150,9 @@ func TestAPICompatGolden(t *testing.T) {
 		}
 		jobID = jv.ID
 	}
-	record("job done", 200, run(step{"job done", http.MethodGet, "/v1/jobs/" + jobID + "?wait=5s", "", 200}))
-	record("job list", 200, run(step{"job list", http.MethodGet, "/v1/jobs", "", 200}))
+	record("job done", 200, run(step{"job done", http.MethodGet, "/v1/jobs/" + jobID + "?wait=5s", "", 200, tenant}))
+	record("job list", 200, run(step{"job list", http.MethodGet, "/v1/jobs", "", 200, tenant}))
+	record("job list unauthorized", 401, run(step{"job list unauthorized", http.MethodGet, "/v1/jobs", "", 401, ""}))
 
 	// A cancelled job carries the error body inside the job view.
 	{
@@ -172,19 +177,19 @@ func TestAPICompatGolden(t *testing.T) {
 		}
 		<-started
 		doReq(t, ts, http.MethodDelete, "/v1/jobs/"+jv.ID, "", "")
-		record("job cancelled", 200, run(step{"job cancelled", http.MethodGet, "/v1/jobs/" + jv.ID + "?wait=5s", "", 200}))
+		record("job cancelled", 200, run(step{"job cancelled", http.MethodGet, "/v1/jobs/" + jv.ID + "?wait=5s", "", 200, ""}))
 		close(release)
 		s.solveFn = nil
 	}
 
-	record("job not found", 404, run(step{"job not found", http.MethodGet, "/v1/jobs/j-missing", "", 404}))
+	record("job not found", 404, run(step{"job not found", http.MethodGet, "/v1/jobs/j-missing", "", 404, ""}))
 
 	// Observability surface. The trace list is shape-unstable (entries
 	// carry omitempty fields that depend on request interleaving), so the
 	// contract test pins a specific child entry instead: re-run a batch
 	// and fetch its parent entry by id.
-	record("healthz", 200, run(step{"healthz", http.MethodGet, "/v1/healthz", "", 200}))
-	record("stats", 200, run(step{"stats", http.MethodGet, "/v1/stats", "", 200}))
+	record("healthz", 200, run(step{"healthz", http.MethodGet, "/v1/healthz", "", 200, ""}))
+	record("stats", 200, run(step{"stats", http.MethodGet, "/v1/stats", "", 200, ""}))
 	{
 		resp, data := postJSON(t, ts, "/v1/encode/batch",
 			fmt.Sprintf(`{"items": [{"constraints": %q}, {"constraints": %q}]}`, feasibleText, feasibleText), "")
@@ -196,7 +201,7 @@ func TestAPICompatGolden(t *testing.T) {
 			t.Fatal(err)
 		}
 		record("trace batch parent", 200, run(step{"trace batch parent", http.MethodGet,
-			fmt.Sprintf("/v1/trace/%d", out.TraceID), "", 200}))
+			fmt.Sprintf("/v1/trace/%d", out.TraceID), "", 200, ""}))
 	}
 
 	golden := filepath.Join("testdata", "api_shapes.golden")

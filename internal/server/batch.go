@@ -130,9 +130,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	type outcome struct {
-		res  *solveResult
-		meta execMeta
-		err  error
+		res       *solveResult
+		meta      execMeta
+		err       error
+		elapsedMS float64 // this item's own wall-clock, not the batch's
 	}
 	outs := make([]*outcome, len(parsed))
 	var wg sync.WaitGroup
@@ -143,8 +144,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, sreq *solveRequest) {
 			defer wg.Done()
+			itemStart := time.Now()
 			res, meta, err := s.execute(ctx, sreq, tenant, parentID, true)
-			outs[i] = &outcome{res: res, meta: meta, err: err}
+			outs[i] = &outcome{
+				res: res, meta: meta, err: err,
+				elapsedMS: float64(time.Since(itemStart).Microseconds()) / 1000,
+			}
 		}(i, sreq)
 	}
 	wg.Wait()
@@ -195,12 +200,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					Start:  start,
 				})
 			}
+			// ElapsedMS is the item's own latency (duplicates report their
+			// leader's — the time the answer actually took to produce);
+			// the top-level ElapsedMS carries the batch wall-clock.
 			item.Status = http.StatusOK
 			item.Result = &encodeResponse{
 				solveResult: *out.res,
 				Cached:      out.meta.cached,
 				Coalesced:   out.meta.coalesced || dup,
-				ElapsedMS:   elapsedMS,
+				ElapsedMS:   out.elapsedMS,
 				TraceID:     traceID,
 			}
 		}

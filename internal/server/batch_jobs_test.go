@@ -351,6 +351,133 @@ func TestJobIDsAreCapabilities(t *testing.T) {
 	}
 }
 
+// TestStatsNeverRenderRawTenantCredentials: /v1/stats is unauthenticated,
+// so its per-tenant rows must be keyed by the opaque credential digest —
+// echoing the raw Bearer token / X-API-Key would let any caller harvest
+// and replay every tenant's credential.
+func TestStatsNeverRenderRawTenantCredentials(t *testing.T) {
+	_, ts := newTestServer(t, Config{TenantMaxActive: 2})
+	const secret = "super-secret-api-key"
+
+	resp, data := postJSON(t, ts, "/v1/encode", reqBody(t, encodeRequest{Constraints: feasibleText}), secret)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("x-api-key solve = %d: %s", resp.StatusCode, data)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/encode",
+		strings.NewReader(reqBody(t, encodeRequest{Constraints: "face m n\n"})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+secret)
+	bresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("bearer solve = %d", bresp.StatusCode)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), secret) {
+		t.Fatalf("stats body leaks the raw credential: %s", raw)
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Both credential forms account under one digest row.
+	if _, ok := st.Tenants[tenantKey(secret)]; !ok {
+		t.Fatalf("no row under the credential digest: %+v", st.Tenants)
+	}
+}
+
+// TestJobListingRequiresCredential: all unauthenticated clients share the
+// anonymous tenant, so the listing (which reveals job-id capabilities)
+// must demand a credential; anonymous jobs stay reachable by their own id.
+func TestJobListingRequiresCredential(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts, "/v1/jobs", fmt.Sprintf(`{"encode": {"constraints": %q}}`, feasibleText), "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("anonymous submit = %d: %s", resp.StatusCode, data)
+	}
+	var jv jobView
+	if err := json.Unmarshal(data, &jv); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data = doReq(t, ts, http.MethodGet, "/v1/jobs", "", "")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anonymous list = %d, want 401: %s", resp.StatusCode, data)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.Error.Code != codeCredentialRequired {
+		t.Fatalf("error body = %s (%v)", data, err)
+	}
+
+	// The submit-time id remains a working capability without a credential.
+	if resp, data := doReq(t, ts, http.MethodGet, "/v1/jobs/"+jv.ID+"?wait=5s", "", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous poll by id = %d: %s", resp.StatusCode, data)
+	}
+	// Credentialed listings still work (and exclude anonymous jobs).
+	var listed struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	resp, data = doReq(t, ts, http.MethodGet, "/v1/jobs", "", "tenant-a")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("credentialed list = %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &listed); err != nil || len(listed.Jobs) != 0 {
+		t.Fatalf("credentialed list = %s (%v)", data, err)
+	}
+}
+
+// TestBatchPerItemElapsed: each batch item reports its own latency — a
+// fast item must not inherit a slow sibling's wall-clock time.
+func TestBatchPerItemElapsed(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, CacheEntries: -1})
+	const slowDelay = 150 * time.Millisecond
+	s.solveFn = func(ctx context.Context, req *solveRequest) (*solveResult, error) {
+		if req.primeLimit == 7 { // the marked slow item
+			time.Sleep(slowDelay)
+		}
+		return &solveResult{Mode: req.mode, Feasible: true, Text: "x = 0\n"}, nil
+	}
+
+	body := fmt.Sprintf(`{"items": [{"constraints": %q}, {"constraints": "face m n\n", "prime_limit": 7}]}`,
+		feasibleText)
+	resp, data := postJSON(t, ts, "/v1/encode/batch", body, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var out batchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := out.Items[0].Result, out.Items[1].Result
+	if fast == nil || slow == nil {
+		t.Fatalf("items missing results: %+v", out.Items)
+	}
+	if min := float64(slowDelay.Milliseconds()); slow.ElapsedMS < min {
+		t.Fatalf("slow item elapsed = %vms, want >= %vms", slow.ElapsedMS, min)
+	}
+	if limit := float64(slowDelay.Milliseconds()) / 2; fast.ElapsedMS >= limit {
+		t.Fatalf("fast item elapsed = %vms, want < %vms (must not inherit the batch wall-clock)", fast.ElapsedMS, limit)
+	}
+	if out.ElapsedMS < slow.ElapsedMS-1 {
+		t.Fatalf("batch elapsed %vms below its slowest item's %vms", out.ElapsedMS, slow.ElapsedMS)
+	}
+}
+
 // TestTenantQuotaShedsSyncTraffic: with one active-solve slot per tenant,
 // a tenant's second concurrent solve sheds 429 quota_exhausted while
 // another tenant still gets through.
@@ -395,7 +522,7 @@ func TestTenantQuotaShedsSyncTraffic(t *testing.T) {
 	if st.QuotaRejections != 1 {
 		t.Fatalf("quota_rejections = %d, want 1", st.QuotaRejections)
 	}
-	if ten, ok := st.Tenants["tenant-a"]; !ok || ten.QuotaRejections != 1 {
+	if ten, ok := st.Tenants[tenantKey("tenant-a")]; !ok || ten.QuotaRejections != 1 {
 		t.Fatalf("tenant stats: %+v", st.Tenants)
 	}
 
@@ -465,6 +592,7 @@ func TestErrorShapeTable(t *testing.T) {
 		{"batch bad json", http.MethodPost, "/v1/encode/batch", "{", http.StatusBadRequest, codeBadRequest},
 		{"pipeline bad json", http.MethodPost, "/v1/pipeline", "{", http.StatusBadRequest, codeBadRequest},
 		{"jobs bad method", http.MethodDelete, "/v1/jobs", "", http.StatusMethodNotAllowed, codeMethodNotAllowed},
+		{"jobs anonymous list", http.MethodGet, "/v1/jobs", "", http.StatusUnauthorized, codeCredentialRequired},
 		{"jobs missing workload", http.MethodPost, "/v1/jobs", "{}", http.StatusBadRequest, codeBadRequest},
 		{"jobs both workloads", http.MethodPost, "/v1/jobs", fmt.Sprintf(`{"encode": {"constraints": %q}, "pipeline": {"kiss": "x"}}`, feasibleText), http.StatusBadRequest, codeBadRequest},
 		{"job unknown id", http.MethodGet, "/v1/jobs/j-missing", "", http.StatusNotFound, codeNotFound},

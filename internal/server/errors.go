@@ -15,16 +15,17 @@ import (
 // Error codes of the v1 error body. The code is the machine-readable
 // contract: messages may be reworded, codes may only be added.
 const (
-	codeBadRequest       = "bad_request"        // 400: malformed body, unknown fields, invalid knobs
-	codeNotFound         = "not_found"          // 404: unknown job or trace id
-	codeMethodNotAllowed = "method_not_allowed" // 405
-	codeInfeasible       = "infeasible"         // 422: constraints admit no encoding
-	codeOverloaded       = "overloaded"         // 429: queue or job store full — global backpressure
-	codeQuotaExhausted   = "quota_exhausted"    // 429: this tenant's quota, not the server's capacity
-	codeInternal         = "internal"           // 500: panic, verification failure, replay divergence
-	codeDraining         = "draining"           // 503: shutdown in progress
-	codeCanceled         = "canceled"           // 503: solve aborted by forced shutdown
-	codeTimeout          = "timeout"            // 504: solve budget exceeded
+	codeBadRequest         = "bad_request"         // 400: malformed body, unknown fields, invalid knobs
+	codeCredentialRequired = "credential_required" // 401: endpoint needs a tenant credential
+	codeNotFound           = "not_found"           // 404: unknown job or trace id
+	codeMethodNotAllowed   = "method_not_allowed"  // 405
+	codeInfeasible         = "infeasible"          // 422: constraints admit no encoding
+	codeOverloaded         = "overloaded"          // 429: queue or job store full — global backpressure
+	codeQuotaExhausted     = "quota_exhausted"     // 429: this tenant's quota, not the server's capacity
+	codeInternal           = "internal"            // 500: panic, verification failure, replay divergence
+	codeDraining           = "draining"            // 503: shutdown in progress
+	codeCanceled           = "canceled"            // 503: solve aborted by forced shutdown
+	codeTimeout            = "timeout"             // 504: solve budget exceeded
 )
 
 // errorBody is the one versioned error shape every v1 endpoint renders,

@@ -81,7 +81,9 @@ func (s *Server) jobView(snap jobs.Snapshot) jobView {
 }
 
 // handleJobs serves the collection endpoint: POST /v1/jobs submits a job,
-// GET /v1/jobs lists the calling tenant's jobs (newest first).
+// GET /v1/jobs lists the calling tenant's jobs (newest first). The
+// listing requires a credential — anonymous traffic shares one tenant,
+// so listing it would leak job-id capabilities across callers.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	end := s.beginRequest()
 	defer end()
@@ -95,9 +97,20 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.submitJob(w, r)
 	case http.MethodGet:
 		s.metrics.Requests.Add(1)
+		tenant := tenantFrom(r)
+		if tenant == anonymousTenant {
+			// Anonymous clients all share one tenant, so a listing would
+			// hand each of them every other anonymous job's id — and a job
+			// id is the capability to poll, read and cancel it. Refusing
+			// the listing keeps anonymous jobs reachable only by the id
+			// returned at submit time.
+			s.writeError(w, apiErr(http.StatusUnauthorized, codeCredentialRequired,
+				"job listing requires a credential (Authorization: Bearer or X-API-Key); anonymous jobs are reachable only by id"))
+			return
+		}
 		s.jobs.Sweep() // expired jobs must not resurface in listings
 		views := []jobView{}
-		for _, snap := range s.jobs.List(tenantFrom(r)) {
+		for _, snap := range s.jobs.List(tenant) {
 			views = append(views, s.jobView(snap))
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": views})

@@ -198,8 +198,10 @@ type Stats struct {
 	JobsRetained int `json:"jobs_retained"`
 
 	QuotaRejections int64 `json:"quota_rejections"`
-	// Tenants breaks admission control down per tenant key; omitted when
-	// no tenant has been tracked.
+	// Tenants breaks admission control down per tenant key — an opaque
+	// credential digest ("t-<16 hex of sha256(token)>", see tenantKey)
+	// or "anonymous", never the credential itself; omitted when no
+	// tenant has been tracked.
 	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 
 	InFlight int64 `json:"in_flight"`

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"net/http"
 	"sort"
@@ -20,23 +22,48 @@ var errTenantBusy = errors.New("tenant concurrency quota exhausted, retry later"
 // identified tenants.
 const anonymousTenant = "anonymous"
 
-// tenantFrom extracts the requester's tenant key: the token of an
-// "Authorization: Bearer ..." header, else the X-API-Key header, else
-// anonymousTenant. The service performs admission control, not
-// authentication — the token is an identity for fair-share accounting,
-// verified (if at all) by the deployment in front.
+// maxTrackedTenants bounds the limiter's per-tenant bookkeeping. Beyond
+// the cap, tracking a new tenant evicts the least-recently-used idle one,
+// so an attacker cycling random credentials cannot grow server memory
+// (or the /v1/stats response) without bound. An evicted tenant's
+// rejection counter restarts from zero if it returns.
+const maxTrackedTenants = 1024
+
+// tenantKey derives the accounting key for a credential: a short one-way
+// digest, never the credential itself. The key is rendered in /v1/stats
+// and stored on job snapshots, so using the raw token would hand every
+// stats reader a usable credential. Operators correlate a key with a
+// token by computing "t-" + the first 16 hex chars of SHA-256(token).
+func tenantKey(cred string) string {
+	sum := sha256.Sum256([]byte(cred))
+	return "t-" + hex.EncodeToString(sum[:8])
+}
+
+// tenantFrom extracts the requester's tenant key: a digest of the token
+// of an "Authorization: Bearer ..." header, else of the X-API-Key header,
+// else anonymousTenant. The service performs admission control, not
+// authentication — the credential is an identity for fair-share
+// accounting, verified (if at all) by the deployment in front.
 func tenantFrom(r *http.Request) string {
 	if auth := r.Header.Get("Authorization"); auth != "" {
 		if tok, ok := strings.CutPrefix(auth, "Bearer "); ok {
 			if tok = strings.TrimSpace(tok); tok != "" {
-				return tok
+				return tenantKey(tok)
 			}
 		}
 	}
 	if key := strings.TrimSpace(r.Header.Get("X-API-Key")); key != "" {
-		return key
+		return tenantKey(key)
 	}
 	return anonymousTenant
+}
+
+// tenantEntry is one tenant's admission state: its slot semaphore, its
+// cumulative quota rejections, and a recency stamp for idle eviction.
+type tenantEntry struct {
+	sem      chan struct{}
+	rejected int64
+	lastUse  uint64 // limiter-wide use sequence; larger = more recent
 }
 
 // tenantLimiter enforces per-tenant concurrency quotas over the solve
@@ -45,32 +72,62 @@ func tenantFrom(r *http.Request) string {
 // on an exhausted quota (tryAcquire → 429), while batch items and async
 // jobs absorb the wait (acquire blocks until a slot frees or the context
 // dies) — that asymmetry is the point of having an async surface.
+//
+// Tracked tenants are capped at maxTrackedTenants; only idle entries
+// (no held slots) are evicted, so at the cap an active tenant's quota is
+// never reset under it. A blocked acquire that races an eviction of its
+// just-idle entry can briefly over-admit that one tenant by a slot —
+// acceptable in the >cap-distinct-tenants regime the cap exists for.
 type tenantLimiter struct {
 	maxActive int // 0 = unlimited
 
-	mu       sync.Mutex
-	sems     map[string]chan struct{}
-	rejected map[string]int64 // cumulative quota rejections per tenant
+	mu      sync.Mutex
+	entries map[string]*tenantEntry
+	useSeq  uint64
 }
 
 func newTenantLimiter(maxActive int) *tenantLimiter {
 	return &tenantLimiter{
 		maxActive: maxActive,
-		sems:      make(map[string]chan struct{}),
-		rejected:  make(map[string]int64),
+		entries:   make(map[string]*tenantEntry),
 	}
 }
 
-// sem lazily creates the tenant's slot channel.
-func (l *tenantLimiter) sem(tenant string) chan struct{} {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	c, ok := l.sems[tenant]
+// entryLocked returns the tenant's entry, creating it (and evicting an
+// idle one when at the tracking cap) as needed, and stamps its recency.
+// Callers must hold l.mu.
+func (l *tenantLimiter) entryLocked(tenant string) *tenantEntry {
+	e, ok := l.entries[tenant]
 	if !ok {
-		c = make(chan struct{}, l.maxActive)
-		l.sems[tenant] = c
+		if len(l.entries) >= maxTrackedTenants {
+			l.evictIdleLocked()
+		}
+		e = &tenantEntry{sem: make(chan struct{}, max(l.maxActive, 0))}
+		l.entries[tenant] = e
 	}
-	return c
+	l.useSeq++
+	e.lastUse = l.useSeq
+	return e
+}
+
+// evictIdleLocked drops the least-recently-used entry holding no slots.
+// When every tracked tenant is mid-solve nothing is evicted — the map may
+// then exceed the cap, but only by the number of concurrently active
+// tenants, which the pool and connection limits already bound.
+func (l *tenantLimiter) evictIdleLocked() {
+	var victim string
+	var victimUse uint64
+	for t, e := range l.entries {
+		if len(e.sem) > 0 {
+			continue
+		}
+		if victim == "" || e.lastUse < victimUse {
+			victim, victimUse = t, e.lastUse
+		}
+	}
+	if victim != "" {
+		delete(l.entries, victim)
+	}
 }
 
 // tryAcquire claims a slot without waiting; errTenantBusy when the
@@ -80,12 +137,14 @@ func (l *tenantLimiter) tryAcquire(tenant string) (release func(), err error) {
 	if l.maxActive <= 0 {
 		return func() {}, nil
 	}
-	c := l.sem(tenant)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entryLocked(tenant)
 	select {
-	case c <- struct{}{}:
-		return func() { <-c }, nil
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
 	default:
-		l.noteRejection(tenant)
+		e.rejected++
 		return nil, errTenantBusy
 	}
 }
@@ -95,7 +154,7 @@ func (l *tenantLimiter) tryAcquire(tenant string) (release func(), err error) {
 // which is enforced outside the slot semaphore.
 func (l *tenantLimiter) noteRejection(tenant string) {
 	l.mu.Lock()
-	l.rejected[tenant]++
+	l.entryLocked(tenant).rejected++
 	l.mu.Unlock()
 }
 
@@ -104,10 +163,20 @@ func (l *tenantLimiter) acquire(ctx context.Context, tenant string) (release fun
 	if l.maxActive <= 0 {
 		return func() {}, nil
 	}
-	c := l.sem(tenant)
+	l.mu.Lock()
+	e := l.entryLocked(tenant)
+	// Fast path under the lock so an immediate grant can never race an
+	// idle eviction; the slow path waits on the channel it already holds.
 	select {
-	case c <- struct{}{}:
-		return func() { <-c }, nil
+	case e.sem <- struct{}{}:
+		l.mu.Unlock()
+		return func() { <-e.sem }, nil
+	default:
+	}
+	l.mu.Unlock()
+	select {
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -119,15 +188,17 @@ func (l *tenantLimiter) active(tenant string) int {
 		return 0
 	}
 	l.mu.Lock()
-	c, ok := l.sems[tenant]
-	l.mu.Unlock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[tenant]
 	if !ok {
 		return 0
 	}
-	return len(c)
+	return len(e.sem)
 }
 
-// TenantStats is one tenant's row in Stats.Tenants.
+// TenantStats is one tenant's row in Stats.Tenants. Rows are keyed by
+// the opaque tenant key (a credential digest, see tenantKey), never the
+// credential itself.
 type TenantStats struct {
 	// ActiveSolves is the tenant's currently held concurrency slots
 	// (always 0 when quotas are disabled — nothing is tracked then).
@@ -138,19 +209,14 @@ type TenantStats struct {
 	QuotaRejections int64 `json:"quota_rejections"`
 }
 
-// seen returns every tenant the limiter has tracked, sorted for
+// seen returns every tenant the limiter currently tracks, sorted for
 // deterministic Stats rendering.
 func (l *tenantLimiter) seen() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	names := make([]string, 0, len(l.sems)+len(l.rejected))
-	for t := range l.sems {
+	names := make([]string, 0, len(l.entries))
+	for t := range l.entries {
 		names = append(names, t)
-	}
-	for t := range l.rejected {
-		if _, ok := l.sems[t]; !ok {
-			names = append(names, t)
-		}
 	}
 	sort.Strings(names)
 	return names
@@ -160,5 +226,8 @@ func (l *tenantLimiter) seen() []string {
 func (l *tenantLimiter) rejections(tenant string) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.rejected[tenant]
+	if e, ok := l.entries[tenant]; ok {
+		return e.rejected
+	}
+	return 0
 }

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestTenantKeyIsOpaque: the accounting key derived from a credential
+// must be deterministic and must not embed the credential.
+func TestTenantKeyIsOpaque(t *testing.T) {
+	const secret = "super-secret-token"
+	k := tenantKey(secret)
+	if k != tenantKey(secret) {
+		t.Fatal("tenantKey not deterministic")
+	}
+	if strings.Contains(k, secret) {
+		t.Fatalf("tenant key %q embeds the credential", k)
+	}
+	if !strings.HasPrefix(k, "t-") || len(k) != len("t-")+16 {
+		t.Fatalf("tenant key %q not in the documented t-<16 hex> form", k)
+	}
+	if k == tenantKey("other-token") {
+		t.Fatal("distinct credentials collide")
+	}
+}
+
+// TestTenantLimiterBoundsTrackedTenants: an attacker cycling random
+// credentials must not grow the limiter's bookkeeping without bound, and
+// idle eviction must never reset a tenant that holds slots.
+func TestTenantLimiterBoundsTrackedTenants(t *testing.T) {
+	l := newTenantLimiter(1)
+	release, err := l.tryAcquire("held")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*maxTrackedTenants; i++ {
+		rel, err := l.tryAcquire(fmt.Sprintf("churn-%d", i))
+		if err != nil {
+			t.Fatalf("tryAcquire churn-%d: %v", i, err)
+		}
+		rel()
+	}
+	if n := len(l.seen()); n > maxTrackedTenants {
+		t.Fatalf("tracking %d tenants, cap is %d", n, maxTrackedTenants)
+	}
+	if l.active("held") != 1 {
+		t.Fatal("slot-holding tenant evicted by credential churn")
+	}
+	if _, err := l.tryAcquire("held"); err == nil {
+		t.Fatal("slot-holding tenant's quota was reset by credential churn")
+	}
+	release()
+
+	// The rejection-only path (the job-count quota calls noteRejection
+	// without ever acquiring a slot) is bounded the same way.
+	jl := newTenantLimiter(0)
+	for i := 0; i < 3*maxTrackedTenants; i++ {
+		jl.noteRejection(fmt.Sprintf("churn-%d", i))
+	}
+	if n := len(jl.seen()); n > maxTrackedTenants {
+		t.Fatalf("rejection bookkeeping tracks %d tenants, cap is %d", n, maxTrackedTenants)
+	}
+}
