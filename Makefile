@@ -3,7 +3,7 @@ GO ?= go
 # The checked-in kernel benchmark snapshot that bench-json writes and
 # bench-gate diffs against. Override to measure into (or gate against) a
 # different file: `make bench-json BENCH_SNAPSHOT=BENCH_LOCAL.json`.
-BENCH_SNAPSHOT ?= BENCH_PR7.json
+BENCH_SNAPSHOT ?= BENCH_PR9.json
 
 .PHONY: all build vet staticcheck test race test-server test-diff difftest fuzz serve trace-demo bench-smoke bench bench-json bench-json-smoke bench-gate bench-gate-strict paper-tables paper-tables-check ci
 
@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test ./internal/diffcheck/ -run '^FuzzEncode$$' -fuzz '^FuzzEncode$$' -fuzztime 30s
 	$(GO) test ./internal/diffcheck/ -run '^FuzzParseKISS$$' -fuzz '^FuzzParseKISS$$' -fuzztime 30s
 	$(GO) test ./internal/diffcheck/ -run '^FuzzVerify$$' -fuzz '^FuzzVerify$$' -fuzztime 30s
+	$(GO) test ./internal/diffcheck/ -run '^FuzzDecompose$$' -fuzz '^FuzzDecompose$$' -fuzztime 30s
 
 # Run the encoding service locally (POST /v1/encode, GET /v1/stats).
 serve:

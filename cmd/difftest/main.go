@@ -53,6 +53,12 @@ var families = []family{
 		inst := gen.Random(seed, cfg)
 		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
 	}},
+	{"multicomponent", func(ctx context.Context, seed int64, size int, opts diffcheck.Options) diffcheck.Report {
+		cfg := gen.DefaultConfig(size)
+		cfg.Components = 2
+		inst := gen.Random(seed, cfg)
+		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
+	}},
 	{"fsm", func(ctx context.Context, seed int64, size int, opts diffcheck.Options) diffcheck.Report {
 		m := gen.RandomFSM(seed, gen.DefaultFSMConfig(size))
 		return diffcheck.CheckFSM(ctx, m, opts)
@@ -68,7 +74,7 @@ func main() {
 	size := flag.Int("size", 6, "instance size (symbols / FSM states)")
 	timeout := flag.Duration("timeout", 20*time.Second, "per-solver budget")
 	jobs := flag.Int("j", 1, "instances checked concurrently")
-	mode := flag.String("mode", "all", "family to run: all|feasible|unrestricted|extended|fsm|gpi")
+	mode := flag.String("mode", "all", "family to run: all|feasible|unrestricted|extended|multicomponent|fsm|gpi")
 	noAnneal := flag.Bool("no-anneal", false, "skip the annealing comparator")
 	verbose := flag.Bool("v", false, "print one line per instance")
 	flag.Parse()
@@ -175,6 +181,10 @@ func printReproducer(fam string, seed int64, size int, opts diffcheck.Options) {
 		cfg := gen.DefaultConfig(size)
 		cfg.Distance2s = 2
 		cfg.NonFaces = 1
+		inst = gen.Random(seed, cfg)
+	case "multicomponent":
+		cfg := gen.DefaultConfig(size)
+		cfg.Components = 2
 		inst = gen.Random(seed, cfg)
 	default:
 		fmt.Printf("  replay with: difftest -mode %s -seed %d -seeds 1 -size %d\n", fam, seed, size)

@@ -42,6 +42,7 @@ func main() {
 	jobs := flag.Int("j", 0, "worker count for the parallel engines (0 = all CPUs, 1 = sequential); results are identical for any value")
 	verbose := flag.Bool("v", false, "print pipeline details")
 	traceFlag := flag.Bool("trace", false, "print a per-stage time table to stderr after solving")
+	decompose := flag.Bool("decompose", false, "solve the exact problem by connected-component decomposition")
 	remote := flag.String("remote", "", "solve via a running served instance at this base URL (e.g. http://localhost:8080)")
 	async := flag.Bool("async", false, "with -remote: submit as an async job and long-poll for the result")
 	apiKey := flag.String("api-key", "", "with -remote: tenant credential sent as the bearer token")
@@ -75,16 +76,17 @@ func main() {
 
 	if *remote != "" {
 		runRemote(ctx, remoteOptions{
-			baseURL: *remote,
-			apiKey:  *apiKey,
-			async:   *async,
-			text:    string(text),
-			check:   *check,
-			bits:    *bits,
-			metric:  *metric,
-			primes:  *primeLimit,
-			timeout: *timeout,
-			workers: *jobs,
+			baseURL:   *remote,
+			apiKey:    *apiKey,
+			async:     *async,
+			text:      string(text),
+			check:     *check,
+			bits:      *bits,
+			metric:    *metric,
+			primes:    *primeLimit,
+			timeout:   *timeout,
+			workers:   *jobs,
+			decompose: *decompose,
 		})
 		return
 	}
@@ -133,6 +135,15 @@ func main() {
 	}
 	var res *core.ExactResult
 	switch {
+	case *decompose:
+		exactOpts.Decompose = true
+		var err error
+		if res, err = encodingapi.ExactEncode(ctx, cs, exactOpts); err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Printf("# components=%d\n", encodingapi.DecompCount(cs))
+		}
 	case len(cs.Chains) > 0:
 		enc, err := core.SolveWithChains(cs, cs.N())
 		if err != nil {
@@ -172,6 +183,7 @@ type remoteOptions struct {
 	primes          int
 	timeout         time.Duration
 	workers         int
+	decompose       bool
 }
 
 // runRemote routes the solve through a served instance. The synchronous
@@ -196,6 +208,7 @@ func runRemote(ctx context.Context, opt remoteOptions) {
 		req.Metric = opt.metric
 	default:
 		req.Mode = "exact"
+		req.Decompose = opt.decompose
 	}
 
 	var res *encodingapi.EncodeResult

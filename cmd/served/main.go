@@ -64,6 +64,7 @@ func main() {
 	maxJobWait := flag.Duration("max-job-wait", server.DefaultMaxJobWait, "ceiling on ?wait= long-poll windows")
 	tenantActive := flag.Int("tenant-active", 0, "concurrent solves per tenant before shedding with 429 (0 = unlimited)")
 	tenantJobs := flag.Int("tenant-jobs", 0, "live jobs per tenant before submits shed with 429 (0 = unlimited)")
+	decompose := flag.Bool("decompose", false, "solve exact requests by connected-component decomposition (per-component caching)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -83,6 +84,7 @@ func main() {
 		MaxJobWait:         *maxJobWait,
 		TenantMaxActive:    *tenantActive,
 		TenantMaxJobs:      *tenantJobs,
+		Decompose:          *decompose,
 	})
 	srv.PublishExpvar()
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cover"
+	"repro/internal/decomp"
 	"repro/internal/heuristic"
 	"repro/internal/par"
 	"repro/internal/prime"
@@ -216,15 +217,31 @@ func Feasible(cs *Set) bool { return core.CheckFeasible(cs).Feasible }
 // ExactEncode solves P-2: minimum-length codes satisfying all input and
 // output constraints, or ErrInfeasible. The context cancels the exponential
 // stages cooperatively; see core.ExactEncodeCtx for the exact contract.
+// With opts.Decompose set, the set is split into the connected components
+// of its symbol graph and the components solve independently (see
+// internal/decomp); any infeasibility is reported in global terms.
 func ExactEncode(ctx context.Context, cs *Set, opts ExactOptions) (*ExactResult, error) {
+	if opts.Decompose {
+		return decomp.ExactEncodeCtx(ctx, cs, opts)
+	}
 	return core.ExactEncodeCtx(ctx, cs, opts)
 }
 
 // ExactEncodeExtended solves P-2 in the presence of the Section-8
-// distance-2 and non-face extension constraints.
+// distance-2 and non-face extension constraints. opts.Decompose routes
+// through connected-component decomposition exactly as in ExactEncode
+// (non-face and chain sets fall back to the monolithic path internally).
 func ExactEncodeExtended(ctx context.Context, cs *Set, opts ExactOptions) (*ExactResult, error) {
+	if opts.Decompose {
+		return decomp.ExactEncodeCtx(ctx, cs, opts)
+	}
 	return core.ExactEncodeExtendedCtx(ctx, cs, opts)
 }
+
+// DecompCount reports the number of connected components of cs's symbol
+// graph (1 for sets the decomposer cannot split: chains or non-faces
+// present). Useful for reporting and capacity planning.
+func DecompCount(cs *Set) int { return decomp.Count(cs) }
 
 // SolveWithChains searches directly for codes satisfying a set that
 // includes chain constraints; exponential, limited to small symbol counts

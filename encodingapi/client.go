@@ -48,6 +48,8 @@ type EncodeRequest struct {
 	PrimeLimit int    `json:"prime_limit,omitempty"`
 	TimeoutMS  int    `json:"timeout_ms,omitempty"`
 	Workers    int    `json:"workers,omitempty"`
+	// Decompose requests connected-component decomposition (exact mode).
+	Decompose bool `json:"decompose,omitempty"`
 }
 
 // PipelineRequest is the body of POST /v1/pipeline.

@@ -244,6 +244,12 @@ func TestDifferentialRandomized(t *testing.T) {
 		inst := gen.Random(seed, cfg)
 		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
 	})
+	run("multicomponent", func(seed int64) diffcheck.Report {
+		cfg := gen.DefaultConfig(6)
+		cfg.Components = 2
+		inst := gen.Random(seed, cfg)
+		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
+	})
 	run("fsm", func(seed int64) diffcheck.Report {
 		return diffcheck.CheckFSM(ctx, gen.RandomFSM(seed, gen.DefaultFSMConfig(4)), opts)
 	})

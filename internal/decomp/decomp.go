@@ -1,0 +1,297 @@
+// Package decomp implements connected-component decomposition of constraint
+// sets: the paper's constraint classes only couple the symbols they mention,
+// so a set whose symbol graph is disconnected splits into independent
+// sub-problems that can be solved separately — in parallel, cacheable
+// per-component — and reassembled into one encoding.
+//
+// The pipeline is Split → per-component solve → Assemble:
+//
+//   - Split builds the symbol graph (union-find over each constraint's
+//     symbol set), extracts one local constraint.Set per connected
+//     component, runs a pre-solve simplification pass (duplicate and
+//     subsumed-constraint elimination, implied code-equality detection) and
+//     computes a canonical per-component sub-hash with
+//     core.CanonicalHashSet, so permuted-but-equal components share one
+//     cache identity.
+//   - Component.Solve runs the ordinary exact pipeline on the local set and
+//     remaps any InfeasibleError back to global symbol indices before it
+//     escapes.
+//   - Assemble concatenates the component encodings with a prefix-free
+//     aligned-subcube layout (see layout.go) and reports honest optimality:
+//     the result claims Optimal only when every component was solved to
+//     optimality and the assembled width equals the information-theoretic
+//     global minimum.
+//
+// Two constraint classes defeat decomposition and force the monolithic
+// fallback: chains (the +1-wraparound semantics of core.Verify is evaluated
+// at the global width, so a locally consecutive pair stops being consecutive
+// once embedded in a subcube) and non-faces (a non-face over component
+// symbols may be satisfied by an intruder from a *different* component, so
+// solving it locally could report infeasible where the monolithic solver
+// succeeds). Decomposable reports the distinction.
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/sym"
+)
+
+// Component is one connected component of a constraint set's symbol graph,
+// ready to solve independently.
+type Component struct {
+	// Index is the component's position in Plan.Components: components are
+	// ordered by their smallest global symbol index.
+	Index int
+	// GlobalOf maps local symbol indices (dense, ascending) back to the
+	// source set's global indices: GlobalOf[local] = global.
+	GlobalOf []int
+	// Set is the simplified local projection of the source constraints onto
+	// this component, over its own symbol table (same names, local
+	// indices).
+	Set *constraint.Set
+	// Hash is the canonical content hash of the simplified local set: two
+	// components denoting the same sub-problem — same symbol names, same
+	// constraints up to reordering — share it, which is what makes
+	// per-component caching hit across permuted requests.
+	Hash core.Hash128
+
+	// forcedInfeasible records that simplification derived an implied code
+	// equality (a dominance/disjunctive covering cycle, or a disjunctive
+	// reduced to a single child): equal codes violate global uniqueness, so
+	// the component admits no encoding.
+	forcedInfeasible bool
+
+	// globalSyms is the source set's symbol table, kept for remapping
+	// errors back to global indices.
+	globalSyms *sym.Table
+}
+
+// Plan is the decomposition of one constraint set.
+type Plan struct {
+	// Source is the set the plan was split from.
+	Source *constraint.Set
+	// Components are the connected components, ordered by smallest global
+	// symbol index. Unconstrained symbols form singleton components.
+	Components []*Component
+}
+
+// Decomposable reports whether cs can be solved component-wise: chain and
+// non-face constraints force the monolithic path (see the package comment
+// for why each defeats the subcube embedding).
+func Decomposable(cs *constraint.Set) bool {
+	return len(cs.Chains) == 0 && len(cs.NonFaces) == 0
+}
+
+// Split decomposes cs into the connected components of its symbol graph.
+// Each constraint couples exactly the symbols it mentions — for faces the
+// members only: a don't-care symbol is merely *allowed* inside the face, so
+// it induces no coupling and out-of-component don't-cares are projected
+// away. Every local set is simplified and hashed; implied-equality
+// infeasibility is recorded on the component (see Plan.ForcedInfeasible).
+func Split(cs *constraint.Set) (*Plan, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	if !Decomposable(cs) {
+		return nil, fmt.Errorf("decomp: set with chain or non-face constraints is not decomposable")
+	}
+	n := cs.N()
+	uf := newUnionFind(n)
+	for _, f := range cs.Faces {
+		unionSet(uf, f.Members)
+	}
+	for _, d := range cs.Dominances {
+		uf.union(d.Big, d.Small)
+	}
+	for _, d := range cs.Disjunctives {
+		for _, c := range d.Children {
+			uf.union(d.Parent, c)
+		}
+	}
+	for _, e := range cs.ExtDisjunctives {
+		for _, conj := range e.Conjunctions {
+			for _, c := range conj {
+				uf.union(e.Parent, c)
+			}
+		}
+	}
+	for _, d := range cs.Distance2s {
+		uf.union(d.A, d.B)
+	}
+
+	// Number components by smallest member, and build the local index map.
+	compOf := make([]int, n)  // global symbol -> component index
+	localOf := make([]int, n) // global symbol -> local index
+	var comps []*Component
+	rootComp := make(map[int]int, n)
+	for s := 0; s < n; s++ {
+		r := uf.find(s)
+		ci, ok := rootComp[r]
+		if !ok {
+			ci = len(comps)
+			rootComp[r] = ci
+			comps = append(comps, &Component{Index: ci, globalSyms: cs.Syms})
+		}
+		c := comps[ci]
+		compOf[s] = ci
+		localOf[s] = len(c.GlobalOf)
+		c.GlobalOf = append(c.GlobalOf, s)
+	}
+	for _, c := range comps {
+		t := sym.NewTable()
+		for _, g := range c.GlobalOf {
+			t.Intern(cs.Syms.Name(g))
+		}
+		c.Set = constraint.NewSet(t)
+	}
+
+	localize := func(m bitset.Set) bitset.Set {
+		var out bitset.Set
+		m.ForEach(func(e int) bool { out.Add(localOf[e]); return true })
+		return out
+	}
+	for _, f := range cs.Faces {
+		first, _ := f.Members.Min()
+		c := comps[compOf[first]]
+		// Project don't-cares onto the component: an out-of-component
+		// don't-care can never lie inside the face once components occupy
+		// disjoint code ranges, so dropping it changes nothing.
+		var dc bitset.Set
+		f.DontCare.ForEach(func(e int) bool {
+			if compOf[e] == c.Index {
+				dc.Add(localOf[e])
+			}
+			return true
+		})
+		c.Set.AddFaceSet(localize(f.Members), dc)
+	}
+	for _, d := range cs.Dominances {
+		c := comps[compOf[d.Big]]
+		c.Set.Dominances = append(c.Set.Dominances, constraint.Dominance{
+			Big: localOf[d.Big], Small: localOf[d.Small],
+		})
+	}
+	for _, d := range cs.Disjunctives {
+		c := comps[compOf[d.Parent]]
+		nd := constraint.Disjunctive{Parent: localOf[d.Parent]}
+		for _, ch := range d.Children {
+			nd.Children = append(nd.Children, localOf[ch])
+		}
+		c.Set.Disjunctives = append(c.Set.Disjunctives, nd)
+	}
+	for _, e := range cs.ExtDisjunctives {
+		c := comps[compOf[e.Parent]]
+		ne := constraint.ExtDisjunctive{Parent: localOf[e.Parent]}
+		for _, conj := range e.Conjunctions {
+			lc := make([]int, len(conj))
+			for i, s := range conj {
+				lc[i] = localOf[s]
+			}
+			ne.Conjunctions = append(ne.Conjunctions, lc)
+		}
+		c.Set.ExtDisjunctives = append(c.Set.ExtDisjunctives, ne)
+	}
+	for _, d := range cs.Distance2s {
+		c := comps[compOf[d.A]]
+		c.Set.Distance2s = append(c.Set.Distance2s, constraint.Distance2{
+			A: localOf[d.A], B: localOf[d.B],
+		})
+	}
+
+	// Simplify before hashing: duplicate constraints are hash-significant,
+	// so two requests differing only in redundant repetition must converge
+	// on the same sub-hash to share a cache entry.
+	for _, c := range comps {
+		c.forcedInfeasible = simplify(c.Set)
+		c.Hash = core.CanonicalHashSet(c.Set)
+	}
+	return &Plan{Source: cs, Components: comps}, nil
+}
+
+// ForcedInfeasible returns the global infeasibility verdict when
+// simplification proved some component admits no encoding (an implied code
+// equality contradicts uniqueness), nil otherwise. The verdict is
+// double-checked against the polynomial P-1 test on the source set — which
+// also supplies the minimized conflict subset in *global* indices — so a
+// disagreement (defensive; it would indicate a simplifier bug) falls back
+// to the ordinary solve path instead of mis-reporting a feasible set.
+func (p *Plan) ForcedInfeasible() *core.InfeasibleError {
+	for _, c := range p.Components {
+		if !c.forcedInfeasible {
+			continue
+		}
+		if core.CheckFeasible(p.Source).Feasible {
+			c.forcedInfeasible = false
+			continue
+		}
+		return &core.InfeasibleError{Conflict: core.MinimizeInfeasible(p.Source)}
+	}
+	return nil
+}
+
+// Count returns the number of connected components of cs's symbol graph, or
+// 1 when the set is not decomposable (chains/non-faces) or fails
+// validation. Intended for reporting (benchmark tables, stats), not
+// solving.
+func Count(cs *constraint.Set) int {
+	if !Decomposable(cs) {
+		return 1
+	}
+	plan, err := Split(cs)
+	if err != nil {
+		return 1
+	}
+	return len(plan.Components)
+}
+
+// unionFind is a plain union-by-size disjoint-set forest with path halving.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+// unionSet unions every element of m with its first element.
+func unionSet(uf *unionFind, m bitset.Set) {
+	first := -1
+	m.ForEach(func(e int) bool {
+		if first < 0 {
+			first = e
+		} else {
+			uf.union(first, e)
+		}
+		return true
+	})
+}

@@ -1,0 +1,79 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hypercube"
+)
+
+// Assemble concatenates per-component encodings into one global encoding
+// over the source symbol table.
+//
+// Layout: component i's codes occupy an *aligned* 2^{b_i}-subcube of the
+// global space — every global code of the component is base_i | localCode
+// with base_i a multiple of 2^{b_i}. Bases are handed out greedily in
+// descending subcube size (ties broken by smallest global symbol, for
+// determinism), which keeps each base aligned without gaps beyond the
+// power-of-two rounding: descending sizes mean the running total is always a
+// multiple of the next (smaller or equal) size. The global width is then
+// MinBits of the total codepoints consumed.
+//
+// Soundness per constraint class: a face constraint's minimal subcube fixes
+// every bit above the component's local width to the base's bits, so no
+// symbol from another component (whose codes differ in those high bits) can
+// intrude; dominance/disjunctive/extended-disjunctive relations hold
+// bitwise on the shared base and reduce to the local relation on the low
+// bits; distance-2 pairs share a base so their distance is the local
+// distance; and uniqueness holds because the subcube intervals are
+// disjoint.
+//
+// The assembled result claims Optimal only when every component solve was
+// optimal *and* the assembled width equals the information-theoretic global
+// minimum MinBits(N): subcube alignment can waste codepoints (e.g.
+// components of sizes 5 and 2 consume 8+2 = 10 points, forcing 4 bits where
+// 3 suffice monolithically), and then minimality is not established.
+func Assemble(plan *Plan, results []*core.ExactResult) (*core.ExactResult, error) {
+	if len(results) != len(plan.Components) {
+		return nil, fmt.Errorf("decomp: %d results for %d components", len(results), len(plan.Components))
+	}
+	for i, r := range results {
+		if r == nil || r.Encoding == nil {
+			return nil, fmt.Errorf("decomp: missing result for component %d", i)
+		}
+		if want, got := len(plan.Components[i].GlobalOf), len(r.Encoding.Codes); want != got {
+			return nil, fmt.Errorf("decomp: component %d encoding has %d codes, want %d", i, got, want)
+		}
+	}
+
+	order := make([]int, len(plan.Components))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ba, bb := results[order[a]].Encoding.Bits, results[order[b]].Encoding.Bits
+		if ba != bb {
+			return ba > bb
+		}
+		return plan.Components[order[a]].GlobalOf[0] < plan.Components[order[b]].GlobalOf[0]
+	})
+
+	n := plan.Source.N()
+	codes := make([]hypercube.Code, n)
+	base := hypercube.Code(0)
+	optimal := true
+	for _, ci := range order {
+		comp, res := plan.Components[ci], results[ci]
+		for local, global := range comp.GlobalOf {
+			codes[global] = base | res.Encoding.Codes[local]
+		}
+		base += 1 << uint(res.Encoding.Bits)
+		optimal = optimal && res.Optimal
+	}
+	bits := hypercube.MinBits(int(base))
+	return &core.ExactResult{
+		Encoding: core.NewEncoding(plan.Source.Syms, bits, codes),
+		Optimal:  optimal && bits == hypercube.MinBits(n),
+	}, nil
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cover"
+	"repro/internal/decomp"
 	"repro/internal/fsm"
 	"repro/internal/gpi"
 	"repro/internal/heuristic"
@@ -200,6 +201,13 @@ func CheckSet(ctx context.Context, cs *constraint.Set, witness *core.Encoding, o
 		default:
 			r.fail("exact-parallel-determinism", "parallel re-solve errored: %v", err2)
 		}
+	}
+
+	// Decomposed-vs-monolithic agreement: the connected-component solver
+	// must reproduce the monolithic verdict (and width, when both claim
+	// optimality) on every decomposable set.
+	if decomp.Decomposable(cs) {
+		r.checkDecomposed(ctx, cs, witness, exact, res, errors.Is(err, core.ErrInfeasible), opts)
 	}
 
 	// Heuristic and annealing handle face constraints only; compare them

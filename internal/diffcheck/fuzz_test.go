@@ -8,8 +8,11 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/gen"
 	"repro/internal/hypercube"
 	"repro/internal/kiss"
+	"repro/internal/par"
 )
 
 // fuzzOpts keeps per-input solver work small: native fuzzing throughput
@@ -106,6 +109,64 @@ func FuzzVerify(f *testing.F) {
 		for _, v := range core.Verify(cs, enc) {
 			if v.Kind == "" {
 				t.Fatalf("violation with empty kind: %+v", v)
+			}
+		}
+	})
+}
+
+// FuzzDecompose drives the connected-component solver over generated
+// multi-component instances: every assembled encoding must be
+// Verify-clean, and because multi-component witnesses sit at the
+// monolithic minimum width, the decomposed solve must match that cost
+// exactly — concatenation is not allowed to waste bits on these
+// instances. Small universes additionally run the full cross-solver
+// matrix (including the decomposed-vs-monolithic invariants).
+func FuzzDecompose(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(1))
+	f.Add(int64(42), uint8(0))
+	f.Add(int64(1336), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, kByte uint8) {
+		cfg := gen.DefaultConfig(6)
+		cfg.Components = 2 + int(kByte%2) // 2 or 3 components
+		inst := gen.Random(seed, cfg)
+		cs, witness := inst.Set, inst.Witness
+
+		ctx := context.Background()
+		dres, err := decomp.ExactEncodeCtx(ctx, cs, core.ExactOptions{
+			Parallelism: par.Parallelism{Workers: 1, TimeLimit: 5 * time.Second},
+		})
+		if err != nil {
+			t.Fatalf("seed %d k %d: decomposed solve failed on a witnessed instance: %v\n%s",
+				seed, cfg.Components, err, cs)
+		}
+		if v := core.Verify(cs, dres.Encoding); len(v) != 0 {
+			t.Fatalf("seed %d k %d: assembled encoding fails the oracle: %v\n%s\n%s",
+				seed, cfg.Components, v, cs, dres.Encoding)
+		}
+		// Cost agreement: when every generated group stayed whole (the
+		// generator redraws toward this, but a constraint-starved group
+		// can still split), the aligned layout is tight and the
+		// decomposed width must equal the witness's monolithic minimum.
+		// A split group legitimately costs a slack bit — but then the
+		// result must not claim optimality at a width the witness beats.
+		fullGroups := decomp.Count(cs) == cfg.Components
+		if fullGroups && dres.Encoding.Bits != witness.Bits {
+			t.Fatalf("seed %d k %d: decomposed used %d bits, witness (monolithic minimum) uses %d\n%s",
+				seed, cfg.Components, dres.Encoding.Bits, witness.Bits, cs)
+		}
+		if dres.Optimal && dres.Encoding.Bits != witness.Bits {
+			t.Fatalf("seed %d k %d: optimality claimed at %d bits but the witness uses %d\n%s",
+				seed, cfg.Components, dres.Encoding.Bits, witness.Bits, cs)
+		}
+
+		// Small instances afford the monolithic solvers too: run the whole
+		// invariant matrix, witness attached.
+		if fuzzable(cs) {
+			rep := CheckSet(ctx, cs, witness, fuzzOpts())
+			if !rep.OK() {
+				t.Fatalf("seed %d k %d: invariant violations:\n%s\nset:\n%s",
+					seed, cfg.Components, rep.String(), cs)
 			}
 		}
 	})

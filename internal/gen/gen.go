@@ -55,6 +55,15 @@ type Config struct {
 	ExtraBitProb float64
 	// Feasible selects feasible-by-construction mode.
 	Feasible bool
+	// Components, when at least 2, switches Random to multi-component
+	// mode: the universe splits into that many power-of-two-sized symbol
+	// groups whose constraint graphs are disjoint, so the instance
+	// decomposes into exactly Components connected components. The mode
+	// is feasible-by-construction (each group gets its own witness) and
+	// never emits extension non-faces or witness slack bits, which keeps
+	// the assembled witness at the monolithic minimum width — the oracle
+	// the decomposed solver is differentially checked against.
+	Components int
 }
 
 // DefaultConfig returns a balanced mixed-constraint config over n symbols:
@@ -86,6 +95,9 @@ type Instance struct {
 
 // Random generates the instance determined by (seed, cfg).
 func Random(seed int64, cfg Config) Instance {
+	if cfg.Components >= 2 {
+		return randomMulti(seed, cfg)
+	}
 	if cfg.Symbols < 2 {
 		cfg.Symbols = 2
 	}

@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/hypercube"
 )
 
 // TestDeterministic: the same (seed, cfg) pair must yield structurally
@@ -141,6 +143,50 @@ func TestRandomFunctionShape(t *testing.T) {
 		g := RandomFunction(seed, cfg)
 		if len(g.Minterms) != len(f.Minterms) {
 			t.Fatalf("seed %d: function generation is not deterministic", seed)
+		}
+	}
+}
+
+// TestMultiComponent: multi-component mode must produce at least
+// cfg.Components connected components (a group whose draw leaves some
+// symbol unconstrained splits further — never fewer), a Verify-clean
+// witness, and a witness width equal to the monolithic minimum — that
+// last property is what lets diffcheck assert exact-cost agreement
+// between the decomposed and monolithic solvers on these instances.
+func TestMultiComponent(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := DefaultConfig(6)
+		cfg.Components = 2 + int(seed%3) // 2..4 components
+		inst := Random(seed, cfg)
+		if err := inst.Set.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid set: %v", seed, err)
+		}
+		if got := decomp.Count(inst.Set); got < cfg.Components {
+			t.Fatalf("seed %d: %d components, want at least %d:\n%s",
+				seed, got, cfg.Components, inst.Set)
+		}
+		if v := core.Verify(inst.Set, inst.Witness); len(v) != 0 {
+			t.Fatalf("seed %d: witness violates its own set: %v\n%s\n%s",
+				seed, v, inst.Set, inst.Witness)
+		}
+		if want := hypercube.MinBits(inst.Set.N()); inst.Witness.Bits != want {
+			t.Fatalf("seed %d: witness bits = %d, want monolithic minimum %d",
+				seed, inst.Witness.Bits, want)
+		}
+	}
+}
+
+// TestMultiComponentDeterministic: replayability holds in multi mode too.
+func TestMultiComponentDeterministic(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Components = 3
+	for seed := int64(0); seed < 25; seed++ {
+		a, b := Random(seed, cfg), Random(seed, cfg)
+		if !constraint.Equal(a.Set, b.Set) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+		if a.Witness.Bits != b.Witness.Bits {
+			t.Fatalf("seed %d: witness widths differ", seed)
 		}
 	}
 }

@@ -102,15 +102,17 @@ func OverviewTable(machines []corpus.Machine) string {
 }
 
 // EncodingTable compares code length and face-constraint satisfaction per
-// strategy. An exact-strategy entry whose search exhausted its budget
-// before proving minimality is marked with a dagger.
+// strategy, plus the connected-component count of each machine's extracted
+// constraint set (the decomposed solver's unit of caching and parallelism).
+// An exact-strategy entry whose search exhausted its budget before proving
+// minimality is marked with a dagger.
 func EncodingTable(results []Result, strategies []pipeline.Strategy) string {
 	var b strings.Builder
-	b.WriteString("| machine | faces | dom | disj |")
+	b.WriteString("| machine | faces | dom | disj | comp |")
 	for _, s := range strategies {
 		fmt.Fprintf(&b, " %s bits | viol |", s)
 	}
-	b.WriteString("\n|---|---:|---:|---:|")
+	b.WriteString("\n|---|---:|---:|---:|---:|")
 	for range strategies {
 		b.WriteString("---:|---:|")
 	}
@@ -123,7 +125,7 @@ func EncodingTable(results []Result, strategies []pipeline.Strategy) string {
 		if cc == nil {
 			cc = r.Reports[strategies[0]]
 		}
-		fmt.Fprintf(&b, "| %s | %d | %d | %d |", r.Machine.Name, cc.Faces, cc.Dominances, cc.Disjunctives)
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d |", r.Machine.Name, cc.Faces, cc.Dominances, cc.Disjunctives, cc.Components)
 		for _, s := range strategies {
 			rep := r.Reports[s]
 			bits := fmt.Sprintf("%d", rep.Bits)

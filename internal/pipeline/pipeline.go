@@ -32,6 +32,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/decomp"
 	"repro/internal/fsm"
 	"repro/internal/heuristic"
 	"repro/internal/hypercube"
@@ -190,6 +191,7 @@ func Run(ctx context.Context, m *fsm.FSM, opts Options) (*Report, error) {
 		rep.Faces = len(cs.Faces)
 		rep.Dominances = len(cs.Dominances)
 		rep.Disjunctives = len(cs.Disjunctives)
+		rep.Components = decomp.Count(cs)
 		return nil
 	}); err != nil {
 		return rep, err

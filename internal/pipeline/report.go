@@ -24,6 +24,9 @@ type Report struct {
 	Faces         int `json:"faces"`
 	Dominances    int `json:"dominances,omitempty"`
 	Disjunctives  int `json:"disjunctives,omitempty"`
+	// Components is the number of connected components of the extracted
+	// constraint set's symbol graph (1 when it is not decomposable).
+	Components int `json:"components,omitempty"`
 
 	// Encoding.
 	Strategy   string            `json:"strategy"`

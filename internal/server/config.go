@@ -94,6 +94,13 @@ type Config struct {
 	// async jobs; 0 means unlimited.
 	TenantMaxJobs int
 
+	// Decompose routes every exact request through connected-component
+	// decomposition by default (requests may still opt in individually
+	// via the "decompose" field). Results are equivalent either way;
+	// disconnected constraint sets gain per-component caching and
+	// parallel component solves.
+	Decompose bool
+
 	// Cache replaces the in-process LRU result cache — the seam for a
 	// shared remote cache tier. nil means a fresh LRU bounded by
 	// CacheEntries.

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/encodingapi"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/trace"
+)
+
+// executeDecomposed is the component spine of a decomposed exact request:
+// Split → per-component cache lookup → solve the misses through the bounded
+// pool (each under its own sub-hash singleflight, so concurrent requests
+// sharing a component run it once) → Assemble → Verify the global result.
+//
+// A request whose components are all cached never reaches the pool: every
+// component rebuilds from its cache entry and only assembly and
+// verification run on the request goroutine. Component results enter the
+// cache under modeExactComponent keys, independent of the full-request
+// entry execute writes, so future requests overlapping in *any* component
+// benefit.
+func (s *Server) executeDecomposed(ctx context.Context, sreq *solveRequest, parent uint64, wait bool, meta *execMeta) (*solveResult, error) {
+	start := time.Now()
+	rec := trace.New()
+	ctx = trace.NewContext(ctx, rec)
+	res, err := s.solveDecomposed(ctx, sreq, wait)
+	meta.traceID = s.publishTrace(sreq, rec, start, time.Since(start), parent, err)
+	return res, err
+}
+
+func (s *Server) solveDecomposed(ctx context.Context, sreq *solveRequest, wait bool) (*solveResult, error) {
+	ssp := trace.StartSpan(ctx, "server.decompose")
+	plan, err := decomp.Split(sreq.cs)
+	if err != nil {
+		ssp.End()
+		return nil, err
+	}
+	s.metrics.Decompositions.Add(1)
+	s.metrics.Components.Add(int64(len(plan.Components)))
+	ssp.Set("components", len(plan.Components)).End()
+	if ie := plan.ForcedInfeasible(); ie != nil {
+		return nil, ie
+	}
+	// The job-state transition fires here rather than in runSolve: an
+	// all-cached decomposed request never enters the pool, yet it did run.
+	if sreq.onStart != nil {
+		sreq.onStart()
+	}
+
+	results := make([]*core.ExactResult, len(plan.Components))
+	errs := make([]error, len(plan.Components))
+	var wg sync.WaitGroup
+	for i, comp := range plan.Components {
+		ckey := requestKey{set: comp.Hash, mode: modeExactComponent, primeLimit: sreq.primeLimit}
+		if cres, ok := s.cache.Get(ckey); ok {
+			if r, rerr := comp.ResultFromCodes(cres.Bits, cres.Codes, cres.Optimal); rerr == nil {
+				s.metrics.ComponentCacheHits.Add(1)
+				trace.StartSpan(ctx, "decomp.component").
+					Set("component", comp.Index).
+					Set("symbols", len(comp.GlobalOf)).
+					Set("cached", 1).
+					Set("bits", r.Encoding.Bits).
+					End()
+				results[i] = r
+				continue
+			}
+			// A malformed cache entry (wrong shape for this component)
+			// falls through to a fresh solve rather than failing the
+			// request.
+		}
+		s.metrics.ComponentCacheMisses.Add(1)
+		wg.Add(1)
+		go func(i int, comp *decomp.Component, ckey requestKey) {
+			defer wg.Done()
+			creq := &solveRequest{
+				mode:       modeExactComponent,
+				cs:         comp.Set,
+				primeLimit: sreq.primeLimit,
+				workers:    sreq.workers,
+				component:  comp,
+			}
+			res, err, leader := s.flights.do(ctx, ckey,
+				func() { s.metrics.Coalesced.Add(1) },
+				func() (*solveResult, error) { return s.runSolve(ctx, creq, wait) },
+			)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if leader && cacheable(res) {
+				s.cache.Add(ckey, res)
+			}
+			r, rerr := comp.ResultFromCodes(res.Bits, res.Codes, res.Optimal)
+			if rerr != nil {
+				errs[i] = rerr
+				return
+			}
+			results[i] = r
+		}(i, comp, ckey)
+	}
+	wg.Wait()
+	// Deterministic error selection: the lowest-indexed failing component
+	// wins, so a multi-infeasible request reports stably.
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	full, err := decomp.Assemble(plan, results)
+	if err != nil {
+		return nil, err
+	}
+	if v := encodingapi.Verify(sreq.cs, full.Encoding); len(v) != 0 {
+		return nil, fmt.Errorf("internal error: encoding failed verification: %s: %s", v[0].Kind, v[0].Detail)
+	}
+	res := &solveResult{Mode: modeExact, Feasible: true, Optimal: full.Optimal}
+	fillEncoding(res, full.Encoding)
+	return res, nil
+}

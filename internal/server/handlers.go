@@ -11,6 +11,7 @@ import (
 
 	"repro/encodingapi"
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/fsm"
 	"repro/internal/kiss"
 	"repro/internal/par"
@@ -25,6 +26,11 @@ const (
 	modeHeuristic = "heuristic"
 	modePipeline  = "pipeline"
 	modeBatch     = "batch" // trace-entry mode for the batch parent span
+	// modeExactComponent is the internal mode of one connected-component
+	// solve inside a decomposed exact request. It never appears on the
+	// wire; it exists so component solves get their own cache/coalesce
+	// identity (keyed by the component's canonical sub-hash).
+	modeExactComponent = "exact/component"
 )
 
 // encodeRequest is the JSON body of POST /v1/encode and of one batch item.
@@ -51,6 +57,11 @@ type encodeRequest struct {
 	// Workers sets the engine worker count (0 = all CPUs). Results are
 	// identical for any value, so this never affects caching.
 	Workers int `json:"workers"`
+	// Decompose requests connected-component decomposition in exact
+	// mode: disconnected sub-problems solve independently, hit the cache
+	// per component, and reassemble. Results are equivalent either way,
+	// so this never affects the request's cache identity.
+	Decompose bool `json:"decompose"`
 }
 
 // pipelineRequest is the JSON body of POST /v1/pipeline.
@@ -95,6 +106,11 @@ type solveRequest struct {
 	metricName string
 	primeLimit int
 	workers    int
+	// decompose routes exact mode through the component spine
+	// (executeDecomposed); component carries the connected component a
+	// modeExactComponent request solves.
+	decompose bool
+	component *decomp.Component
 
 	// Pipeline mode only.
 	machine  *fsm.FSM
@@ -118,9 +134,15 @@ func (r *solveRequest) key() requestKey {
 		strategy:   string(r.strategy),
 		minimize:   r.minimize,
 	}
-	if r.mode == modePipeline {
+	switch {
+	case r.mode == modePipeline:
 		k.set = r.kissHash
-	} else {
+	case r.mode == modeExactComponent:
+		// The sub-hash was computed over the simplified local set at
+		// Split time; reusing it keeps the key aligned with the cache
+		// entries executeDecomposed writes.
+		k.set = r.component.Hash
+	default:
 		k.set = encodingapi.CanonicalHashSet(r.cs)
 	}
 	return k
@@ -249,6 +271,10 @@ func (s *Server) parseRequest(req *encodeRequest) (*solveRequest, error) {
 			return nil, fmt.Errorf("metric is only valid in heuristic mode")
 		}
 	}
+	if req.Decompose && mode != modeExact {
+		return nil, fmt.Errorf("decompose is only valid in exact mode")
+	}
+	sr.decompose = mode == modeExact && (req.Decompose || s.cfg.Decompose)
 	return sr, nil
 }
 
@@ -347,6 +373,22 @@ func (s *Server) solveLibrary(ctx context.Context, req *solveRequest) (*solveRes
 		fillEncoding(res, enc)
 		return res, nil
 
+	case modeExactComponent:
+		opts := encodingapi.ExactOptions{
+			Prime:       encodingapi.PrimeOptions{Limit: req.primeLimit},
+			Parallelism: encodingapi.Parallelism{Workers: req.workers},
+		}
+		r, err := req.component.Solve(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		if v := encodingapi.Verify(req.component.Set, r.Encoding); len(v) != 0 {
+			return nil, fmt.Errorf("internal error: component encoding failed verification: %s: %s", v[0].Kind, v[0].Detail)
+		}
+		res := &solveResult{Mode: modeExactComponent, Feasible: true, Optimal: r.Optimal}
+		fillEncoding(res, r.Encoding)
+		return res, nil
+
 	case modeHeuristic:
 		r, err := encodingapi.HeuristicEncode(ctx, req.cs, encodingapi.HeuristicOptions{
 			Bits:        req.bits,
@@ -413,7 +455,7 @@ func cacheable(res *solveResult) bool {
 	switch {
 	case res == nil:
 		return false
-	case res.Mode == modeExact:
+	case res.Mode == modeExact, res.Mode == modeExactComponent:
 		return res.Optimal
 	case res.Mode == modePipeline:
 		return res.Pipeline != nil &&
@@ -530,6 +572,20 @@ func (s *Server) execute(ctx context.Context, sreq *solveRequest, tenant string,
 		return nil, meta, err
 	}
 	defer release()
+
+	// A decomposed exact request runs its own component spine: per-component
+	// cache lookups and singleflights replace the full-key coalesce (two
+	// overlapping decomposed requests still share work component-wise).
+	if sreq.decompose && sreq.mode == modeExact && decomp.Decomposable(sreq.cs) {
+		res, err := s.executeDecomposed(ctx, sreq, parent, wait, &meta)
+		if err != nil {
+			return nil, meta, err
+		}
+		if cacheable(res) {
+			s.cache.Add(key, res)
+		}
+		return res, meta, nil
+	}
 
 	// The solve is traced per leader: the recorder belongs to this
 	// execution, so a follower's recorder simply stays empty (its solve

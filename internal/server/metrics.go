@@ -114,6 +114,14 @@ type Metrics struct {
 	BatchItems    atomic.Int64 // items across all accepted batches
 	BatchDeduped  atomic.Int64 // items answered by an identical sibling's solve
 
+	// Decomposition accounting. ComponentCacheHits + ComponentCacheMisses
+	// count per-component lookups inside decomposed requests only; the
+	// full-request lookup still lands in CacheHits/CacheMisses.
+	Decompositions       atomic.Int64 // exact requests routed through the component spine
+	Components           atomic.Int64 // connected components across all decompositions
+	ComponentCacheHits   atomic.Int64 // components rebuilt from a cached sub-hash entry
+	ComponentCacheMisses atomic.Int64 // components that needed a solve (pre-coalesce)
+
 	// Async job accounting (terminal counters; the active gauge comes
 	// from the job store).
 	JobsSubmitted atomic.Int64
@@ -188,6 +196,11 @@ type Stats struct {
 	BatchItems    int64 `json:"batch_items"`
 	BatchDeduped  int64 `json:"batch_deduped"`
 
+	Decompositions       int64 `json:"decompositions"`
+	Components           int64 `json:"components"`
+	ComponentCacheHits   int64 `json:"component_cache_hits"`
+	ComponentCacheMisses int64 `json:"component_cache_misses"`
+
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsDone      int64 `json:"jobs_done"`
 	JobsFailed    int64 `json:"jobs_failed"`
@@ -240,6 +253,11 @@ func (m *Metrics) snapshot(cacheLen int) Stats {
 		BatchRequests: m.BatchRequests.Load(),
 		BatchItems:    m.BatchItems.Load(),
 		BatchDeduped:  m.BatchDeduped.Load(),
+
+		Decompositions:       m.Decompositions.Load(),
+		Components:           m.Components.Load(),
+		ComponentCacheHits:   m.ComponentCacheHits.Load(),
+		ComponentCacheMisses: m.ComponentCacheMisses.Load(),
 
 		JobsSubmitted: m.JobsSubmitted.Load(),
 		JobsDone:      m.JobsDone.Load(),
