@@ -3,9 +3,9 @@ GO ?= go
 # The checked-in kernel benchmark snapshot that bench-json writes and
 # bench-gate diffs against. Override to measure into (or gate against) a
 # different file: `make bench-json BENCH_SNAPSHOT=BENCH_LOCAL.json`.
-BENCH_SNAPSHOT ?= BENCH_PR9.json
+BENCH_SNAPSHOT ?= BENCH_PR10.json
 
-.PHONY: all build vet staticcheck test race test-server test-diff difftest fuzz serve trace-demo bench-smoke bench bench-json bench-json-smoke bench-gate bench-gate-strict paper-tables paper-tables-check ci
+.PHONY: all build vet staticcheck test race test-server test-diff test-sat cover-sat difftest fuzz serve trace-demo bench-smoke bench bench-json bench-json-smoke bench-gate bench-gate-strict paper-tables paper-tables-check ci
 
 all: build
 
@@ -28,8 +28,11 @@ staticcheck:
 test:
 	$(GO) test ./...
 
+# -timeout headroom: the corpus-replay sat rows scale their deadlines
+# under the detector's ~15x slowdown and can push the pipeline package
+# past go test's default 10-minute cap on a loaded machine.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # The encoding service, job store and public client under the race
 # detector: the coalescing, backpressure, batch/async-job and
@@ -46,6 +49,21 @@ test-server:
 test-diff:
 	DIFFTEST_SEEDS=8 $(GO) test -race -run TestDifferentialRandomized -count=1 .
 
+# The embedded SAT solver and CNF compiler under the race detector: the
+# DPLL kernel is single-threaded by design, but its callers (the exact
+# pipeline, diffcheck) drive it from parallel solves.
+test-sat:
+	$(GO) test -race -count=1 ./internal/sat/
+
+# Coverage floor for the SAT backend: the solver is trusted with
+# minimality proofs, so untested branches are not acceptable drift. The
+# floor sits below the current figure (~92%) to absorb cosmetic churn
+# while still catching a dropped test file or a dead feature flag.
+cover-sat:
+	@pct=$$($(GO) test -cover ./internal/sat/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$pct" ]; then echo "cover-sat: no coverage figure parsed"; exit 1; fi; \
+	awk -v p="$$pct" 'BEGIN { if (p+0 < 85) { printf "cover-sat: internal/sat coverage %.1f%% is below the 85%% floor\n", p; exit 1 } printf "cover-sat: internal/sat coverage %.1f%% (floor 85%%)\n", p }'
+
 # The full differential sweep: 500 seeds per family, shrunk reproducers on
 # any invariant violation.
 difftest:
@@ -57,6 +75,7 @@ fuzz:
 	$(GO) test ./internal/diffcheck/ -run '^FuzzParseKISS$$' -fuzz '^FuzzParseKISS$$' -fuzztime 30s
 	$(GO) test ./internal/diffcheck/ -run '^FuzzVerify$$' -fuzz '^FuzzVerify$$' -fuzztime 30s
 	$(GO) test ./internal/diffcheck/ -run '^FuzzDecompose$$' -fuzz '^FuzzDecompose$$' -fuzztime 30s
+	$(GO) test ./internal/diffcheck/ -run '^FuzzSATEncode$$' -fuzz '^FuzzSATEncode$$' -fuzztime 30s
 
 # Run the encoding service locally (POST /v1/encode, GET /v1/stats).
 serve:
@@ -117,4 +136,4 @@ paper-tables-check:
 
 # bench-gate subsumes bench-json-smoke: it runs the same pipeline and then
 # holds the result against the committed snapshot.
-ci: vet staticcheck build race test-server test-diff bench-smoke bench-gate paper-tables-check
+ci: vet staticcheck build race test-server test-diff test-sat cover-sat bench-smoke bench-gate paper-tables-check

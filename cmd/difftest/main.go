@@ -9,6 +9,7 @@
 //	difftest -seeds 500 -j 4          500 instances per family, 4 at a time
 //	difftest -size 8 -mode set        only the constraint-set family, 8 symbols
 //	difftest -seed 1234 -seeds 1      replay one instance
+//	difftest -backend sat             SAT-backend solves primary, bb as comparator
 //
 // On a failure the instance is shrunk to a minimal reproducer and printed
 // in the textual constraint language `constraint.Parse` accepts, so it can
@@ -26,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/diffcheck"
 	"repro/internal/gen"
 )
@@ -76,8 +78,14 @@ func main() {
 	jobs := flag.Int("j", 1, "instances checked concurrently")
 	mode := flag.String("mode", "all", "family to run: all|feasible|unrestricted|extended|multicomponent|fsm|gpi")
 	noAnneal := flag.Bool("no-anneal", false, "skip the annealing comparator")
+	backendFlag := flag.String("backend", "", "primary covering backend for the exact solves: bb (default) or sat; the matrix always re-solves with the other one")
 	verbose := flag.Bool("v", false, "print one line per instance")
 	flag.Parse()
+	backend, ok := core.ParseBackend(*backendFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "difftest: unknown -backend %q (want bb or sat)\n", *backendFlag)
+		os.Exit(2)
+	}
 
 	selected := families
 	if *mode != "all" {
@@ -93,7 +101,7 @@ func main() {
 		}
 	}
 
-	opts := diffcheck.Options{Timeout: *timeout, SkipAnneal: *noAnneal}
+	opts := diffcheck.Options{Timeout: *timeout, SkipAnneal: *noAnneal, Backend: backend}
 	type job struct {
 		fam  family
 		seed int64

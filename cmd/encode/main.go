@@ -43,6 +43,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print pipeline details")
 	traceFlag := flag.Bool("trace", false, "print a per-stage time table to stderr after solving")
 	decompose := flag.Bool("decompose", false, "solve the exact problem by connected-component decomposition")
+	backendFlag := flag.String("backend", "", "exact-mode covering backend: bb (branch-and-bound, default) or sat")
 	remote := flag.String("remote", "", "solve via a running served instance at this base URL (e.g. http://localhost:8080)")
 	async := flag.Bool("async", false, "with -remote: submit as an async job and long-poll for the result")
 	apiKey := flag.String("api-key", "", "with -remote: tenant credential sent as the bearer token")
@@ -51,6 +52,11 @@ func main() {
 		fatal(err)
 	}
 	defer profiling.Stop()
+
+	backend, ok := core.ParseBackend(*backendFlag)
+	if !ok {
+		fatal(fmt.Errorf("unknown backend %q (want bb or sat)", *backendFlag))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -87,6 +93,7 @@ func main() {
 			timeout:   *timeout,
 			workers:   *jobs,
 			decompose: *decompose,
+			backend:   *backendFlag,
 		})
 		return
 	}
@@ -132,6 +139,7 @@ func main() {
 	exactOpts := core.ExactOptions{
 		Prime:       prime.Options{Limit: *primeLimit},
 		Parallelism: par.Parallelism{Workers: *jobs, TimeLimit: *timeout},
+		Backend:     backend,
 	}
 	var res *core.ExactResult
 	switch {
@@ -184,6 +192,7 @@ type remoteOptions struct {
 	timeout         time.Duration
 	workers         int
 	decompose       bool
+	backend         string
 }
 
 // runRemote routes the solve through a served instance. The synchronous
@@ -209,6 +218,7 @@ func runRemote(ctx context.Context, opt remoteOptions) {
 	default:
 		req.Mode = "exact"
 		req.Decompose = opt.decompose
+		req.Backend = opt.backend
 	}
 
 	var res *encodingapi.EncodeResult

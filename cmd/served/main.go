@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/encodingapi"
 	"repro/internal/server"
 )
 
@@ -65,7 +66,11 @@ func main() {
 	tenantActive := flag.Int("tenant-active", 0, "concurrent solves per tenant before shedding with 429 (0 = unlimited)")
 	tenantJobs := flag.Int("tenant-jobs", 0, "live jobs per tenant before submits shed with 429 (0 = unlimited)")
 	decompose := flag.Bool("decompose", false, "solve exact requests by connected-component decomposition (per-component caching)")
+	backend := flag.String("backend", "", "default exact-mode covering backend: bb (branch-and-bound) or sat")
 	flag.Parse()
+	if _, ok := encodingapi.ParseBackend(*backend); !ok {
+		fatal(fmt.Errorf("unknown backend %q (want bb or sat)", *backend))
+	}
 
 	srv := server.New(server.Config{
 		Addr:               *addr,
@@ -85,6 +90,7 @@ func main() {
 		TenantMaxActive:    *tenantActive,
 		TenantMaxJobs:      *tenantJobs,
 		Decompose:          *decompose,
+		Backend:            *backend,
 	})
 	srv.PublishExpvar()
 

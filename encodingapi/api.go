@@ -89,6 +89,9 @@ type (
 	// PrimeOptions tunes maximal-compatible generation inside
 	// ExactOptions.
 	PrimeOptions = prime.Options
+	// Backend selects the exact encoder's covering engine inside
+	// ExactOptions: branch-and-bound (default) or the CNF/SAT backend.
+	Backend = core.Backend
 	// CoverOptions tunes the covering solvers inside ExactOptions.
 	CoverOptions = cover.Options
 
@@ -121,6 +124,18 @@ type (
 	// TraceRecorder collects spans during a solve; attach one to a context
 	// with StartTrace.
 	TraceRecorder = trace.Recorder
+)
+
+// Exact-encoder covering backends.
+const (
+	// BackendBranchBound is the hand-rolled covering branch-and-bound
+	// (the default).
+	BackendBranchBound = core.BackendBranchBound
+	// BackendSAT compiles the covering problem to CNF and solves it with
+	// the embedded DPLL solver (internal/sat). Agrees with branch-and-bound
+	// on feasibility, code length and optimality; the concrete codes may
+	// differ when several minimum covers exist.
+	BackendSAT = core.BackendSAT
 )
 
 // P-3 cost metrics.
@@ -189,6 +204,11 @@ func ParseMetric(name string) (Metric, bool) {
 	}
 	return 0, false
 }
+
+// ParseBackend resolves an exact-encoder backend name ("bb", alias
+// "branchbound", or "sat"; empty means the default), reporting whether the
+// name is known.
+func ParseBackend(name string) (Backend, bool) { return core.ParseBackend(name) }
 
 // StartTrace attaches a fresh solve-trace recorder to ctx and returns both.
 // Solver entry points called with the returned context record per-stage

@@ -50,6 +50,9 @@ type EncodeRequest struct {
 	Workers    int    `json:"workers,omitempty"`
 	// Decompose requests connected-component decomposition (exact mode).
 	Decompose bool `json:"decompose,omitempty"`
+	// Backend selects the exact-mode covering engine: "bb" or "sat";
+	// empty means the server default.
+	Backend string `json:"backend,omitempty"`
 }
 
 // PipelineRequest is the body of POST /v1/pipeline.

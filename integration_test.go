@@ -216,44 +216,53 @@ func TestDifferentialRandomized(t *testing.T) {
 	opts := diffcheck.Options{Timeout: 20 * time.Second}
 	ctx := context.Background()
 
-	run := func(name string, check func(seed int64) diffcheck.Report) {
+	run := func(name, replayFlags string, check func(seed int64) diffcheck.Report) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			for seed := int64(1); seed <= seeds; seed++ {
 				if rep := check(seed); !rep.OK() {
-					t.Errorf("seed %d:\n%s\nreplay: go run ./cmd/difftest -mode %s -seed %d -seeds 1 -size 6",
-						seed, rep.String(), name, seed)
+					t.Errorf("seed %d:\n%s\nreplay: go run ./cmd/difftest %s -seed %d -seeds 1 -size 6",
+						seed, rep.String(), replayFlags, seed)
 				}
 			}
 		})
 	}
-	run("feasible", func(seed int64) diffcheck.Report {
+	run("feasible", "-mode feasible", func(seed int64) diffcheck.Report {
 		inst := gen.Random(seed, gen.DefaultConfig(6))
 		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
 	})
-	run("unrestricted", func(seed int64) diffcheck.Report {
+	run("sat", "-mode feasible -backend sat", func(seed int64) diffcheck.Report {
+		// Same family as "feasible" but with the SAT backend primary: the
+		// cross-backend invariant then re-solves with branch-and-bound, so
+		// the two engines check each other in both roles.
+		inst := gen.Random(seed, gen.DefaultConfig(6))
+		satOpts := opts
+		satOpts.Backend = core.BackendSAT
+		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, satOpts)
+	})
+	run("unrestricted", "-mode unrestricted", func(seed int64) diffcheck.Report {
 		cfg := gen.DefaultConfig(6)
 		cfg.Feasible = false
 		inst := gen.Random(seed, cfg)
 		return diffcheck.CheckSet(ctx, inst.Set, nil, opts)
 	})
-	run("extended", func(seed int64) diffcheck.Report {
+	run("extended", "-mode extended", func(seed int64) diffcheck.Report {
 		cfg := gen.DefaultConfig(6)
 		cfg.Distance2s = 2
 		cfg.NonFaces = 1
 		inst := gen.Random(seed, cfg)
 		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
 	})
-	run("multicomponent", func(seed int64) diffcheck.Report {
+	run("multicomponent", "-mode multicomponent", func(seed int64) diffcheck.Report {
 		cfg := gen.DefaultConfig(6)
 		cfg.Components = 2
 		inst := gen.Random(seed, cfg)
 		return diffcheck.CheckSet(ctx, inst.Set, inst.Witness, opts)
 	})
-	run("fsm", func(seed int64) diffcheck.Report {
+	run("fsm", "-mode fsm", func(seed int64) diffcheck.Report {
 		return diffcheck.CheckFSM(ctx, gen.RandomFSM(seed, gen.DefaultFSMConfig(4)), opts)
 	})
-	run("gpi", func(seed int64) diffcheck.Report {
+	run("gpi", "-mode gpi", func(seed int64) diffcheck.Report {
 		return diffcheck.CheckFunction(ctx, gen.RandomFunction(seed, gen.DefaultFunctionConfig()), opts)
 	})
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/par"
 	"repro/internal/prime"
+	"repro/internal/sat"
 	"repro/internal/trace"
 )
 
@@ -43,6 +44,9 @@ type ExactOptions struct {
 	// internal/decomp, which core cannot import; encodingapi.ExactEncode
 	// and the service layer honor the flag.
 	Decompose bool
+	// Backend selects the covering engine: branch-and-bound (default) or
+	// the CNF/SAT backend. Both prove the same optima; see Backend.
+	Backend Backend
 }
 
 // stageOptions resolves the per-stage parallelism configs: the
@@ -142,7 +146,7 @@ func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) 
 		// rows force pairwise-distinct codes. Lets the search stop early.
 		coverOpts.LowerBound = hypercube.MinBits(n)
 	}
-	sol, err := coverSeeds(ctx, seeds, candidates, coverOpts)
+	sol, err := coverSeeds(ctx, seeds, candidates, coverOpts, opts.Backend)
 	if err != nil {
 		if errors.Is(err, cover.ErrInfeasible) {
 			return nil, newInfeasibleError(cs, nil)
@@ -172,8 +176,10 @@ func ExactEncodeCtx(ctx context.Context, cs *constraint.Set, opts ExactOptions) 
 // coverSeeds builds and solves the unate covering of the canonical seed
 // rows by the candidate columns. The O(rows × candidates) incidence matrix
 // is built in parallel — one goroutine owns one row, so no locking is
-// needed and the matrix is identical for any worker count.
-func coverSeeds(ctx context.Context, seeds, candidates []dichotomy.D, opts cover.Options) (cover.Solution, error) {
+// needed and the matrix is identical for any worker count. The backend
+// selects the engine: branch-and-bound over the matrix, or the CNF
+// compilation with a k-search over cover cardinality (internal/sat).
+func coverSeeds(ctx context.Context, seeds, candidates []dichotomy.D, opts cover.Options, backend Backend) (cover.Solution, error) {
 	msp := trace.StartSpan(ctx, "core.matrix")
 	rows := dichotomy.Rows(seeds)
 	p := cover.Problem{NumCols: len(candidates), RowCols: make([][]int, len(rows))}
@@ -185,6 +191,12 @@ func coverSeeds(ctx context.Context, seeds, candidates []dichotomy.D, opts cover
 		}
 	})
 	msp.Set("rows", len(rows)).Set("candidates", len(candidates)).End()
+	if backend == BackendSAT {
+		return sat.SolveCoverCtx(ctx, &p, sat.CoverOptions{
+			LowerBound: opts.LowerBound,
+			TimeLimit:  opts.TimeLimit,
+		})
+	}
 	return p.SolveExactCtx(ctx, opts)
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dichotomy"
 	"repro/internal/hypercube"
 	"repro/internal/prime"
+	"repro/internal/sat"
 	"repro/internal/trace"
 )
 
@@ -170,7 +171,19 @@ func ExactEncodeExtendedCtx(ctx context.Context, cs *constraint.Set, opts ExactO
 	p.Cost = costs
 	csp.Set("clauses", len(p.Clauses)).Set("candidates", len(candidates)).Set("aux", nAux).End()
 
-	sol, err := p.SolveCtx(ctx, coverOpts)
+	var sol cover.BinateSolution
+	if opts.Backend == BackendSAT {
+		// Every encoding pays at least ceil(log2 n) priced columns (the
+		// uniqueness rows force pairwise-distinct codes), so the k-search
+		// can start there; the zero-cost auxiliaries are free in both
+		// backends.
+		sol, err = sat.SolveBinateCtx(ctx, &p, sat.CoverOptions{
+			LowerBound: hypercube.MinBits(n),
+			TimeLimit:  coverOpts.TimeLimit,
+		})
+	} else {
+		sol, err = p.SolveCtx(ctx, coverOpts)
+	}
 	if err != nil {
 		if errors.Is(err, cover.ErrBinateInfeasible) {
 			return nil, &InfeasibleError{}

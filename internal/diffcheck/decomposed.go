@@ -32,12 +32,13 @@ import (
 // ErrInfeasible.
 func (r *Report) checkDecomposed(ctx context.Context, cs *constraint.Set, witness, exact *core.Encoding,
 	monoRes *core.ExactResult, monoInfeasible bool, opts Options) {
-	solve := func(workers int, timeout time.Duration) (*core.ExactResult, error) {
+	solve := func(workers int, timeout time.Duration, backend core.Backend) (*core.ExactResult, error) {
 		return decomp.ExactEncodeCtx(ctx, cs, core.ExactOptions{
 			Parallelism: par.Parallelism{Workers: workers, TimeLimit: timeout},
+			Backend:     backend,
 		})
 	}
-	dres, err := solve(1, opts.timeout())
+	dres, err := solve(1, opts.timeout(), opts.Backend)
 	switch {
 	case err == nil:
 		if v := core.Verify(cs, dres.Encoding); len(v) != 0 {
@@ -92,7 +93,7 @@ func (r *Report) checkDecomposed(ctx context.Context, cs *constraint.Set, witnes
 	// Component solves share the exact pipeline's determinism promise, so
 	// the assembled encoding must be bit-identical for any worker count.
 	if err == nil && !opts.SkipParallel {
-		dres2, err2 := solve(opts.workers(), opts.timeout())
+		dres2, err2 := solve(opts.workers(), opts.timeout(), opts.Backend)
 		switch {
 		case err2 == nil:
 			if !sameEncoding(dres.Encoding, dres2.Encoding) || dres.Optimal != dres2.Optimal {
@@ -103,6 +104,38 @@ func (r *Report) checkDecomposed(ctx context.Context, cs *constraint.Set, witnes
 			r.Skipped = append(r.Skipped, "decomp-parallel: "+err2.Error())
 		default:
 			r.fail("decomp-parallel-determinism", "parallel decomposed re-solve errored: %v", err2)
+		}
+	}
+
+	// Backend agnosticism survives decomposition: the per-component solves
+	// under the other covering backend must assemble to the same verdict
+	// and, when both paths prove optimality, the same global width.
+	if err == nil || errors.Is(err, core.ErrInfeasible) {
+		other := otherBackend(opts.Backend)
+		dres3, err3 := solve(1, opts.timeout(), other)
+		switch {
+		case err3 == nil:
+			if v := core.Verify(cs, dres3.Encoding); len(v) != 0 {
+				r.fail("decomp-backend-verify", "decomposed %s encoding fails the oracle: %v\nencoding:\n%s",
+					other, v, dres3.Encoding)
+			}
+			if err != nil {
+				r.fail("decomp-backend-feasibility",
+					"decomposed %s produced an encoding where decomposed %s proved infeasible", other, opts.Backend)
+			} else if dres.Optimal && dres3.Optimal && dres3.Encoding.Bits != dres.Encoding.Bits {
+				r.fail("decomp-backend-bits",
+					"decomposed backends both claim optimality but widths differ: %s=%d, %s=%d",
+					opts.Backend, dres.Encoding.Bits, other, dres3.Encoding.Bits)
+			}
+		case errors.Is(err3, core.ErrInfeasible):
+			if err == nil {
+				r.fail("decomp-backend-feasibility",
+					"decomposed %s reported infeasible where decomposed %s produced an encoding", other, opts.Backend)
+			}
+		case budgetExhausted(err3):
+			r.Skipped = append(r.Skipped, "decomp-backend-"+other.String()+": "+err3.Error())
+		default:
+			r.fail("decomp-backend-error", "unexpected decomposed %s error: %v", other, err3)
 		}
 	}
 }

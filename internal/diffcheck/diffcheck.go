@@ -14,7 +14,14 @@
 //     of violated face constraints, and their encodings are injective;
 //   - parallel solves (Workers > 1) are bit-identical to sequential ones;
 //   - infeasibility is reported through the typed *core.InfeasibleError
-//     whose minimal conflict subset is itself infeasible.
+//     whose minimal conflict subset is itself infeasible;
+//   - the branch-and-bound and CNF/SAT covering backends agree: both
+//     encodings verify cleanly, both report the same feasibility verdict,
+//     and two optimality claims always name the same code length (the
+//     concrete codes may differ — several minimum covers can exist);
+//   - on small instances (≤ 20 candidate columns) a brute-force
+//     minimum-cover enumeration confirms the proven optimum against
+//     ground truth.
 //
 // Instances come from internal/gen (seeded random constraint sets, FSMs
 // and symbolic output functions); consumers are the go-native fuzz targets
@@ -41,6 +48,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/mv"
 	"repro/internal/par"
+	"repro/internal/sat"
 )
 
 // Options tunes one differential check.
@@ -57,6 +65,18 @@ type Options struct {
 	SkipAnneal bool
 	// SkipParallel drops the sequential-vs-parallel determinism re-solves.
 	SkipParallel bool
+	// Backend is the covering backend of the primary exact solve; the
+	// cross-backend invariant always re-solves with the other one. The
+	// zero value makes branch-and-bound primary and SAT the comparator.
+	Backend core.Backend
+}
+
+// otherBackend returns the covering backend b is compared against.
+func otherBackend(b core.Backend) core.Backend {
+	if b == core.BackendSAT {
+		return core.BackendBranchBound
+	}
+	return core.BackendSAT
 }
 
 func (o Options) workers() int {
@@ -113,9 +133,13 @@ func (r *Report) fail(invariant, format string, args ...any) {
 }
 
 // budgetExhausted classifies solver errors that reflect the time budget,
-// not the instance.
+// not the instance. sat.ErrBudget is the SAT backend's conflict-budget
+// form of the same verdict: the solve was cut short, nothing is known
+// about the instance.
 func budgetExhausted(err error) bool {
-	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, sat.ErrBudget)
 }
 
 // CheckSet runs the invariant matrix on one constraint set. witness, when
@@ -149,8 +173,8 @@ func CheckSet(ctx context.Context, cs *constraint.Set, witness *core.Encoding, o
 	}
 	hasExt := cs.HasExtensionConstraints()
 
-	// Exact solve, sequential.
-	res, err := solveExact(ctx, cs, 1, opts.timeout())
+	// Exact solve, sequential, with the primary backend.
+	res, err := solveExact(ctx, cs, 1, opts.timeout(), opts.Backend)
 	var exact *core.Encoding
 	switch {
 	case err == nil:
@@ -186,10 +210,21 @@ func CheckSet(ctx context.Context, cs *constraint.Set, witness *core.Encoding, o
 		r.fail("exact-error", "unexpected exact error: %v", err)
 	}
 
+	// Cross-backend agreement: the other covering backend must reproduce
+	// the feasibility verdict and (under mutual optimality claims) the
+	// code length, and its encoding must verify cleanly.
+	r.checkCrossBackend(ctx, cs, exact, res, errors.Is(err, core.ErrInfeasible), opts)
+
+	// Ground truth on small instances: a brute-force enumeration of the
+	// covering matrix confirms the proven minimum cover cardinality.
+	if exact != nil && res.Optimal && !hasExt {
+		r.checkBruteMinimality(exact, res)
+	}
+
 	// Parallel determinism: the exact pipeline promises bit-identical
 	// results for any worker count.
 	if exact != nil && !opts.SkipParallel {
-		res2, err2 := solveExact(ctx, cs, opts.workers(), opts.timeout())
+		res2, err2 := solveExact(ctx, cs, opts.workers(), opts.timeout(), opts.Backend)
 		switch {
 		case err2 == nil:
 			if !sameEncoding(exact, res2.Encoding) || res.Optimal != res2.Optimal {
@@ -332,7 +367,7 @@ func CheckFunction(ctx context.Context, f *gpi.Function, opts Options) Report {
 		r.fail("gpi-vetted-infeasible", "SelectEncodableCover returned a P-1-rejected set:\n%s", cs)
 		return r
 	}
-	res, err := solveExact(ctx, cs, 1, opts.timeout())
+	res, err := solveExact(ctx, cs, 1, opts.timeout(), opts.Backend)
 	if err != nil {
 		if budgetExhausted(err) {
 			r.Skipped = append(r.Skipped, "gpi-exact: "+err.Error())
@@ -352,10 +387,53 @@ func CheckFunction(ctx context.Context, f *gpi.Function, opts Options) Report {
 	return r
 }
 
+// checkCrossBackend re-solves the instance with the covering backend the
+// primary run did not use and asserts the two engines describe the same
+// problem: identical feasibility verdicts, oracle-clean encodings, and —
+// when both prove optimality — the same code length. The concrete codes
+// are deliberately not compared; distinct minimum covers are legitimate.
+func (r *Report) checkCrossBackend(ctx context.Context, cs *constraint.Set, exact *core.Encoding,
+	primRes *core.ExactResult, primInfeasible bool, opts Options) {
+	other := otherBackend(opts.Backend)
+	ores, oerr := solveExact(ctx, cs, 1, opts.timeout(), other)
+	switch {
+	case oerr == nil:
+		if v := core.Verify(cs, ores.Encoding); len(v) != 0 {
+			r.fail("backend-verify", "%s encoding fails the oracle: %v\nencoding:\n%s", other, v, ores.Encoding)
+		}
+		if primInfeasible {
+			r.fail("backend-feasibility", "%s produced an encoding for a set %s proved infeasible",
+				other, opts.Backend)
+		}
+		if exact != nil && primRes.Optimal {
+			if ores.Encoding.Bits < exact.Bits {
+				r.fail("backend-beats", "%s satisfied the set in %d bits, %s proved %d minimal",
+					other, ores.Encoding.Bits, opts.Backend, exact.Bits)
+			}
+			if ores.Optimal && ores.Encoding.Bits != exact.Bits {
+				r.fail("backend-bits", "both backends claim optimality but widths differ: %s=%d, %s=%d",
+					opts.Backend, exact.Bits, other, ores.Encoding.Bits)
+			}
+		}
+	case errors.Is(oerr, core.ErrInfeasible):
+		if exact != nil {
+			r.fail("backend-feasibility", "%s reported infeasible but %s produced an encoding",
+				other, opts.Backend)
+		}
+	case budgetExhausted(oerr):
+		r.Skipped = append(r.Skipped, "backend-"+other.String()+": "+oerr.Error())
+	default:
+		r.fail("backend-error", "unexpected %s error: %v", other, oerr)
+	}
+}
+
 // solveExact dispatches to the plain or extended exact pipeline depending
 // on the constraint classes present.
-func solveExact(ctx context.Context, cs *constraint.Set, workers int, timeout time.Duration) (*core.ExactResult, error) {
-	opts := core.ExactOptions{Parallelism: par.Parallelism{Workers: workers, TimeLimit: timeout}}
+func solveExact(ctx context.Context, cs *constraint.Set, workers int, timeout time.Duration, backend core.Backend) (*core.ExactResult, error) {
+	opts := core.ExactOptions{
+		Parallelism: par.Parallelism{Workers: workers, TimeLimit: timeout},
+		Backend:     backend,
+	}
 	if cs.HasExtensionConstraints() {
 		return core.ExactEncodeExtendedCtx(ctx, cs, opts)
 	}

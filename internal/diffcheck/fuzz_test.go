@@ -2,6 +2,7 @@ package diffcheck
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -50,6 +51,65 @@ func FuzzEncode(f *testing.F) {
 		rep := CheckSet(context.Background(), cs, nil, fuzzOpts())
 		if !rep.OK() {
 			t.Fatalf("invariant violations on parsed input:\n%s\ninput:\n%s", rep.String(), text)
+		}
+	})
+}
+
+// FuzzSATEncode is the focused SAT-vs-branch-and-bound differential
+// target: arbitrary text that parses as a small constraint set is solved
+// by both covering backends directly (no sampling — every input runs
+// both), and the runs must agree on feasibility, on proven code length,
+// and produce oracle-clean encodings. Narrower than FuzzEncode's full
+// matrix, so the fuzzer spends its budget exactly on the new engine.
+func FuzzSATEncode(f *testing.F) {
+	f.Add("symbols a b c d\nface a b\nface b c\n")
+	f.Add("symbols a b c d\nface a b [ c ]\ndom a > b\ndisj a = b | c\n")
+	f.Add("symbols a b c d e\nextdisj a = b & c | d\ndist2 a e\nnonface a b c\n")
+	f.Add("dom a > b\ndom b > a\n")
+	f.Add("symbols a b c d e f\nface a b\nface c d\ndom e > f\ndist2 a f\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 2048 {
+			return
+		}
+		cs, err := constraint.Parse(strings.NewReader(text))
+		if err != nil || !fuzzable(cs) || len(cs.Chains) > 0 {
+			return
+		}
+		ctx := context.Background()
+		bb, bbErr := solveExact(ctx, cs, 1, 5*time.Second, core.BackendBranchBound)
+		st, stErr := solveExact(ctx, cs, 1, 5*time.Second, core.BackendSAT)
+		if budgetExhausted(bbErr) || budgetExhausted(stErr) {
+			return
+		}
+		switch {
+		case bbErr == nil && stErr == nil:
+			if v := core.Verify(cs, bb.Encoding); len(v) != 0 {
+				t.Fatalf("bb encoding fails the oracle: %v\ninput:\n%s", v, text)
+			}
+			if v := core.Verify(cs, st.Encoding); len(v) != 0 {
+				t.Fatalf("sat encoding fails the oracle: %v\ninput:\n%s", v, text)
+			}
+			if bb.Optimal && st.Optimal && bb.Encoding.Bits != st.Encoding.Bits {
+				t.Fatalf("backends disagree on the optimum: bb=%d sat=%d\ninput:\n%s",
+					bb.Encoding.Bits, st.Encoding.Bits, text)
+			}
+			if bb.Optimal && st.Encoding.Bits < bb.Encoding.Bits {
+				t.Fatalf("sat beat bb's proven optimum: sat=%d bb=%d\ninput:\n%s",
+					st.Encoding.Bits, bb.Encoding.Bits, text)
+			}
+			if st.Optimal && bb.Encoding.Bits < st.Encoding.Bits {
+				t.Fatalf("bb beat sat's proven optimum: bb=%d sat=%d\ninput:\n%s",
+					bb.Encoding.Bits, st.Encoding.Bits, text)
+			}
+		case bbErr != nil && stErr != nil:
+			// Both must classify the instance the same way.
+			bbInf := errors.Is(bbErr, core.ErrInfeasible)
+			stInf := errors.Is(stErr, core.ErrInfeasible)
+			if bbInf != stInf {
+				t.Fatalf("backends disagree on infeasibility: bb=%v sat=%v\ninput:\n%s", bbErr, stErr, text)
+			}
+		default:
+			t.Fatalf("backends disagree on solvability: bb=%v sat=%v\ninput:\n%s", bbErr, stErr, text)
 		}
 	})
 }

@@ -1,0 +1,110 @@
+package diffcheck
+
+import (
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/dichotomy"
+)
+
+// Bounds on the brute-force minimum-cover oracle. C(20, 10) ≈ 185k subsets
+// is the worst enumeration; 64 rows keeps one uint64 bitmask per column.
+const (
+	bruteMaxCols = 20
+	bruteMaxRows = 64
+)
+
+// checkBruteMinimality confronts a proven-optimal plain exact solve with
+// ground truth: it re-derives the covering matrix from the result's pipeline
+// stages (rows from the seeds, columns from the candidate pool) and
+// enumerates column subsets exhaustively for the true minimum cover
+// cardinality. Both covering backends funnel through the same matrix, so a
+// disagreement here convicts whichever engine produced res regardless of
+// which heuristics it used. Instances beyond the enumeration bounds are
+// silently skipped — this oracle exists for the small cases where exhaustion
+// is cheap and incontestable.
+func (r *Report) checkBruteMinimality(exact *core.Encoding, res *core.ExactResult) {
+	if len(res.Primes) == 0 || len(res.Primes) > bruteMaxCols {
+		return
+	}
+	rows := dichotomy.Rows(res.Seeds)
+	if len(rows) > bruteMaxRows {
+		return
+	}
+	masks := make([]uint64, len(res.Primes))
+	for ci, c := range res.Primes {
+		for ri, row := range rows {
+			if c.Covers(row) {
+				masks[ci] |= 1 << uint(ri)
+			}
+		}
+	}
+	var full uint64
+	if len(rows) > 0 {
+		full = (uint64(1) << uint(len(rows))) - 1
+	}
+	min := minCoverBrute(masks, full)
+	if min < 0 {
+		r.fail("exact-minimality-brute",
+			"solver proved %d bits optimal but brute force finds no cover at all over %d candidates",
+			exact.Bits, len(res.Primes))
+		return
+	}
+	if min != exact.Bits {
+		r.fail("exact-minimality-brute",
+			"solver proved %d bits optimal; brute-force enumeration of the %d-column matrix finds minimum %d",
+			exact.Bits, len(res.Primes), min)
+	}
+}
+
+// minCoverBrute returns the minimum number of columns whose masks union to
+// full, or -1 when no subset does. Plain exhaustive enumeration in
+// increasing cardinality — deliberately free of the dominance and bounding
+// machinery under test.
+func minCoverBrute(masks []uint64, full uint64) int {
+	if full == 0 {
+		return 0
+	}
+	var all uint64
+	for _, m := range masks {
+		all |= m
+	}
+	if all&full != full {
+		return -1
+	}
+	for k := 1; k <= len(masks); k++ {
+		if coverWithK(masks, full, 0, k, 0) {
+			return k
+		}
+	}
+	return -1
+}
+
+// coverWithK reports whether some k columns from masks[from:] extend the
+// accumulated union to full.
+func coverWithK(masks []uint64, full uint64, from, k int, acc uint64) bool {
+	if acc&full == full {
+		return true
+	}
+	if k == 0 || len(masks)-from < k {
+		return false
+	}
+	// A k-subset cannot cover more rows than its k best columns; cheap
+	// enough to skip branches that are short on coverage.
+	missing := bits.OnesCount64(full &^ acc)
+	maxGain := 0
+	for i := from; i < len(masks); i++ {
+		if g := bits.OnesCount64(masks[i] & full &^ acc); g > maxGain {
+			maxGain = g
+		}
+	}
+	if maxGain*k < missing {
+		return false
+	}
+	for i := from; i <= len(masks)-k; i++ {
+		if coverWithK(masks, full, i+1, k-1, acc|masks[i]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package pipeline
+
+// raceEnabled reports whether the binary was built with -race.
+const raceEnabled = false

@@ -1,8 +1,9 @@
 // Package pipeline composes the repository's synthesis stages into the
 // paper's end-to-end flow: a KISS2 state transition table is symbolically
 // minimized (internal/mv), encoding constraints are extracted, codes are
-// assigned by one of four strategies (exact P-2, bounded-length heuristic
-// P-3, simulated annealing, NOVA-style greedy placement), the encoded
+// assigned by one of five strategies (exact P-2 under either covering
+// backend — branch-and-bound or CNF/SAT — bounded-length heuristic P-3,
+// simulated annealing, NOVA-style greedy placement), the encoded
 // machine is lowered to a minimized two-level PLA (internal/espresso via
 // fsm.Encode), emitted as a BLIF netlist (internal/blif), and — closing the
 // loop — the netlist is parsed back and replayed against the input machine
@@ -14,7 +15,7 @@
 // decomposes pipeline requests exactly like encode requests.
 //
 // The Report's deterministic fields (everything except the elapsed times)
-// are identical for any worker count and across runs: the four strategies
+// are identical for any worker count and across runs: the strategies
 // are deterministic by construction (the annealer is seeded), which is what
 // lets cmd/paperbench regenerate the EXPERIMENTS.md tables byte-identically
 // from the committed corpus.
@@ -48,21 +49,26 @@ import (
 // Strategy selects the state-assignment algorithm of the encode stage.
 type Strategy string
 
-// The four encoding strategies the paper's tables compare.
+// The encoding strategies the paper's tables compare. Exact and Sat run
+// the same P-2 pipeline through different covering engines, so their rows
+// must agree on bits/optimality (a live cross-check in every regenerated
+// table); the remaining three are the input-constraint comparison
+// encoders.
 const (
 	Exact     Strategy = "exact"     // P-2: minimum length satisfying all constraints
+	Sat       Strategy = "sat"       // P-2 via the CNF/SAT covering backend
 	Heuristic Strategy = "heuristic" // P-3: bounded length, split/merge/select
 	Anneal    Strategy = "anneal"    // simulated annealing (MIS-MV style), seeded
 	Nova      Strategy = "nova"      // NOVA-style greedy placement + polish
 )
 
 // Strategies lists every strategy in canonical comparison order.
-var Strategies = []Strategy{Exact, Heuristic, Anneal, Nova}
+var Strategies = []Strategy{Exact, Sat, Heuristic, Anneal, Nova}
 
 // ParseStrategy resolves a strategy name.
 func ParseStrategy(name string) (Strategy, bool) {
 	switch Strategy(name) {
-	case Exact, Heuristic, Anneal, Nova:
+	case Exact, Sat, Heuristic, Anneal, Nova:
 		return Strategy(name), true
 	}
 	return "", false
@@ -185,7 +191,7 @@ func Run(ctx context.Context, m *fsm.FSM, opts Options) (*Report, error) {
 	if err := stage("constraints", func() error {
 		cs = constraint.NewSet(m.States)
 		sc.FaceConstraints(cs)
-		if opts.Strategy == Exact {
+		if opts.Strategy == Exact || opts.Strategy == Sat {
 			sc.OutputConstraints(cs, mv.OutputOptions{})
 		}
 		rep.Faces = len(cs.Faces)
@@ -285,10 +291,15 @@ func RunKISS(ctx context.Context, r io.Reader, name string, opts Options) (*Repo
 // encode dispatches to the strategy engines.
 func encode(ctx context.Context, cs *constraint.Set, rep *Report, opts Options) (*core.Encoding, error) {
 	switch opts.Strategy {
-	case Exact:
+	case Exact, Sat:
+		backend := core.BackendBranchBound
+		if opts.Strategy == Sat {
+			backend = core.BackendSAT
+		}
 		res, err := core.ExactEncodeCtx(ctx, cs, core.ExactOptions{
 			Parallelism: opts.Parallelism,
 			Prime:       prime.Options{Limit: opts.PrimeLimit},
+			Backend:     backend,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,9 @@
+//go:build race
+
+package pipeline
+
+// raceEnabled reports whether the binary was built with -race. The
+// detector slows the solver hot loops by an order of magnitude, so the
+// corpus replay deadlines scale up with it rather than masquerading as
+// solver hangs.
+const raceEnabled = true

@@ -1,0 +1,112 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS emits the formula in standard DIMACS CNF: a problem line
+// followed by one zero-terminated clause per line, variables 1-based and
+// negation by sign. An empty clause (a trivially unsatisfiable formula)
+// emits as a lone "0" line, which ParseDIMACS reads back as such.
+func WriteDIMACS(w io.Writer, f *CNF) error {
+	bw := bufio.NewWriter(w)
+	nClauses := len(f.Clauses)
+	if f.Unsat() {
+		nClauses++
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars(), nClauses); err != nil {
+		return err
+	}
+	for _, cl := range f.Clauses {
+		for _, l := range cl {
+			if _, err := fmt.Fprintf(bw, "%s ", l); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	if f.Unsat() {
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS CNF formula. Comment lines ("c ...") are
+// skipped, clauses may span lines, and literals past the declared variable
+// count grow the formula (some generators under-declare). Clauses pass
+// through CNF.AddClause, so duplicates collapse and tautologies drop
+// exactly as they would when built programmatically.
+func ParseDIMACS(r io.Reader) (*CNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var f *CNF
+	var clause []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("sat: duplicate problem line %q", line)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			nVars, err := strconv.Atoi(fields[2])
+			if err != nil || nVars < 0 {
+				return nil, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			if _, err := strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("sat: bad clause count in %q", line)
+			}
+			f = NewCNF(nVars)
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("sat: clause before problem line: %q", line)
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if n == 0 {
+				f.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			for f.NumVars() < v {
+				f.NewVar()
+			}
+			if n > 0 {
+				clause = append(clause, Pos(v-1))
+			} else {
+				clause = append(clause, Neg(v-1))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	if len(clause) != 0 {
+		return nil, fmt.Errorf("sat: unterminated clause (missing 0)")
+	}
+	return f, nil
+}

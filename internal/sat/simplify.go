@@ -1,0 +1,154 @@
+package sat
+
+// subsumptionLimit bounds the clause count up to which the quadratic
+// subsumption pass runs; beyond it Simplify stops after unit propagation.
+const subsumptionLimit = 4000
+
+// Simplify returns an equivalence-preserving presimplification of f in the
+// spirit of BEE's equi-propagation: root-level unit propagation to a
+// fixpoint (falsified literals deleted, satisfied clauses dropped, the
+// units themselves kept so the model set over f's variables is unchanged),
+// duplicate-clause removal, and bounded subsumption (a clause implied by a
+// subset clause is dropped). The input is not modified.
+func Simplify(f *CNF) *CNF {
+	out := NewCNF(f.NumVars())
+	if f.Unsat() {
+		out.unsat = true
+		return out
+	}
+	// Root-level unit propagation to a fixpoint. value: 0 unknown, 1
+	// true, -1 false.
+	value := make([]int8, f.NumVars())
+	set := func(l Lit) bool {
+		want := int8(1)
+		if l.Negated() {
+			want = -1
+		}
+		if v := value[l.Var()]; v != 0 {
+			return v == want
+		}
+		value[l.Var()] = want
+		return true
+	}
+	lit := func(l Lit) int8 {
+		v := value[l.Var()]
+		if l.Negated() {
+			return -v
+		}
+		return v
+	}
+	clauses := f.Clauses
+	for {
+		progress := false
+		kept := make([][]Lit, 0, len(clauses))
+		for _, cl := range clauses {
+			reduced := make([]Lit, 0, len(cl))
+			satisfied := false
+			for _, l := range cl {
+				switch lit(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					reduced = append(reduced, l)
+				}
+			}
+			if satisfied {
+				progress = progress || len(reduced) != len(cl)
+				continue
+			}
+			switch len(reduced) {
+			case 0:
+				out.unsat = true
+				return out
+			case 1:
+				if !set(reduced[0]) {
+					out.unsat = true
+					return out
+				}
+				progress = true
+			default:
+				if len(reduced) != len(cl) {
+					progress = true
+				}
+				kept = append(kept, reduced)
+			}
+		}
+		clauses = kept
+		if !progress {
+			break
+		}
+	}
+	// Re-emit the fixed variables as unit clauses: the simplified formula
+	// stays logically equivalent to the original, not merely
+	// equisatisfiable.
+	for v, val := range value {
+		switch val {
+		case 1:
+			out.AddClause(Pos(v))
+		case -1:
+			out.AddClause(Neg(v))
+		}
+	}
+	if len(clauses) <= subsumptionLimit {
+		clauses = subsume(clauses)
+	}
+	for _, cl := range clauses {
+		out.AddClause(cl...)
+	}
+	return out
+}
+
+// subsume drops every clause that is a superset of another (duplicates
+// collapse to the first occurrence). Clauses arrive with sorted literals
+// (the CNF insertion invariant), so the subset test is a linear merge.
+func subsume(clauses [][]Lit) [][]Lit {
+	// Shortest first: only shorter (or equal) clauses can subsume.
+	order := make([]int, len(clauses))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by length keeps the pass dependency-free and stable.
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && len(clauses[order[j-1]]) > len(clauses[order[j]]) {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	dropped := make([]bool, len(clauses))
+	for oi, i := range order {
+		if dropped[i] {
+			continue
+		}
+		for _, j := range order[oi+1:] {
+			if !dropped[j] && subsetOf(clauses[i], clauses[j]) {
+				dropped[j] = true
+			}
+		}
+	}
+	out := make([][]Lit, 0, len(clauses))
+	for i, cl := range clauses {
+		if !dropped[i] {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// subsetOf reports a ⊆ b for sorted literal slices.
+func subsetOf(a, b []Lit) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, l := range a {
+		for j < len(b) && b[j] < l {
+			j++
+		}
+		if j >= len(b) || b[j] != l {
+			return false
+		}
+		j++
+	}
+	return true
+}

@@ -238,8 +238,15 @@ func TestJobCancelWhileQueued(t *testing.T) {
 	}
 	defer close(release)
 
-	// Occupy the worker with a sync request.
-	go post(t, ts, reqBody(t, encodeRequest{Constraints: feasibleText}))
+	// Occupy the worker with a sync request. Plain http in the goroutine:
+	// t.Fatalf may only be called from the test goroutine.
+	body := reqBody(t, encodeRequest{Constraints: feasibleText})
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/encode", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
 	<-started
 
 	resp, data := postJSON(t, ts, "/v1/jobs", `{"encode": {"constraints": "face p q\n"}}`, "")

@@ -3,6 +3,8 @@ package server
 import (
 	"log/slog"
 	"time"
+
+	"repro/encodingapi"
 )
 
 // Config tunes the encoding service. The zero value is a sensible
@@ -101,6 +103,15 @@ type Config struct {
 	// parallel component solves.
 	Decompose bool
 
+	// Backend is the exact-mode covering backend applied when a request
+	// names none: "bb" (branch-and-bound, the default) or "sat" (the
+	// CNF/DPLL backend). Requests may still pick their own via the
+	// "backend" field. Unlike Decompose this changes the concrete codes a
+	// request may receive (both backends prove the same optimum, but may
+	// select different minimum covers), so it participates in cache
+	// identity.
+	Backend string
+
 	// Cache replaces the in-process LRU result cache — the seam for a
 	// shared remote cache tier. nil means a fresh LRU bounded by
 	// CacheEntries.
@@ -176,6 +187,9 @@ func (cfg Config) Normalize() Config {
 	}
 	if cfg.TenantMaxJobs < 0 {
 		cfg.TenantMaxJobs = 0
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = encodingapi.BackendBranchBound.String()
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()

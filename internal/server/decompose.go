@@ -55,7 +55,7 @@ func (s *Server) solveDecomposed(ctx context.Context, sreq *solveRequest, wait b
 	errs := make([]error, len(plan.Components))
 	var wg sync.WaitGroup
 	for i, comp := range plan.Components {
-		ckey := requestKey{set: comp.Hash, mode: modeExactComponent, primeLimit: sreq.primeLimit}
+		ckey := requestKey{set: comp.Hash, mode: modeExactComponent, primeLimit: sreq.primeLimit, backend: sreq.backend}
 		if cres, ok := s.cache.Get(ckey); ok {
 			if r, rerr := comp.ResultFromCodes(cres.Bits, cres.Codes, cres.Optimal); rerr == nil {
 				s.metrics.ComponentCacheHits.Add(1)
@@ -82,6 +82,7 @@ func (s *Server) solveDecomposed(ctx context.Context, sreq *solveRequest, wait b
 				primeLimit: sreq.primeLimit,
 				workers:    sreq.workers,
 				component:  comp,
+				backend:    sreq.backend,
 			}
 			res, err, leader := s.flights.do(ctx, ckey,
 				func() { s.metrics.Coalesced.Add(1) },

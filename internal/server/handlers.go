@@ -62,6 +62,11 @@ type encodeRequest struct {
 	// per component, and reassemble. Results are equivalent either way,
 	// so this never affects the request's cache identity.
 	Decompose bool `json:"decompose"`
+	// Backend selects the exact-mode covering engine: "bb"
+	// (branch-and-bound) or "sat" (CNF/DPLL); empty means the server
+	// default. Both prove the same optimum but may return different
+	// minimum covers, so the backend is part of the cache identity.
+	Backend string `json:"backend,omitempty"`
 }
 
 // pipelineRequest is the JSON body of POST /v1/pipeline.
@@ -95,6 +100,7 @@ type requestKey struct {
 	primeLimit int
 	strategy   string
 	minimize   bool
+	backend    core.Backend
 }
 
 // solveRequest is a validated, parsed request ready for the pool.
@@ -111,6 +117,8 @@ type solveRequest struct {
 	// modeExactComponent request solves.
 	decompose bool
 	component *decomp.Component
+	// backend is the resolved exact-mode covering engine.
+	backend core.Backend
 
 	// Pipeline mode only.
 	machine  *fsm.FSM
@@ -133,6 +141,7 @@ func (r *solveRequest) key() requestKey {
 		primeLimit: r.primeLimit,
 		strategy:   string(r.strategy),
 		minimize:   r.minimize,
+		backend:    r.backend,
 	}
 	switch {
 	case r.mode == modePipeline:
@@ -275,6 +284,20 @@ func (s *Server) parseRequest(req *encodeRequest) (*solveRequest, error) {
 		return nil, fmt.Errorf("decompose is only valid in exact mode")
 	}
 	sr.decompose = mode == modeExact && (req.Decompose || s.cfg.Decompose)
+	if req.Backend != "" && mode != modeExact {
+		return nil, fmt.Errorf("backend is only valid in exact mode")
+	}
+	if mode == modeExact {
+		name := req.Backend
+		if name == "" {
+			name = s.cfg.Backend
+		}
+		backend, ok := encodingapi.ParseBackend(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q (want bb or sat)", name)
+		}
+		sr.backend = backend
+	}
 	return sr, nil
 }
 
@@ -341,6 +364,7 @@ func (s *Server) solveLibrary(ctx context.Context, req *solveRequest) (*solveRes
 		opts := encodingapi.ExactOptions{
 			Prime:       encodingapi.PrimeOptions{Limit: req.primeLimit},
 			Parallelism: encodingapi.Parallelism{Workers: req.workers},
+			Backend:     req.backend,
 		}
 		var (
 			enc     *encodingapi.Encoding
@@ -377,6 +401,7 @@ func (s *Server) solveLibrary(ctx context.Context, req *solveRequest) (*solveRes
 		opts := encodingapi.ExactOptions{
 			Prime:       encodingapi.PrimeOptions{Limit: req.primeLimit},
 			Parallelism: encodingapi.Parallelism{Workers: req.workers},
+			Backend:     req.backend,
 		}
 		r, err := req.component.Solve(ctx, opts)
 		if err != nil {

@@ -93,7 +93,11 @@ func TestHandleEncodeTable(t *testing.T) {
 		{"bits outside heuristic", `{"constraints": "face a b\n", "mode": "exact", "bits": 3}`, http.StatusBadRequest, "heuristic"},
 		{"heuristic without bits", `{"constraints": "face a b\n", "mode": "heuristic"}`, http.StatusBadRequest, "requires bits"},
 		{"bad metric", `{"constraints": "face a b\n", "mode": "heuristic", "bits": 2, "metric": "entropy"}`, http.StatusBadRequest, "unknown metric"},
+		{"bad backend", `{"constraints": "face a b\n", "backend": "cplex"}`, http.StatusBadRequest, "unknown backend"},
+		{"backend outside exact", `{"constraints": "face a b\n", "mode": "feasible", "backend": "sat"}`, http.StatusBadRequest, "exact mode"},
 		{"unsatisfiable exact", fmt.Sprintf(`{"constraints": %q}`, infeasibleText), http.StatusUnprocessableEntity, "infeasible"},
+		{"sat backend ok", fmt.Sprintf(`{"constraints": %q, "backend": "sat"}`, feasibleText), http.StatusOK, `"mode": "exact"`},
+		{"sat backend infeasible", fmt.Sprintf(`{"constraints": %q, "backend": "sat"}`, infeasibleText), http.StatusUnprocessableEntity, "infeasible"},
 		{"exact ok", fmt.Sprintf(`{"constraints": %q}`, feasibleText), http.StatusOK, `"mode": "exact"`},
 		{"feasible verdict", fmt.Sprintf(`{"constraints": %q, "mode": "feasible"}`, infeasibleText), http.StatusOK, `"feasible": false`},
 		{"heuristic ok", fmt.Sprintf(`{"constraints": %q, "mode": "heuristic", "bits": 2, "metric": "cubes"}`, feasibleText), http.StatusOK, `"cost"`},
@@ -215,6 +219,51 @@ func TestCacheHit(t *testing.T) {
 	}
 	if !out3.Cached {
 		t.Fatalf("reformatted constraints missed the cache")
+	}
+}
+
+// TestBackendCacheIdentity checks the two exact backends agree on code
+// length yet occupy distinct cache entries: a sat request after a bb
+// request must solve, not hit the bb entry (the backends may legitimately
+// return different minimum covers, so their results must never alias).
+func TestBackendCacheIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	_, data1 := post(t, ts, reqBody(t, encodeRequest{Constraints: feasibleText}))
+	_, data2 := post(t, ts, reqBody(t, encodeRequest{Constraints: feasibleText, Backend: "sat"}))
+	var out1, out2 encodeResponse
+	if err := json.Unmarshal(data1, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Cached {
+		t.Fatalf("sat request hit the bb cache entry")
+	}
+	if out1.Bits != out2.Bits {
+		t.Fatalf("backends disagree on code length: bb=%d sat=%d", out1.Bits, out2.Bits)
+	}
+	if st := getStats(t, ts); st.Solves != 2 {
+		t.Fatalf("solves = %d, want 2 (one per backend)", st.Solves)
+	}
+
+	// Repeating the sat request must now hit its own entry, and an
+	// explicit "bb" must alias the default-backend entry.
+	_, data3 := post(t, ts, reqBody(t, encodeRequest{Constraints: feasibleText, Backend: "sat"}))
+	_, data4 := post(t, ts, reqBody(t, encodeRequest{Constraints: feasibleText, Backend: "bb"}))
+	var out3, out4 encodeResponse
+	if err := json.Unmarshal(data3, &out3); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data4, &out4); err != nil {
+		t.Fatal(err)
+	}
+	if !out3.Cached {
+		t.Fatalf("repeated sat request missed the cache")
+	}
+	if !out4.Cached {
+		t.Fatalf("explicit bb request missed the default-backend entry")
 	}
 }
 
